@@ -1,0 +1,123 @@
+// Command cachetune runs the self-tuning cache system on a workload — a
+// named synthetic benchmark profile, a real mini-VM kernel, or a recorded
+// trace file — and reports the configurations the on-chip tuner selects,
+// the number of configurations examined, and the energy outcome versus the
+// fixed base cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selftune/internal/cache"
+	"selftune/internal/core"
+	"selftune/internal/energy"
+	"selftune/internal/programs"
+	"selftune/internal/report"
+	"selftune/internal/trace"
+	"selftune/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "synthetic benchmark profile to run (see -list)")
+	kernel := flag.String("kernel", "", "mini-VM kernel to run instead (see -list)")
+	traceFile := flag.String("trace", "", "recorded trace file to replay instead")
+	list := flag.Bool("list", false, "list available workloads and kernels")
+	n := flag.Int("n", 600_000, "accesses to simulate (synthetic profiles)")
+	window := flag.Uint64("window", 10_000, "accesses per tuner measurement window")
+	mode := flag.String("mode", "once", "tuning mode: once, periodic or phase")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("synthetic profiles (Powerstone/MediaBench models):")
+		for _, p := range workload.Profiles() {
+			fmt.Printf("  %-10s %s\n", p.Name, p.Description)
+		}
+		fmt.Println("mini-VM kernels (real programs on the MIPS-like core):")
+		for _, k := range programs.All() {
+			fmt.Printf("  %-10s %s\n", k.Name, k.Description)
+		}
+		return
+	}
+
+	src, limit, err := pickSource(*wl, *kernel, *traceFile, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachetune:", err)
+		os.Exit(1)
+	}
+
+	opts := core.Options{Window: *window}
+	switch *mode {
+	case "once":
+		opts.Mode = core.TuneOnce
+	case "periodic":
+		opts.Mode = core.TunePeriodic
+	case "phase":
+		opts.Mode = core.TuneOnPhaseChange
+	default:
+		fmt.Fprintln(os.Stderr, "cachetune: unknown -mode", *mode)
+		os.Exit(2)
+	}
+
+	sys := core.New(opts)
+	ran := sys.Run(src, limit)
+	fmt.Printf("ran %d accesses, mode=%s\n", ran, *mode)
+
+	tb := report.NewTable("cache", "at", "chosen", "examined", "settle WB", "tuner nJ")
+	for _, e := range sys.Events() {
+		tb.Addf(e.Cache, e.At, e.Chosen.String(), e.Examined, e.SettleWritebacks, e.TunerEnergy*1e9)
+	}
+	fmt.Print(tb.String())
+
+	r := sys.Report()
+	p := opts.Params
+	if p == nil {
+		p = energy.DefaultParams()
+	}
+	base := cache.BaseConfig()
+	iBase := p.Total(base, r.IStats)
+	dBase := p.Total(base, r.DStats)
+	fmt.Printf("\nI$ %v: %v (miss %.2f%%)  vs base %v: saves %s\n",
+		sys.IConfig(), r.IBreak, 100*r.IStats.MissRate(), base, report.Pct(1-r.IBreak.Total()/iBase))
+	fmt.Printf("D$ %v: %v (miss %.2f%%)  vs base %v: saves %s\n",
+		sys.DConfig(), r.DBreak, 100*r.DStats.MissRate(), base, report.Pct(1-r.DBreak.Total()/dBase))
+	fmt.Printf("tuner energy: %.2f nJ (%.6f%% of memory-access energy)\n",
+		r.TunerEnergy*1e9, 100*r.TunerEnergy/(r.IBreak.Total()+r.DBreak.Total()))
+}
+
+func pickSource(wl, kernel, traceFile string, n int) (trace.Source, int, error) {
+	picked := 0
+	for _, s := range []string{wl, kernel, traceFile} {
+		if s != "" {
+			picked++
+		}
+	}
+	if picked != 1 {
+		return nil, 0, fmt.Errorf("pick exactly one of -workload, -kernel or -trace (see -list)")
+	}
+	switch {
+	case wl != "":
+		p, ok := workload.ByName(wl)
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown workload %q", wl)
+		}
+		return p.NewSource(), n, nil
+	case kernel != "":
+		k, ok := programs.ByName(kernel)
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown kernel %q", kernel)
+		}
+		accs, err := k.Trace()
+		if err != nil {
+			return nil, 0, err
+		}
+		return trace.NewSliceSource(accs), 0, nil
+	default:
+		accs, err := trace.Open(traceFile) // native binary or Dinero din
+		if err != nil {
+			return nil, 0, err
+		}
+		return trace.NewSliceSource(accs), 0, nil
+	}
+}

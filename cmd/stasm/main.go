@@ -1,0 +1,153 @@
+// Command stasm is the mini-ISA toolchain driver: it assembles, runs,
+// disassembles and traces programs for the MIPS-like core that substitutes
+// for the paper's SimpleScalar setup.
+//
+// Usage:
+//
+//	stasm run file.s            assemble and execute, printing output
+//	stasm dis file.s            assemble and disassemble
+//	stasm trace file.s out.tr   execute and write the reference stream
+//	stasm kernel <name> [out]   same for a built-in benchmark kernel
+//	stasm kernels               list built-in kernels
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"selftune/internal/asm"
+	"selftune/internal/cpu"
+	"selftune/internal/programs"
+	"selftune/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = runFile(arg(2), os.Stdout)
+	case "dis":
+		err = disFile(arg(2))
+	case "trace":
+		err = traceFile(arg(2), arg(3))
+	case "kernel":
+		err = kernelCmd(arg(2), optArg(3))
+	case "kernels":
+		for _, k := range programs.All() {
+			fmt.Printf("%-10s %s\n", k.Name, k.Description)
+		}
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stasm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: stasm run|dis|trace|kernel|kernels ...")
+	os.Exit(2)
+}
+
+func arg(i int) string {
+	if len(os.Args) <= i {
+		usage()
+	}
+	return os.Args[i]
+}
+
+func optArg(i int) string {
+	if len(os.Args) <= i {
+		return ""
+	}
+	return os.Args[i]
+}
+
+func assembleFile(path string) (*asm.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(string(src))
+}
+
+func runFile(path string, out *os.File) error {
+	prog, err := assembleFile(path)
+	if err != nil {
+		return err
+	}
+	m := cpu.New(prog)
+	m.Stdout = out
+	if err := m.Run(100_000_000); err != nil {
+		return err
+	}
+	if !m.Halted() {
+		return fmt.Errorf("%s: instruction budget exhausted", path)
+	}
+	fmt.Fprintf(out, "\n[%d instructions, %d loads, %d stores, $v0=%#x]\n",
+		m.Stats.Instructions, m.Stats.Loads, m.Stats.Stores, m.Reg[2])
+	return nil
+}
+
+func disFile(path string) error {
+	prog, err := assembleFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Disassemble())
+	return nil
+}
+
+func traceFile(path, out string) error {
+	prog, err := assembleFile(path)
+	if err != nil {
+		return err
+	}
+	accs, m, err := cpu.TraceProgram(prog, 100_000_000)
+	if err != nil {
+		return err
+	}
+	if err := writeTrace(out, accs); err != nil {
+		return err
+	}
+	fmt.Printf("%d instructions -> %d accesses -> %s\n", m.Stats.Instructions, len(accs), out)
+	return nil
+}
+
+func kernelCmd(name, out string) error {
+	k, ok := programs.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown kernel %q (try 'stasm kernels')", name)
+	}
+	accs, err := k.Trace()
+	if err != nil {
+		return err
+	}
+	s := trace.Summarize(accs)
+	fmt.Printf("%s: %d accesses (%d fetch, %d read, %d write), footprint %d KB\n",
+		k.Name, s.Total, s.Inst, s.Reads, s.Writes, s.UniqueLines16*16/1024)
+	if out == "" {
+		return nil
+	}
+	if err := writeTrace(out, accs); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func writeTrace(path string, accs []trace.Access) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Encode(f, accs); err != nil {
+		return err
+	}
+	return f.Close()
+}

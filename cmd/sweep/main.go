@@ -1,0 +1,59 @@
+// Command sweep regenerates the paper's figures:
+//
+//	-fig 2: on-chip, off-chip and total energy versus cache size
+//	        (1 KB–1 MB) for the parser-like workload;
+//	-fig 3: average instruction-cache miss rate and normalised fetch
+//	        energy over the 18 base configurations;
+//	-fig 4: the same for the data cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selftune/internal/energy"
+	"selftune/internal/experiments"
+	"selftune/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 2, "figure to regenerate (2, 3 or 4)")
+	n := flag.Int("n", 200_000, "accesses to simulate per data point")
+	flag.Parse()
+
+	p := energy.DefaultParams()
+	switch *fig {
+	case 2:
+		pts := experiments.Figure2(*n, p)
+		var sizes []string
+		var onChip, offChip, total []float64
+		for _, pt := range pts {
+			sizes = append(sizes, fmt.Sprintf("%dKB", pt.SizeBytes/1024))
+			onChip = append(onChip, pt.OnChip*1e3)
+			offChip = append(offChip, pt.OffChip*1e3)
+			total = append(total, pt.Total*1e3)
+		}
+		fmt.Println("Figure 2: energy (mJ) vs cache size, parser-like workload")
+		fmt.Println(report.Series("Cache", sizes, onChip))
+		fmt.Println(report.Series("Off-chip Memory", sizes, offChip))
+		fmt.Println(report.Series("Total", sizes, total))
+		fmt.Printf("minimum total energy at %dKB\n", experiments.Knee(pts).SizeBytes/1024)
+	case 3, 4:
+		inst := *fig == 3
+		rows := experiments.Figure34(*n, inst, p)
+		name := "data"
+		if inst {
+			name = "instruction"
+		}
+		fmt.Printf("Figure %d: average %s-cache miss rate and normalised energy over 19 benchmarks\n", *fig, name)
+		tb := report.NewTable("config", "avg miss rate", "normalised energy")
+		for _, r := range rows {
+			tb.Add(r.Cfg.String(), report.Pct(r.AvgMissRate), fmt.Sprintf("%.3f", r.Normalised))
+		}
+		fmt.Print(tb.String())
+	default:
+		fmt.Fprintln(os.Stderr, "sweep: -fig must be 2, 3 or 4")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,17 @@
+// Package selftune reproduces "A Self-Tuning Cache Architecture for
+// Embedded Systems" (Zhang, Vahid, Lysecky — DATE 2004): a configurable
+// four-bank cache whose size, associativity, line size and way prediction
+// are tuned by a small on-chip hardware searcher that minimises
+// memory-access energy without ever flushing the cache.
+//
+// The library lives under internal/: the configurable cache model
+// (internal/cache), the analytical 0.18 µm energy model (internal/cacti,
+// internal/energy), the search heuristic with its FSMD hardware model
+// (internal/tuner), a mini MIPS-like toolchain and core standing in for
+// SimpleScalar (internal/isa, internal/asm, internal/cpu,
+// internal/programs), the Powerstone/MediaBench workload models
+// (internal/workload), and the assembled self-tuning system
+// (internal/core). See DESIGN.md for the full inventory and EXPERIMENTS.md
+// for paper-versus-measured results; bench_test.go regenerates every table
+// and figure.
+package selftune

@@ -1,0 +1,51 @@
+// Fullsystem: the whole platform in one piece — a real program (XTEA
+// encryption, assembled from MIPS-like source) executes on the in-order
+// core while the self-tuning memory system reconfigures underneath it.
+// Miss latencies and way-misprediction bubbles stall the processor, so the
+// tuner's choices show up directly in CPI.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selftune/internal/asm"
+	"selftune/internal/core"
+	"selftune/internal/programs"
+	"selftune/internal/sim"
+)
+
+func main() {
+	k, _ := programs.ByName("ucbqsort")
+	prog, err := asm.Assemble(k.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("program: %s (%s), %d bytes of code\n\n", k.Name, k.Description, 4*len(prog.Text))
+
+	// Run once with tuning disabled in practice (an effectively infinite
+	// measurement window freezes the caches at the 2 KB starting point).
+	frozen := sim.NewFullSystem(prog, core.Options{Window: 1 << 40})
+	if err := frozen.Run(0); err != nil {
+		log.Fatal(err)
+	}
+
+	// And once with the tuner live.
+	tuned := sim.NewFullSystem(prog, core.Options{Window: 8_000})
+	if err := tuned.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	if tuned.Machine.Reg[2] != k.Reference() {
+		log.Fatalf("checksum mismatch: tuning broke the program!")
+	}
+
+	fmt.Printf("frozen at minimum config: %s\n", frozen)
+	fmt.Printf("self-tuning:              %s\n\n", tuned)
+	for _, e := range tuned.Memory.Events() {
+		fmt.Printf("  %s$ tuned after %d accesses -> %v (examined %d, %.1f nJ)\n",
+			e.Cache, e.At, e.Chosen, e.Examined, e.TunerEnergy*1e9)
+	}
+	fmt.Printf("\nprogram output verified against the Go reference (checksum %#x);\n", k.Reference())
+	fmt.Println("the caches were reconfigured mid-run without a flush and the result is identical.")
+}

@@ -1,0 +1,40 @@
+// Multilevel: the paper's §3.4 generalisation — tune the line sizes of a
+// two-level hierarchy (16 KB 8-way L1 I/D + 256 KB 8-way unified L2, four
+// candidate line sizes each). Brute force needs 4*4*4 = 64 simulations;
+// the one-parameter-at-a-time heuristic needs at most 4+3+3 = 10 and lands
+// on (or next to) the same point.
+package main
+
+import (
+	"fmt"
+
+	"selftune/internal/energy"
+	"selftune/internal/sim"
+	"selftune/internal/tuner"
+	"selftune/internal/workload"
+)
+
+func main() {
+	p := energy.DefaultParams()
+	prof := workload.ParserLike()
+	accs := prof.Generate(200_000)
+	fmt.Printf("workload: %s (%d accesses)\nhierarchy: 16K 8-way L1I/L1D + 256K 8-way unified L2\n\n",
+		prof.Description, len(accs))
+
+	eval := sim.HierarchyEvaluator(accs, p)
+	params := sim.LineParams()
+
+	h := tuner.MultilevelSearch(eval, params)
+	bf := tuner.MultilevelBruteForce(eval, params)
+
+	show := func(tag string, r tuner.MultilevelResult) {
+		fmt.Printf("%-12s examined %2d of %d combinations -> L1I=%dB L1D=%dB L2=%dB  (%.3g J)\n",
+			tag, r.Examined, r.BruteForceSize, r.Best[0], r.Best[1], r.Best[2], r.BestEnergy)
+	}
+	show("heuristic", h)
+	show("brute force", bf)
+	fmt.Printf("\nheuristic energy is %.1f%% of the brute-force optimum, at %.0f%% of the search cost\n",
+		100*h.BestEnergy/bf.BestEnergy, 100*float64(h.Examined)/float64(bf.Examined))
+	fmt.Println("\nwith n parameters of m values the heuristic searches m*n combinations, not m^n —")
+	fmt.Println("the paper's example: 10 parameters of 10 values = 10,000,000,000 vs 100.")
+}

@@ -1,0 +1,375 @@
+// Package asm is a two-pass assembler for the mini MIPS-like ISA (package
+// isa). It supports labels, .text/.data sections, data directives and the
+// common MIPS pseudo-instructions, which is enough to write the Powerstone
+// kernels the paper's benchmark suite draws from.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"selftune/internal/isa"
+)
+
+// Default section base addresses (SPIM-like layout).
+const (
+	TextBase = 0x00400000
+	DataBase = 0x10010000
+	StackTop = 0x7ffff000
+	HeapBase = 0x10040000
+)
+
+// Program is an assembled, loadable image.
+type Program struct {
+	// Entry is the initial PC (the "main" label if present, else TextBase).
+	Entry uint32
+	// TextBase/Text are the code section.
+	TextBase uint32
+	Text     []uint32
+	// DataBase/Data are the initialised data section.
+	DataBase uint32
+	Data     []byte
+	// Symbols maps labels to addresses.
+	Symbols map[string]uint32
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type item struct {
+	line    int
+	label   string
+	mnem    string
+	args    []string
+	rawLine string
+}
+
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e asmError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.line, e.msg) }
+
+func errf(line int, format string, a ...any) error {
+	return asmError{line: line, msg: fmt.Sprintf(format, a...)}
+}
+
+// Assemble translates source text into a Program.
+func Assemble(src string) (*Program, error) {
+	items, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{TextBase: TextBase, DataBase: DataBase, Symbols: map[string]uint32{}}
+
+	// Pass 1: lay out sections and record symbol addresses.
+	sec := secText
+	textPC := uint32(TextBase)
+	dataPC := uint32(DataBase)
+	for _, it := range items {
+		if it.label != "" {
+			if _, dup := p.Symbols[it.label]; dup {
+				return nil, errf(it.line, "duplicate label %q", it.label)
+			}
+			if sec == secText {
+				p.Symbols[it.label] = textPC
+			} else {
+				p.Symbols[it.label] = dataPC
+			}
+		}
+		if it.mnem == "" {
+			continue
+		}
+		if strings.HasPrefix(it.mnem, ".") {
+			var err error
+			sec, textPC, dataPC, err = sizeDirective(it, sec, textPC, dataPC, nil)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if sec != secText {
+			return nil, errf(it.line, "instruction %q outside .text", it.mnem)
+		}
+		n, err := instWords(it)
+		if err != nil {
+			return nil, err
+		}
+		textPC += uint32(4 * n)
+	}
+
+	// Pass 2: encode.
+	sec = secText
+	textPC = TextBase
+	dataPC = DataBase
+	for _, it := range items {
+		if it.mnem == "" {
+			continue
+		}
+		if strings.HasPrefix(it.mnem, ".") {
+			var err error
+			sec, textPC, dataPC, err = sizeDirective(it, sec, textPC, dataPC, p)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		words, err := encodeInst(it, textPC, p.Symbols)
+		if err != nil {
+			return nil, err
+		}
+		p.Text = append(p.Text, words...)
+		textPC += uint32(4 * len(words))
+	}
+
+	if entry, ok := p.Symbols["main"]; ok {
+		p.Entry = entry
+	} else {
+		p.Entry = TextBase
+	}
+	return p, nil
+}
+
+// parse splits source into labelled items.
+func parse(src string) ([]item, error) {
+	var items []item
+	for ln, line := range strings.Split(src, "\n") {
+		lineNo := ln + 1
+		// Strip comments, respecting string literals.
+		line = stripComment(line)
+		line = strings.TrimSpace(line)
+		for line != "" {
+			// Peel leading labels.
+			if i := strings.Index(line, ":"); i >= 0 && isLabel(line[:i]) && !strings.ContainsAny(line[:i], " \t\"") {
+				items = append(items, item{line: lineNo, label: line[:i]})
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		mnem, rest, _ := strings.Cut(line, " ")
+		if tab, trest, ok := strings.Cut(line, "\t"); ok && len(tab) < len(mnem) {
+			mnem, rest = tab, trest
+		}
+		mnem = strings.ToLower(strings.TrimSpace(mnem))
+		it := item{line: lineNo, mnem: mnem, rawLine: line}
+		if mnem == ".asciiz" || mnem == ".ascii" {
+			it.args = []string{strings.TrimSpace(rest)}
+		} else {
+			for _, a := range strings.Split(rest, ",") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					it.args = append(it.args, a)
+				}
+			}
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func isLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sizeDirective advances location counters for a directive; when p != nil it
+// also emits data bytes (pass 2).
+func sizeDirective(it item, sec section, textPC, dataPC uint32, p *Program) (section, uint32, uint32, error) {
+	emit := func(b byte) {
+		if p != nil {
+			p.Data = append(p.Data, b)
+		}
+		dataPC++
+	}
+	switch it.mnem {
+	case ".text":
+		return secText, textPC, dataPC, nil
+	case ".data":
+		return secData, textPC, dataPC, nil
+	case ".globl", ".global", ".ent", ".end", ".set":
+		return sec, textPC, dataPC, nil
+	}
+	// Everything below emits bytes; keep data in .data (jump tables and
+	// constants live there; the text image is word-granular).
+	if sec != secData {
+		return sec, 0, 0, errf(it.line, "data directive %s outside .data", it.mnem)
+	}
+	switch it.mnem {
+	case ".align":
+		if len(it.args) != 1 {
+			return sec, 0, 0, errf(it.line, ".align needs one argument")
+		}
+		n, err := parseInt(it.args[0], nil, it.line)
+		if err != nil {
+			return sec, 0, 0, err
+		}
+		align := uint32(1) << uint(n)
+		for (sectionPC(sec, textPC, dataPC) % align) != 0 {
+			emit(0)
+		}
+		return sec, textPC, dataPC, nil
+	case ".space":
+		if len(it.args) != 1 {
+			return sec, 0, 0, errf(it.line, ".space needs one argument")
+		}
+		n, err := parseInt(it.args[0], nil, it.line)
+		if err != nil {
+			return sec, 0, 0, err
+		}
+		for i := int64(0); i < n; i++ {
+			emit(0)
+		}
+		return sec, textPC, dataPC, nil
+	case ".byte", ".half", ".word":
+		width := map[string]int{".byte": 1, ".half": 2, ".word": 4}[it.mnem]
+		var syms map[string]uint32
+		if p != nil {
+			syms = p.Symbols
+		}
+		for _, a := range it.args {
+			var v int64
+			if p != nil {
+				var err error
+				v, err = parseInt(a, syms, it.line)
+				if err != nil {
+					return sec, 0, 0, err
+				}
+			}
+			for i := 0; i < width; i++ {
+				emit(byte(v >> (8 * i)))
+			}
+		}
+		return sec, textPC, dataPC, nil
+	case ".asciiz", ".ascii":
+		if len(it.args) != 1 {
+			return sec, 0, 0, errf(it.line, "%s needs a string", it.mnem)
+		}
+		s, err := strconv.Unquote(it.args[0])
+		if err != nil {
+			return sec, 0, 0, errf(it.line, "bad string %s: %v", it.args[0], err)
+		}
+		for i := 0; i < len(s); i++ {
+			emit(s[i])
+		}
+		if it.mnem == ".asciiz" {
+			emit(0)
+		}
+		return sec, textPC, dataPC, nil
+	}
+	return sec, 0, 0, errf(it.line, "unknown directive %s", it.mnem)
+}
+
+func sectionPC(sec section, textPC, dataPC uint32) uint32 {
+	if sec == secData {
+		return dataPC
+	}
+	return textPC
+}
+
+// parseInt parses a numeric literal, character literal or (when syms != nil)
+// a label, with an optional label+offset form.
+func parseInt(s string, syms map[string]uint32, line int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, errf(line, "empty operand")
+	}
+	if s[0] == '\'' {
+		r, err := strconv.Unquote(s)
+		if err != nil || len(r) != 1 {
+			return 0, errf(line, "bad char literal %s", s)
+		}
+		return int64(r[0]), nil
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if syms != nil {
+		base, off := s, int64(0)
+		if i := strings.LastIndexAny(s, "+-"); i > 0 {
+			if v, err := strconv.ParseInt(s[i:], 0, 64); err == nil {
+				base, off = s[:i], v
+			}
+		}
+		if v, ok := syms[base]; ok {
+			return int64(v) + off, nil
+		}
+	}
+	return 0, errf(line, "cannot resolve operand %q", s)
+}
+
+var regAliases = func() map[string]uint8 {
+	m := map[string]uint8{}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("%d", i)] = uint8(i)
+		m[isa.RegName(i)] = uint8(i)
+	}
+	m["r0"] = 0
+	return m
+}()
+
+func parseReg(s string, line int) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return 0, errf(line, "expected register, got %q", s)
+	}
+	r, ok := regAliases[strings.ToLower(s[1:])]
+	if !ok {
+		return 0, errf(line, "unknown register %q", s)
+	}
+	return r, nil
+}
+
+// parseMem parses "imm($reg)", "($reg)" or a bare label (base=at sentinel).
+func parseMem(s string, line int) (off string, base string, bare bool, err error) {
+	s = strings.TrimSpace(s)
+	i := strings.Index(s, "(")
+	if i < 0 {
+		return s, "", true, nil // bare label/address: needs lui expansion
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", "", false, errf(line, "bad memory operand %q", s)
+	}
+	off = strings.TrimSpace(s[:i])
+	if off == "" {
+		off = "0"
+	}
+	return off, strings.TrimSpace(s[i+1 : len(s)-1]), false, nil
+}

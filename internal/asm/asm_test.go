@@ -1,0 +1,226 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"selftune/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+	.text
+main:
+	addi $t0, $zero, 5
+	add  $t1, $t0, $t0
+	jr   $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 3 {
+		t.Fatalf("text = %d words, want 3", len(p.Text))
+	}
+	if p.Entry != TextBase {
+		t.Errorf("entry = %#x, want %#x", p.Entry, TextBase)
+	}
+	in := isa.Decode(p.Text[0])
+	if in.Op != isa.OpAddi || in.Rt != isa.T0 || in.Rs != isa.Zero || in.SImm() != 5 {
+		t.Errorf("addi encoded as %+v", in)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p, err := Assemble(`
+main:
+	addi $t0, $zero, 10
+loop:
+	addi $t0, $t0, -1
+	bne  $t0, $zero, loop
+	jr   $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Symbols["loop"]; got != TextBase+4 {
+		t.Errorf("loop = %#x, want %#x", got, TextBase+4)
+	}
+	// bne at TextBase+8 targets loop (TextBase+4): offset = -2 words.
+	in := isa.Decode(p.Text[2])
+	if in.Op != isa.OpBne || in.SImm() != -2 {
+		t.Errorf("bne = %+v, want offset -2", in)
+	}
+}
+
+func TestPseudoExpansion(t *testing.T) {
+	p, err := Assemble(`
+main:
+	li   $t0, 0x12345678
+	la   $t1, buf
+	move $t2, $t0
+	nop
+	mul  $t3, $t0, $t2
+	blt  $t0, $t2, main
+	jr   $ra
+	.data
+buf: .space 16
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// li=2, la=2, move=1, nop=1, mul=2, blt=2, jr=1 -> 11 words.
+	if len(p.Text) != 11 {
+		t.Fatalf("text = %d words, want 11", len(p.Text))
+	}
+	// li: lui+ori producing the constant.
+	lui, ori := isa.Decode(p.Text[0]), isa.Decode(p.Text[1])
+	if lui.Op != isa.OpLui || lui.Imm != 0x1234 || ori.Op != isa.OpOri || ori.Imm != 0x5678 {
+		t.Errorf("li expansion wrong: %+v %+v", lui, ori)
+	}
+	if got := p.Symbols["buf"]; got != DataBase {
+		t.Errorf("buf = %#x, want %#x", got, DataBase)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p, err := Assemble(`
+	.data
+a:	.word 1, 2, 3
+b:	.half 0x1234
+	.byte 7
+	.align 2
+c:	.asciiz "hi"
+	.space 3
+	.text
+main:	jr $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["a"] != DataBase || p.Symbols["b"] != DataBase+12 {
+		t.Errorf("symbols wrong: a=%#x b=%#x", p.Symbols["a"], p.Symbols["b"])
+	}
+	// b(2) + byte(1) + align to 16 -> c at DataBase+16.
+	if got := p.Symbols["c"]; got != DataBase+16 {
+		t.Errorf("c = %#x, want %#x", got, DataBase+16)
+	}
+	if len(p.Data) != 16+3+3 {
+		t.Errorf("data = %d bytes, want 22", len(p.Data))
+	}
+	if p.Data[0] != 1 || p.Data[4] != 2 || p.Data[8] != 3 {
+		t.Errorf("little-endian .word wrong: % x", p.Data[:12])
+	}
+	if string(p.Data[16:18]) != "hi" || p.Data[18] != 0 {
+		t.Errorf("asciiz wrong: % x", p.Data[16:19])
+	}
+}
+
+func TestWordWithLabelReference(t *testing.T) {
+	p, err := Assemble(`
+	.data
+table: .word table, next
+next:  .word 0
+	.text
+main:  jr $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := uint32(p.Data[0]) | uint32(p.Data[1])<<8 | uint32(p.Data[2])<<16 | uint32(p.Data[3])<<24
+	if got != DataBase {
+		t.Errorf("table[0] = %#x, want %#x", got, DataBase)
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	p, err := Assemble(`
+	.data
+v:	.word 42
+	.text
+main:
+	lw $t0, v        # bare label -> lui $at + lw
+	lw $t1, 0($sp)
+	lw $t2, -8($sp)
+	sw $t0, 4($sp)
+	jr $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 6 {
+		t.Fatalf("text = %d words, want 6", len(p.Text))
+	}
+	in := isa.Decode(p.Text[3]) // lw $t2, -8($sp)
+	if in.Op != isa.OpLw || in.SImm() != -8 || in.Rs != isa.SP {
+		t.Errorf("negative offset wrong: %+v", in)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus $t0, $t1",
+		"add $t0, $t1",                 // arity
+		"addi $t0, $t1, 100000",        // immediate range
+		"lw $t0, 40000($sp)",           // offset range
+		"beq $t0, $t1, nowhere",        // unresolved label
+		"x: add $t0, $t1, $t2\nx: nop", // duplicate label
+		".data\n.word nolabel",
+		"add $t9, $t1, $99",
+		".align",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestErrorsIncludeLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus $t0\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v does not name line 3", err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	p, err := Assemble(`
+# full-line comment
+main:	nop   # trailing comment
+	.data
+s: .asciiz "has # hash"  # comment after string
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 1 {
+		t.Errorf("text = %d words, want 1", len(p.Text))
+	}
+	if !strings.Contains(string(p.Data), "has # hash") {
+		t.Errorf("hash inside string mangled: %q", p.Data)
+	}
+}
+
+func TestDisassembleRoundTripMnemonic(t *testing.T) {
+	p := MustAssemble(`
+main:
+	addiu $sp, $sp, -16
+	sw    $ra, 12($sp)
+	jal   main
+	lw    $ra, 12($sp)
+	sltu  $v0, $a0, $a1
+	jr    $ra
+`)
+	dis := p.Disassemble()
+	for _, want := range []string{"addiu", "sw", "jal", "lw", "sltu", "jr"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestProgramSize(t *testing.T) {
+	p := MustAssemble("main: nop\n.data\n.space 10")
+	if p.Size() != 14 {
+		t.Errorf("Size = %d, want 14", p.Size())
+	}
+}

@@ -1,0 +1,571 @@
+package asm
+
+import (
+	"strings"
+
+	"selftune/internal/isa"
+)
+
+// instWords returns how many machine words an instruction (or pseudo)
+// occupies; it must agree exactly with encodeInst so pass 1 layout is right.
+func instWords(it item) (int, error) {
+	switch it.mnem {
+	case "li", "la", "blt", "bgt", "ble", "bge", "mul", "rem", "divq":
+		return 2, nil
+	case "lw", "lh", "lhu", "lb", "lbu", "sw", "sh", "sb":
+		if len(it.args) == 2 {
+			_, _, bare, err := parseMem(it.args[1], it.line)
+			if err != nil {
+				return 0, err
+			}
+			if bare {
+				return 2, nil
+			}
+		}
+		return 1, nil
+	default:
+		if _, ok := instTable[it.mnem]; !ok && !isPseudo(it.mnem) {
+			return 0, errf(it.line, "unknown instruction %q", it.mnem)
+		}
+		return 1, nil
+	}
+}
+
+func isPseudo(m string) bool {
+	switch m {
+	case "nop", "move", "b", "beqz", "bnez", "neg", "not", "li", "la",
+		"blt", "bgt", "ble", "bge", "mul", "rem", "divq":
+		return true
+	}
+	return false
+}
+
+type instKind int
+
+const (
+	kindR3       instKind = iota // op rd, rs, rt
+	kindShiftI                   // op rd, rt, shamt
+	kindShiftV                   // op rd, rt, rs
+	kindArithI                   // op rt, rs, imm
+	kindBranch2                  // op rs, rt, label
+	kindBranch1                  // op rs, label (blez/bgtz/bltz/bgez)
+	kindMem                      // op rt, off(rs)
+	kindJump                     // op label
+	kindMulDiv                   // op rs, rt
+	kindMoveHiLo                 // op rd
+	kindJr                       // op rs
+	kindJalr                     // op [rd,] rs
+	kindLui                      // lui rt, imm
+	kindSyscall
+)
+
+type instDef struct {
+	kind  instKind
+	op    uint8
+	funct uint8
+	rtSel uint8 // for REGIMM branches
+}
+
+var instTable = map[string]instDef{
+	"add":  {kindR3, isa.OpSpecial, isa.FnAdd, 0},
+	"addu": {kindR3, isa.OpSpecial, isa.FnAddu, 0},
+	"sub":  {kindR3, isa.OpSpecial, isa.FnSub, 0},
+	"subu": {kindR3, isa.OpSpecial, isa.FnSubu, 0},
+	"and":  {kindR3, isa.OpSpecial, isa.FnAnd, 0},
+	"or":   {kindR3, isa.OpSpecial, isa.FnOr, 0},
+	"xor":  {kindR3, isa.OpSpecial, isa.FnXor, 0},
+	"nor":  {kindR3, isa.OpSpecial, isa.FnNor, 0},
+	"slt":  {kindR3, isa.OpSpecial, isa.FnSlt, 0},
+	"sltu": {kindR3, isa.OpSpecial, isa.FnSltu, 0},
+
+	"sll": {kindShiftI, isa.OpSpecial, isa.FnSll, 0},
+	"srl": {kindShiftI, isa.OpSpecial, isa.FnSrl, 0},
+	"sra": {kindShiftI, isa.OpSpecial, isa.FnSra, 0},
+
+	"sllv": {kindShiftV, isa.OpSpecial, isa.FnSllv, 0},
+	"srlv": {kindShiftV, isa.OpSpecial, isa.FnSrlv, 0},
+	"srav": {kindShiftV, isa.OpSpecial, isa.FnSrav, 0},
+
+	"addi":  {kindArithI, isa.OpAddi, 0, 0},
+	"addiu": {kindArithI, isa.OpAddiu, 0, 0},
+	"slti":  {kindArithI, isa.OpSlti, 0, 0},
+	"sltiu": {kindArithI, isa.OpSltiu, 0, 0},
+	"andi":  {kindArithI, isa.OpAndi, 0, 0},
+	"ori":   {kindArithI, isa.OpOri, 0, 0},
+	"xori":  {kindArithI, isa.OpXori, 0, 0},
+
+	"beq":  {kindBranch2, isa.OpBeq, 0, 0},
+	"bne":  {kindBranch2, isa.OpBne, 0, 0},
+	"blez": {kindBranch1, isa.OpBlez, 0, 0},
+	"bgtz": {kindBranch1, isa.OpBgtz, 0, 0},
+	"bltz": {kindBranch1, isa.OpRegimm, 0, isa.RtBltz},
+	"bgez": {kindBranch1, isa.OpRegimm, 0, isa.RtBgez},
+
+	"lb":  {kindMem, isa.OpLb, 0, 0},
+	"lh":  {kindMem, isa.OpLh, 0, 0},
+	"lw":  {kindMem, isa.OpLw, 0, 0},
+	"lbu": {kindMem, isa.OpLbu, 0, 0},
+	"lhu": {kindMem, isa.OpLhu, 0, 0},
+	"sb":  {kindMem, isa.OpSb, 0, 0},
+	"sh":  {kindMem, isa.OpSh, 0, 0},
+	"sw":  {kindMem, isa.OpSw, 0, 0},
+
+	"j":   {kindJump, isa.OpJ, 0, 0},
+	"jal": {kindJump, isa.OpJal, 0, 0},
+
+	"mult":  {kindMulDiv, isa.OpSpecial, isa.FnMult, 0},
+	"multu": {kindMulDiv, isa.OpSpecial, isa.FnMultu, 0},
+	"div":   {kindMulDiv, isa.OpSpecial, isa.FnDiv, 0},
+	"divu":  {kindMulDiv, isa.OpSpecial, isa.FnDivu, 0},
+
+	"mfhi": {kindMoveHiLo, isa.OpSpecial, isa.FnMfhi, 0},
+	"mflo": {kindMoveHiLo, isa.OpSpecial, isa.FnMflo, 0},
+
+	"jr":      {kindJr, isa.OpSpecial, isa.FnJr, 0},
+	"jalr":    {kindJalr, isa.OpSpecial, isa.FnJalr, 0},
+	"lui":     {kindLui, isa.OpLui, 0, 0},
+	"syscall": {kindSyscall, isa.OpSpecial, isa.FnSyscall, 0},
+}
+
+// encodeInst emits the machine words for one (possibly pseudo) instruction
+// located at pc.
+func encodeInst(it item, pc uint32, syms map[string]uint32) ([]uint32, error) {
+	need := func(n int) error {
+		if len(it.args) != n {
+			return errf(it.line, "%s needs %d operands, got %d (%q)", it.mnem, n, len(it.args), it.rawLine)
+		}
+		return nil
+	}
+	reg := func(i int) (uint8, error) { return parseReg(it.args[i], it.line) }
+
+	// Pseudo-instructions expand first.
+	switch it.mnem {
+	case "nop":
+		return []uint32{0}, nil
+	case "move":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(isa.FnAddu, rd, rs, isa.Zero, 0).Encode()}, nil
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(isa.FnSubu, rd, isa.Zero, rs, 0).Encode()}, nil
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(isa.FnNor, rd, rs, isa.Zero, 0).Encode()}, nil
+	case "li", "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseInt(it.args[1], syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		u := uint32(v)
+		return []uint32{
+			isa.I(isa.OpLui, rt, 0, uint16(u>>16)).Encode(),
+			isa.I(isa.OpOri, rt, rt, uint16(u)).Encode(),
+		}, nil
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := branchOffset(it.args[0], pc, syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.I(isa.OpBeq, isa.Zero, isa.Zero, off).Encode()}, nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchOffset(it.args[1], pc, syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		op := uint8(isa.OpBeq)
+		if it.mnem == "bnez" {
+			op = isa.OpBne
+		}
+		return []uint32{isa.I(op, isa.Zero, rs, off).Encode()}, nil
+	case "blt", "bgt", "ble", "bge":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		// slt occupies pc, the branch pc+4.
+		off, err := branchOffset(it.args[2], pc+4, syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		var slt uint32
+		var brOp uint8
+		switch it.mnem {
+		case "blt": // rs < rt
+			slt, brOp = isa.R(isa.FnSlt, isa.AT, rs, rt, 0).Encode(), isa.OpBne
+		case "bge": // !(rs < rt)
+			slt, brOp = isa.R(isa.FnSlt, isa.AT, rs, rt, 0).Encode(), isa.OpBeq
+		case "bgt": // rt < rs
+			slt, brOp = isa.R(isa.FnSlt, isa.AT, rt, rs, 0).Encode(), isa.OpBne
+		default: // ble: !(rt < rs)
+			slt, brOp = isa.R(isa.FnSlt, isa.AT, rt, rs, 0).Encode(), isa.OpBeq
+		}
+		return []uint32{slt, isa.I(brOp, isa.Zero, isa.AT, off).Encode()}, nil
+	case "mul", "rem", "divq":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		switch it.mnem {
+		case "mul":
+			return []uint32{
+				isa.R(isa.FnMult, 0, rs, rt, 0).Encode(),
+				isa.R(isa.FnMflo, rd, 0, 0, 0).Encode(),
+			}, nil
+		case "divq": // quotient
+			return []uint32{
+				isa.R(isa.FnDiv, 0, rs, rt, 0).Encode(),
+				isa.R(isa.FnMflo, rd, 0, 0, 0).Encode(),
+			}, nil
+		default: // rem: remainder
+			return []uint32{
+				isa.R(isa.FnDiv, 0, rs, rt, 0).Encode(),
+				isa.R(isa.FnMfhi, rd, 0, 0, 0).Encode(),
+			}, nil
+		}
+	}
+
+	def, ok := instTable[it.mnem]
+	if !ok {
+		return nil, errf(it.line, "unknown instruction %q", it.mnem)
+	}
+	switch def.kind {
+	case kindR3:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(def.funct, rd, rs, rt, 0).Encode()}, nil
+	case kindShiftI:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := parseInt(it.args[2], syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if sh < 0 || sh > 31 {
+			return nil, errf(it.line, "shift amount %d out of range", sh)
+		}
+		return []uint32{isa.R(def.funct, rd, 0, rt, uint8(sh)).Encode()}, nil
+	case kindShiftV:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(def.funct, rd, rs, rt, 0).Encode()}, nil
+	case kindArithI:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseInt(it.args[2], syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if v < -32768 || v > 65535 {
+			return nil, errf(it.line, "immediate %d out of 16-bit range", v)
+		}
+		return []uint32{isa.I(def.op, rt, rs, uint16(v)).Encode()}, nil
+	case kindBranch2:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchOffset(it.args[2], pc, syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.I(def.op, rt, rs, off).Encode()}, nil
+	case kindBranch1:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchOffset(it.args[1], pc, syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		rt := def.rtSel
+		if def.op != isa.OpRegimm {
+			rt = 0
+		}
+		return []uint32{isa.I(def.op, rt, rs, off).Encode()}, nil
+	case kindMem:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		offStr, baseStr, bare, err := parseMem(it.args[1], it.line)
+		if err != nil {
+			return nil, err
+		}
+		if bare {
+			addr, err := parseInt(offStr, syms, it.line)
+			if err != nil {
+				return nil, err
+			}
+			u := uint32(addr)
+			hi := uint16((u + 0x8000) >> 16)
+			lo := uint16(u)
+			return []uint32{
+				isa.I(isa.OpLui, isa.AT, 0, hi).Encode(),
+				isa.I(def.op, rt, isa.AT, lo).Encode(),
+			}, nil
+		}
+		base, err := parseReg(baseStr, it.line)
+		if err != nil {
+			return nil, err
+		}
+		off, err := parseInt(offStr, syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		if off < -32768 || off > 32767 {
+			return nil, errf(it.line, "offset %d out of range", off)
+		}
+		return []uint32{isa.I(def.op, rt, base, uint16(off)).Encode()}, nil
+	case kindJump:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := parseInt(it.args[0], syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.J(def.op, uint32(addr)).Encode()}, nil
+	case kindMulDiv:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(def.funct, 0, rs, rt, 0).Encode()}, nil
+	case kindMoveHiLo:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(def.funct, rd, 0, 0, 0).Encode()}, nil
+	case kindJr:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(def.funct, 0, rs, 0, 0).Encode()}, nil
+	case kindJalr:
+		rdIdx, rsIdx := 0, 1
+		if len(it.args) == 1 {
+			rdIdx = -1
+			rsIdx = 0
+		} else if err := need(2); err != nil {
+			return nil, err
+		}
+		rd := uint8(isa.RA)
+		if rdIdx >= 0 {
+			var err error
+			rd, err = reg(rdIdx)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rs, err := reg(rsIdx)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(def.funct, rd, rs, 0, 0).Encode()}, nil
+	case kindLui:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseInt(it.args[1], syms, it.line)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.I(isa.OpLui, rt, 0, uint16(v)).Encode()}, nil
+	case kindSyscall:
+		return []uint32{isa.R(isa.FnSyscall, 0, 0, 0, 0).Encode()}, nil
+	}
+	return nil, errf(it.line, "unhandled instruction %q", it.mnem)
+}
+
+// branchOffset computes the signed word offset from the instruction at pc to
+// a label (or absolute address), as stored in the immediate field.
+func branchOffset(arg string, pc uint32, syms map[string]uint32, line int) (uint16, error) {
+	target, err := parseInt(arg, syms, line)
+	if err != nil {
+		return 0, err
+	}
+	delta := target - int64(pc) - 4
+	if delta%4 != 0 {
+		return 0, errf(line, "branch target %q not word aligned", arg)
+	}
+	words := delta / 4
+	if words < -32768 || words > 32767 {
+		return 0, errf(line, "branch to %q out of range (%d words)", arg, words)
+	}
+	return uint16(words), nil
+}
+
+// MustAssemble panics on assembly errors; for embedding programs in tests
+// and examples.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns total image bytes (text + data).
+func (p *Program) Size() int { return 4*len(p.Text) + len(p.Data) }
+
+// Disassemble renders the text section.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, w := range p.Text {
+		pc := p.TextBase + uint32(4*i)
+		fmtSym := ""
+		for name, addr := range p.Symbols {
+			if addr == pc {
+				fmtSym = name + ":\n"
+				break
+			}
+		}
+		b.WriteString(fmtSym)
+		b.WriteString("  ")
+		b.WriteString(isa.Disassemble(w, pc))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

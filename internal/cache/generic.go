@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// GenericConfig describes an arbitrary set-associative cache for the
+// Figure 2 sweep (1 KB–1 MB) and for second-level caches in the multilevel
+// tuning study. Unlike Config it has no realisability constraints beyond
+// power-of-two geometry.
+type GenericConfig struct {
+	// SizeBytes is the total capacity; power of two.
+	SizeBytes int
+	// Ways is the associativity; power of two, Ways*LineBytes <= SizeBytes.
+	Ways int
+	// LineBytes is the line size; power of two, >= 4.
+	LineBytes int
+}
+
+// Validate checks geometry.
+func (c GenericConfig) Validate() error {
+	if c.SizeBytes <= 0 || bits.OnesCount(uint(c.SizeBytes)) != 1 {
+		return fmt.Errorf("cache: generic size %d is not a positive power of two", c.SizeBytes)
+	}
+	if c.Ways <= 0 || bits.OnesCount(uint(c.Ways)) != 1 {
+		return fmt.Errorf("cache: generic ways %d is not a positive power of two", c.Ways)
+	}
+	if c.LineBytes < 4 || bits.OnesCount(uint(c.LineBytes)) != 1 {
+		return fmt.Errorf("cache: generic line %d is not a power of two >= 4", c.LineBytes)
+	}
+	if c.Ways*c.LineBytes > c.SizeBytes {
+		return fmt.Errorf("cache: generic config %+v has fewer than one set", c)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c GenericConfig) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// String renders e.g. "64K_8W_32B".
+func (c GenericConfig) String() string {
+	if c.SizeBytes >= 1024 && c.SizeBytes%1024 == 0 {
+		return fmt.Sprintf("%dK_%dW_%dB", c.SizeBytes/1024, c.Ways, c.LineBytes)
+	}
+	return fmt.Sprintf("%d_%dW_%dB", c.SizeBytes, c.Ways, c.LineBytes)
+}
+
+type genericLine struct {
+	valid   bool
+	dirty   bool
+	tag     uint32
+	lastUse uint64
+}
+
+// Generic is a conventional write-back, write-allocate, LRU set-associative
+// cache. It is the sim-cache-style baseline model; it does not reconfigure.
+type Generic struct {
+	cfg             GenericConfig
+	lines           []genericLine // sets*ways, way-major within a set
+	setShift        uint          // log2(LineBytes)
+	setMask         uint32
+	clock           uint64
+	stats           Stats
+	sublinesPerFill uint64
+}
+
+// NewGeneric returns a cold cache with the given geometry.
+func NewGeneric(cfg GenericConfig) (*Generic, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generic{
+		cfg:      cfg,
+		lines:    make([]genericLine, cfg.Sets()*cfg.Ways),
+		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint32(cfg.Sets() - 1),
+	}
+	g.sublinesPerFill = uint64((cfg.LineBytes + PhysLineBytes - 1) / PhysLineBytes)
+	return g, nil
+}
+
+// MustGeneric is NewGeneric that panics on error, for literals in tests.
+func MustGeneric(cfg GenericConfig) *Generic {
+	g, err := NewGeneric(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Config returns the geometry.
+func (g *Generic) Config() GenericConfig { return g.cfg }
+
+// Stats returns the counters accumulated since the last ResetStats.
+func (g *Generic) Stats() Stats { return g.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (g *Generic) ResetStats() { g.stats = Stats{} }
+
+// Access performs one read or write of the word at addr.
+func (g *Generic) Access(addr uint32, write bool) AccessResult {
+	g.clock++
+	g.stats.Accesses++
+	if write {
+		g.stats.Writes++
+	}
+	tag := addr >> g.setShift
+	set := tag & g.setMask
+	base := int(set) * g.cfg.Ways
+	ways := g.lines[base : base+g.cfg.Ways]
+
+	res := AccessResult{WaysProbed: g.cfg.Ways}
+	victim := 0
+	var victimUse uint64 = ^uint64(0)
+	for i := range ways {
+		l := &ways[i]
+		if l.valid && l.tag == tag {
+			l.lastUse = g.clock
+			if write {
+				l.dirty = true
+			}
+			res.Hit = true
+			g.stats.Hits++
+			return res
+		}
+		if !l.valid {
+			if victimUse != 0 {
+				victim, victimUse = i, 0
+			}
+			continue
+		}
+		if l.lastUse < victimUse {
+			victim, victimUse = i, l.lastUse
+		}
+	}
+
+	g.stats.Misses++
+	l := &ways[victim]
+	if l.valid && l.dirty {
+		res.Writebacks++
+		g.stats.Writebacks++
+	}
+	l.valid = true
+	l.dirty = write
+	l.tag = tag
+	l.lastUse = g.clock
+	res.SublinesFilled = int(g.sublinesPerFill)
+	g.stats.SublinesFilled += g.sublinesPerFill
+	return res
+}
+
+// Flush writes back all dirty lines and invalidates the cache.
+func (g *Generic) Flush() {
+	for i := range g.lines {
+		if g.lines[i].valid && g.lines[i].dirty {
+			g.stats.Writebacks++
+		}
+		g.lines[i] = genericLine{}
+	}
+}
+
+var _ Simulator = (*Generic)(nil)

@@ -1,0 +1,409 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file generalises the four-bank configurable cache to an arbitrary
+// power-of-two bank count — the paper's §3.4 future work ("while our search
+// heuristic is scalable to larger caches... we have not analyzed the
+// accuracy of our heuristic with larger caches"). A Geometry of B banks of
+// S bytes supports total sizes S..B*S by way shutdown, associativities
+// 1..B by way concatenation, and any line size that is a multiple of the
+// 16 B physical line.
+
+// Geometry fixes the physical organisation of a scalable configurable cache.
+type Geometry struct {
+	// BankBytes is the capacity of one bank; power of two.
+	BankBytes int
+	// NumBanks is the number of banks; power of two.
+	NumBanks int
+	// MaxLineBytes bounds line concatenation; multiple of PhysLineBytes.
+	MaxLineBytes int
+}
+
+// FourBank is the paper's geometry: four 2 KB banks, lines to 64 B.
+func FourBank() Geometry {
+	return Geometry{BankBytes: BankBytes, NumBanks: NumBanks, MaxLineBytes: 64}
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	if g.BankBytes < PhysLineBytes || bits.OnesCount(uint(g.BankBytes)) != 1 {
+		return fmt.Errorf("cache: bank size %d not a power of two >= %d", g.BankBytes, PhysLineBytes)
+	}
+	if g.NumBanks < 1 || bits.OnesCount(uint(g.NumBanks)) != 1 {
+		return fmt.Errorf("cache: bank count %d not a power of two", g.NumBanks)
+	}
+	if g.MaxLineBytes < PhysLineBytes || g.MaxLineBytes%PhysLineBytes != 0 ||
+		bits.OnesCount(uint(g.MaxLineBytes)) != 1 {
+		return fmt.Errorf("cache: max line %d not a power-of-two multiple of %d", g.MaxLineBytes, PhysLineBytes)
+	}
+	return nil
+}
+
+// MaxSizeBytes is the full-capacity size.
+func (g Geometry) MaxSizeBytes() int { return g.BankBytes * g.NumBanks }
+
+// bankRows is the number of physical lines per bank.
+func (g Geometry) bankRows() int { return g.BankBytes / PhysLineBytes }
+
+// SizeValues lists the realisable total sizes, smallest first.
+func (g Geometry) SizeValues() []int {
+	var out []int
+	for b := 1; b <= g.NumBanks; b *= 2 {
+		out = append(out, b*g.BankBytes)
+	}
+	return out
+}
+
+// AssocValues lists the realisable associativities, smallest first.
+func (g Geometry) AssocValues() []int {
+	var out []int
+	for w := 1; w <= g.NumBanks; w *= 2 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// LineValues lists the realisable line sizes, smallest first.
+func (g Geometry) LineValues() []int {
+	var out []int
+	for l := PhysLineBytes; l <= g.MaxLineBytes; l *= 2 {
+		out = append(out, l)
+	}
+	return out
+}
+
+// ValidateConfig checks a configuration against the geometry: size is a
+// power-of-two number of banks, associativity is realisable by way
+// concatenation within the active banks, prediction needs associativity.
+func (g Geometry) ValidateConfig(c Config) error {
+	banks := c.SizeBytes / g.BankBytes
+	if c.SizeBytes%g.BankBytes != 0 || banks < 1 || banks > g.NumBanks ||
+		bits.OnesCount(uint(banks)) != 1 {
+		return fmt.Errorf("cache: size %d not realisable with %d x %d banks", c.SizeBytes, g.NumBanks, g.BankBytes)
+	}
+	if c.Ways < 1 || c.Ways > banks || bits.OnesCount(uint(c.Ways)) != 1 {
+		return fmt.Errorf("cache: %d ways not realisable at %d active banks", c.Ways, banks)
+	}
+	if c.LineBytes < PhysLineBytes || c.LineBytes > g.MaxLineBytes ||
+		bits.OnesCount(uint(c.LineBytes)) != 1 {
+		return fmt.Errorf("cache: line %d outside geometry", c.LineBytes)
+	}
+	if c.WayPredict && c.Ways == 1 {
+		return fmt.Errorf("cache: way prediction requires a set-associative configuration")
+	}
+	return nil
+}
+
+// Configs enumerates every realisable configuration in deterministic order.
+func (g Geometry) Configs() []Config {
+	var out []Config
+	for _, size := range g.SizeValues() {
+		for _, ways := range g.AssocValues() {
+			for _, line := range g.LineValues() {
+				c := Config{SizeBytes: size, Ways: ways, LineBytes: line}
+				if g.ValidateConfig(c) != nil {
+					continue
+				}
+				out = append(out, c)
+				if ways > 1 {
+					p := c
+					p.WayPredict = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MinConfig is the smallest configuration (the heuristic's start).
+func (g Geometry) MinConfig() Config {
+	return Config{SizeBytes: g.BankBytes, Ways: 1, LineBytes: PhysLineBytes}
+}
+
+// Scalable is the generalised configurable cache. Its behaviour on the
+// FourBank geometry is identical to Configurable (pinned by property test).
+type Scalable struct {
+	geo   Geometry
+	cfg   Config
+	banks [][]frame // [bank][row]
+	pred  []uint8   // way predictor, one entry per maximal set index
+	clock uint64
+	stats Stats
+	// AllowShrink permits size-reducing transitions, as on Configurable.
+	AllowShrink bool
+
+	rowMask   uint32
+	rowShift  uint
+	bankShift uint
+}
+
+// NewScalable returns a cold cache with the given geometry and initial
+// configuration.
+func NewScalable(geo Geometry, cfg Config) (*Scalable, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := geo.ValidateConfig(cfg); err != nil {
+		return nil, err
+	}
+	s := &Scalable{geo: geo, cfg: cfg}
+	s.banks = make([][]frame, geo.NumBanks)
+	for b := range s.banks {
+		s.banks[b] = make([]frame, geo.bankRows())
+	}
+	s.pred = make([]uint8, geo.bankRows()*geo.NumBanks)
+	s.rowShift = 4
+	s.rowMask = uint32(geo.bankRows() - 1)
+	s.bankShift = uint(4 + bits.TrailingZeros(uint(geo.bankRows())))
+	s.resetPredictor()
+	return s, nil
+}
+
+// MustScalable panics on error; for tests and examples.
+func MustScalable(geo Geometry, cfg Config) *Scalable {
+	s, err := NewScalable(geo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Geometry returns the physical organisation.
+func (s *Scalable) Geometry() Geometry { return s.geo }
+
+// Config returns the current configuration.
+func (s *Scalable) Config() Config { return s.cfg }
+
+// Stats returns the counters accumulated since the last ResetStats.
+func (s *Scalable) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (s *Scalable) ResetStats() { s.stats = Stats{} }
+
+func (s *Scalable) resetPredictor() {
+	for i := range s.pred {
+		s.pred[i] = noPrediction
+	}
+}
+
+func (s *Scalable) row(block uint32) int { return int(block & s.rowMask) }
+
+// candidateBanks returns the banks addr may reside in: way concatenation
+// groups the active banks into Ways ways of groups = active/Ways banks
+// each; the group index comes from the address bits above the bank row.
+func (s *Scalable) candidateBanks(addr uint32, buf []uint8) []uint8 {
+	active := s.cfg.SizeBytes / s.geo.BankBytes
+	groups := active / s.cfg.Ways
+	grp := 0
+	if groups > 1 {
+		grp = int((addr >> s.bankShift) & uint32(groups-1))
+	}
+	out := buf[:0]
+	for w := 0; w < s.cfg.Ways; w++ {
+		out = append(out, uint8(grp+w*groups))
+	}
+	return out
+}
+
+// setIndex is the logical set identity for the way predictor.
+func (s *Scalable) setIndex(addr uint32) int {
+	active := s.cfg.SizeBytes / s.geo.BankBytes
+	groups := active / s.cfg.Ways
+	idx := s.row(addr >> s.rowShift)
+	if groups > 1 {
+		idx |= int((addr>>s.bankShift)&uint32(groups-1)) * s.geo.bankRows()
+	}
+	return idx
+}
+
+// Access performs one read or write of the word at addr.
+func (s *Scalable) Access(addr uint32, write bool) AccessResult {
+	s.clock++
+	s.stats.Accesses++
+	if write {
+		s.stats.Writes++
+	}
+	block := addr >> 4
+	r := s.row(block)
+	buf := make([]uint8, 0, s.geo.NumBanks)
+	banks := s.candidateBanks(addr, buf)
+
+	var res AccessResult
+	hitBank := -1
+	for _, b := range banks {
+		f := &s.banks[b][r]
+		if f.valid && f.block == block {
+			hitBank = int(b)
+			break
+		}
+	}
+
+	predicting := s.cfg.WayPredict && s.cfg.Ways > 1
+	if predicting {
+		set := s.setIndex(addr)
+		p := s.pred[set]
+		if p == noPrediction {
+			p = banks[0]
+		}
+		if hitBank == int(p) {
+			res.PredFirstProbeHit = true
+			res.WaysProbed = 1
+			s.stats.PredHits++
+		} else {
+			res.WaysProbed = len(banks)
+			res.ExtraLatency = 1
+			s.stats.PredMisses++
+			s.stats.ExtraCycles++
+		}
+	} else {
+		res.WaysProbed = len(banks)
+	}
+
+	if hitBank >= 0 {
+		f := &s.banks[hitBank][r]
+		f.lastUse = s.clock
+		if write {
+			f.dirty = true
+		}
+		res.Hit = true
+		s.stats.Hits++
+		if predicting {
+			s.pred[s.setIndex(addr)] = uint8(hitBank)
+		}
+		return res
+	}
+
+	s.stats.Misses++
+	sublines := s.cfg.LineBytes / PhysLineBytes
+	lineBase := block &^ uint32(sublines-1)
+	for i := 0; i < sublines; i++ {
+		sb := lineBase + uint32(i)
+		fillBank, present := s.fillSubline(sb, banks)
+		f := &s.banks[fillBank][s.row(sb)]
+		if !present {
+			if f.valid && f.dirty {
+				res.Writebacks++
+				s.stats.Writebacks++
+			}
+			f.valid = true
+			f.dirty = false
+			f.block = sb
+			res.SublinesFilled++
+		}
+		f.lastUse = s.clock
+		if sb == block {
+			f.lastUse = s.clock + 1
+			if write {
+				f.dirty = true
+			}
+			if predicting {
+				s.pred[s.setIndex(addr)] = uint8(fillBank)
+			}
+		}
+	}
+	s.stats.SublinesFilled += uint64(res.SublinesFilled)
+	return res
+}
+
+func (s *Scalable) fillSubline(sb uint32, banks []uint8) (bank uint8, present bool) {
+	r := s.row(sb)
+	victim := banks[0]
+	var victimUse uint64 = ^uint64(0)
+	for _, b := range banks {
+		f := &s.banks[b][r]
+		if f.valid && f.block == sb {
+			return b, true
+		}
+		if !f.valid {
+			if victimUse != 0 {
+				victim, victimUse = b, 0
+			}
+			continue
+		}
+		if f.lastUse < victimUse {
+			victim, victimUse = b, f.lastUse
+		}
+	}
+	return victim, false
+}
+
+// SetConfig reconfigures without flushing, with the same semantics as
+// Configurable.SetConfig.
+func (s *Scalable) SetConfig(next Config) error {
+	if err := s.geo.ValidateConfig(next); err != nil {
+		return err
+	}
+	if next == s.cfg {
+		return nil
+	}
+	if next.SizeBytes < s.cfg.SizeBytes && !s.AllowShrink {
+		return fmt.Errorf("cache: transition %v -> %v shrinks the cache; set AllowShrink to permit it", s.cfg, next)
+	}
+	oldBanks := s.cfg.SizeBytes / s.geo.BankBytes
+	s.stats.Reconfigurations++
+	s.cfg = next
+	newBanks := next.SizeBytes / s.geo.BankBytes
+	for b := newBanks; b < oldBanks; b++ {
+		for r := range s.banks[b] {
+			f := &s.banks[b][r]
+			if f.valid && f.dirty {
+				s.stats.SettleWritebacks++
+			}
+			*f = frame{}
+		}
+	}
+	buf := make([]uint8, 0, s.geo.NumBanks)
+	for b := 0; b < newBanks; b++ {
+		for r := range s.banks[b] {
+			f := &s.banks[b][r]
+			if !f.valid || !f.dirty {
+				continue
+			}
+			mapped := false
+			for _, cb := range s.candidateBanks(f.block<<4, buf) {
+				if int(cb) == b {
+					mapped = true
+					break
+				}
+			}
+			if !mapped {
+				s.stats.StrandedDirty++
+			}
+		}
+	}
+	s.resetPredictor()
+	return nil
+}
+
+// Contains reports whether the block holding addr is present and mapped.
+func (s *Scalable) Contains(addr uint32) bool {
+	block := addr >> 4
+	buf := make([]uint8, 0, s.geo.NumBanks)
+	for _, b := range s.candidateBanks(addr, buf) {
+		f := &s.banks[b][s.row(block)]
+		if f.valid && f.block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// DirtyLines counts valid dirty physical lines in active banks.
+func (s *Scalable) DirtyLines() int {
+	n := 0
+	for b := 0; b < s.cfg.SizeBytes/s.geo.BankBytes; b++ {
+		for r := range s.banks[b] {
+			if s.banks[b][r].valid && s.banks[b][r].dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+var _ Simulator = (*Scalable)(nil)

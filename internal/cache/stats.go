@@ -1,0 +1,117 @@
+package cache
+
+// Stats accumulates the counters the self-tuning hardware collects (paper
+// §3.5 lists hits, misses and total cycles; we expose a richer breakdown for
+// analysis and for the energy model).
+type Stats struct {
+	// Accesses is the total number of cache accesses (hits + misses).
+	Accesses uint64
+	// Hits is the number of accesses satisfied by the cache.
+	Hits uint64
+	// Misses is the number of accesses that went to the next level.
+	Misses uint64
+	// Writes is the number of accesses that were stores.
+	Writes uint64
+	// Writebacks counts dirty lines written back on eviction.
+	Writebacks uint64
+	// SettleWritebacks counts dirty physical lines written back because a
+	// reconfiguration deactivated their bank (way shutdown). The paper's
+	// heuristic ordering keeps this near zero; the largest-first ablation
+	// (§4) makes it large.
+	SettleWritebacks uint64
+	// SublinesFilled counts 16 B physical lines fetched from the next
+	// level; one logical-line fill moves LineBytes/16 sublines.
+	SublinesFilled uint64
+	// PredHits counts way-predicted accesses whose first probe hit.
+	PredHits uint64
+	// PredMisses counts way-predicted accesses that needed a second probe
+	// (either hit in another way or missed entirely).
+	PredMisses uint64
+	// ExtraCycles counts stall cycles beyond the 1-cycle hit path that
+	// were caused by way mispredictions.
+	ExtraCycles uint64
+	// VictimProbes and VictimHits count victim-buffer lookups on main-cache
+	// misses and the lookups that hit (zero unless a buffer is attached).
+	VictimProbes uint64
+	VictimHits   uint64
+	// StrandedDirty counts dirty physical lines that a reconfiguration
+	// left in a frame their block address no longer maps to. They age out
+	// through normal eviction (writebacks are still charged then).
+	StrandedDirty uint64
+	// Reconfigurations counts SetConfig transitions.
+	Reconfigurations uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an empty interval.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// PredAccuracy returns the way-prediction accuracy over predicted accesses,
+// or 0 if prediction never ran.
+func (s Stats) PredAccuracy() float64 {
+	n := s.PredHits + s.PredMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.PredHits) / float64(n)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Writes += o.Writes
+	s.Writebacks += o.Writebacks
+	s.SettleWritebacks += o.SettleWritebacks
+	s.SublinesFilled += o.SublinesFilled
+	s.PredHits += o.PredHits
+	s.PredMisses += o.PredMisses
+	s.ExtraCycles += o.ExtraCycles
+	s.VictimProbes += o.VictimProbes
+	s.VictimHits += o.VictimHits
+	s.StrandedDirty += o.StrandedDirty
+	s.Reconfigurations += o.Reconfigurations
+}
+
+// AccessResult describes a single access for callers that need per-access
+// timing (the CPU model uses ExtraLatency to stall the pipeline).
+type AccessResult struct {
+	// Hit reports whether the access hit in the cache.
+	Hit bool
+	// PredFirstProbeHit reports whether the way predictor's first probe
+	// hit (only meaningful when way prediction is enabled).
+	PredFirstProbeHit bool
+	// WaysProbed is the number of ways read to resolve the access; the
+	// energy model charges per-way read energy for them.
+	WaysProbed int
+	// Writebacks is the number of dirty sublines evicted by this access.
+	Writebacks int
+	// SublinesFilled is the number of 16 B sublines fetched from off-chip
+	// memory on a miss (sublines supplied by the victim buffer are not
+	// counted).
+	SublinesFilled int
+	// VictimHit reports that the accessed subline was supplied by the
+	// victim buffer instead of off-chip memory.
+	VictimHit bool
+	// ExtraLatency is stall cycles beyond the single-cycle hit path
+	// caused by this access (way misprediction; miss latency is added by
+	// the memory model, not here).
+	ExtraLatency int
+}
+
+// Simulator is the behavioural contract shared by the configurable cache and
+// the generic cache.
+type Simulator interface {
+	// Access performs one read (write=false) or write (write=true) of the
+	// word at addr.
+	Access(addr uint32, write bool) AccessResult
+	// Stats returns the counters accumulated since the last ResetStats.
+	Stats() Stats
+	// ResetStats zeroes the counters without touching contents.
+	ResetStats()
+}

@@ -1,0 +1,198 @@
+// Package cacti is a small analytical cache energy/area/timing model in the
+// spirit of CACTI 2.0 (Reinman & Jouppi), which the paper uses to
+// cross-check its 0.18 µm layout-extracted energies.
+//
+// The model decomposes a cache access into decoder, wordline, bitline,
+// sense-amplifier, tag-comparator and data-output components, computes each
+// as an 0.5·C·V·ΔV switched-capacitance term from per-cell capacitances and
+// geometry, and organises large caches into 2 KB subarrays with an H-tree
+// style routing term. Absolute values are calibrated (CalibrationScale) so
+// that a one-bank (2 KB) read lands at the ≈0.2 nJ scale of the authors'
+// 0.18 µm layout; relative values across configurations follow geometry, which
+// is what the tuning heuristic actually depends on.
+package cacti
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech holds process and circuit constants. All capacitances are in farads,
+// voltages in volts, energies in joules, powers in watts.
+type Tech struct {
+	// Vdd is the supply voltage (1.8 V at 0.18 µm).
+	Vdd float64
+	// VBitSwing is the bitline swing a read develops before sensing.
+	VBitSwing float64
+	// CBitCellDrain is the drain capacitance one cell adds to a bitline.
+	CBitCellDrain float64
+	// CWordCellGate is the gate capacitance one cell adds to a wordline.
+	CWordCellGate float64
+	// CWirePerUm is wire capacitance per micron.
+	CWirePerUm float64
+	// CellWidthUm and CellHeightUm are SRAM cell dimensions.
+	CellWidthUm, CellHeightUm float64
+	// ESenseAmpPerCol is the energy of one sense amplifier firing.
+	ESenseAmpPerCol float64
+	// EDecodePerRowLog is decoder energy per log2(rows) stage.
+	EDecodePerRowLog float64
+	// CDataOutPerBit is the capacitance a data-output driver switches per
+	// bit delivered to the CPU-side bus.
+	CDataOutPerBit float64
+	// ECmpPerTagBit is the XOR/compare energy per tag bit per way.
+	ECmpPerTagBit float64
+	// LeakagePerBit is static leakage power per SRAM bit.
+	LeakagePerBit float64
+	// CalibrationScale scales all dynamic energies; 1.0 leaves the raw
+	// analytic values.
+	CalibrationScale float64
+	// GateAreaUm2 is the area of one equivalent 2-input NAND gate, used
+	// by the tuner hardware area model.
+	GateAreaUm2 float64
+}
+
+// Default180nm returns constants representative of a 0.18 µm process.
+func Default180nm() Tech {
+	return Tech{
+		Vdd:              1.8,
+		VBitSwing:        0.35,
+		CBitCellDrain:    1.2e-15,
+		CWordCellGate:    1.8e-15,
+		CWirePerUm:       0.25e-15,
+		CellWidthUm:      2.4,
+		CellHeightUm:     2.0,
+		ESenseAmpPerCol:  8e-15,
+		EDecodePerRowLog: 2.5e-14,
+		CDataOutPerBit:   0.12e-12,
+		ECmpPerTagBit:    6e-15,
+		LeakagePerBit:    2.5e-11, // 25 pW/bit: leakage is minor at 0.18 µm
+		CalibrationScale: 1.0,
+		GateAreaUm2:      9.8,
+	}
+}
+
+// Subarray geometry: arrays larger than this are banked into subarrays of at
+// most subarrayRows x subarrayCols bits, one of which is active per access.
+const (
+	subarrayRows = 128
+	subarrayCols = 128 // bits; a 2 KB bank is exactly one 128x128 subarray
+)
+
+// Geometry describes one way of a cache data (or tag) array.
+type Geometry struct {
+	// Rows and Cols are the bit-array dimensions of one subarray.
+	Rows, Cols int
+	// Subarrays is how many subarrays the way is split into.
+	Subarrays int
+}
+
+// ArrayGeometry splits an array of the given bits into subarrays.
+func ArrayGeometry(totalBits int) Geometry {
+	if totalBits <= 0 {
+		return Geometry{Rows: 1, Cols: 1, Subarrays: 1}
+	}
+	rows := totalBits / subarrayCols
+	if rows == 0 {
+		// Small array: single subarray, square-ish.
+		cols := totalBits
+		r := 1
+		for cols > 2*r && cols%2 == 0 {
+			cols /= 2
+			r *= 2
+		}
+		return Geometry{Rows: r, Cols: cols, Subarrays: 1}
+	}
+	sub := (rows + subarrayRows - 1) / subarrayRows
+	r := rows
+	if r > subarrayRows {
+		r = subarrayRows
+	}
+	return Geometry{Rows: r, Cols: subarrayCols, Subarrays: sub}
+}
+
+// subarrayReadEnergy is the dynamic energy to read one row of one subarray.
+func (t Tech) subarrayReadEnergy(g Geometry) float64 {
+	rows, cols := float64(g.Rows), float64(g.Cols)
+	// Decoder: a few stages per log2(rows).
+	eDec := t.EDecodePerRowLog * math.Log2(math.Max(rows, 2))
+	// Wordline: gate cap of every cell in the row plus the wire.
+	cWord := cols*t.CWordCellGate + cols*t.CellWidthUm*t.CWirePerUm
+	eWord := 0.5 * cWord * t.Vdd * t.Vdd
+	// Bitlines: every column's pair swings VBitSwing; precharge restores.
+	cBit := rows*t.CBitCellDrain + rows*t.CellHeightUm*t.CWirePerUm
+	eBit := cols * cBit * t.Vdd * t.VBitSwing
+	// Sense amplifiers, one per column.
+	eSense := cols * t.ESenseAmpPerCol
+	return eDec + eWord + eBit + eSense
+}
+
+// routeEnergy approximates H-tree routing to the active subarray.
+func (t Tech) routeEnergy(g Geometry, bitsMoved int) float64 {
+	if g.Subarrays <= 1 {
+		return 0
+	}
+	// Subarray footprint and Manhattan distance across sqrt(N) tiles.
+	w := float64(g.Cols) * t.CellWidthUm
+	h := float64(g.Rows) * t.CellHeightUm
+	dist := math.Sqrt(float64(g.Subarrays)) * (w + h) / 2
+	cRoute := dist * t.CWirePerUm * float64(bitsMoved)
+	return 0.5 * cRoute * t.Vdd * t.Vdd
+}
+
+// ReadEnergy returns the dynamic energy (J) of one cache read that activates
+// waysRead ways, where each way holds sizePerWayBytes of data, the physical
+// access width is accessBytes, and tags are tagBits wide per way.
+func (t Tech) ReadEnergy(sizePerWayBytes, waysRead, accessBytes, tagBits int) float64 {
+	dataBits := accessBytes * 8
+	g := ArrayGeometry(sizePerWayBytes * 8)
+	// Tag array for one way: one tag per physical line of 16 B.
+	tagLines := sizePerWayBytes / 16
+	tg := ArrayGeometry(tagLines * (tagBits + 2)) // +valid +dirty
+	perWay := t.subarrayReadEnergy(g) +
+		t.routeEnergy(g, dataBits) +
+		t.subarrayReadEnergy(tg) +
+		float64(tagBits)*t.ECmpPerTagBit
+	// Output drivers fire once for the selected way's data.
+	eOut := 0.5 * float64(dataBits) * t.CDataOutPerBit * t.Vdd * t.Vdd
+	return t.CalibrationScale * (float64(waysRead)*perWay + eOut)
+}
+
+// WriteEnergy returns the dynamic energy (J) of writing accessBytes into one
+// way. Writes drive bitlines full swing but skip sense amps and output.
+func (t Tech) WriteEnergy(sizePerWayBytes, accessBytes, tagBits int) float64 {
+	g := ArrayGeometry(sizePerWayBytes * 8)
+	rows := float64(g.Rows)
+	cBit := rows*t.CBitCellDrain + rows*t.CellHeightUm*t.CWirePerUm
+	bits := float64(accessBytes * 8)
+	eBit := bits * cBit * t.Vdd * t.Vdd // full swing, both lines
+	cWord := bits*t.CWordCellGate + bits*t.CellWidthUm*t.CWirePerUm
+	eWord := 0.5 * cWord * t.Vdd * t.Vdd
+	eDec := t.EDecodePerRowLog * math.Log2(math.Max(rows, 2))
+	eTag := t.WriteTagEnergy(sizePerWayBytes, tagBits)
+	return t.CalibrationScale * (eBit + eWord + eDec + eTag)
+}
+
+// WriteTagEnergy is the energy to update one tag entry.
+func (t Tech) WriteTagEnergy(sizePerWayBytes, tagBits int) float64 {
+	tg := ArrayGeometry((sizePerWayBytes / 16) * (tagBits + 2))
+	rows := float64(tg.Rows)
+	cBit := rows*t.CBitCellDrain + rows*t.CellHeightUm*t.CWirePerUm
+	return float64(tagBits+2) * cBit * t.Vdd * t.Vdd / 2
+}
+
+// LeakagePower returns the static power (W) of sizeBytes of SRAM plus its
+// tags (assuming 16 B physical lines).
+func (t Tech) LeakagePower(sizeBytes, tagBits int) float64 {
+	bits := float64(sizeBytes*8) + float64(sizeBytes/16)*float64(tagBits+2)
+	return bits * t.LeakagePerBit
+}
+
+// GateArea returns silicon area in mm² for a gate count.
+func (t Tech) GateArea(gates int) float64 {
+	return float64(gates) * t.GateAreaUm2 / 1e6
+}
+
+// String summarises the technology point.
+func (t Tech) String() string {
+	return fmt.Sprintf("0.18um-class tech: Vdd=%.2fV swing=%.2fV scale=%.3f", t.Vdd, t.VBitSwing, t.CalibrationScale)
+}

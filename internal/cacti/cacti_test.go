@@ -1,0 +1,113 @@
+package cacti
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArrayGeometry(t *testing.T) {
+	cases := []struct {
+		bits                 int
+		rows, cols, subarray int
+	}{
+		{2048 * 8, 128, 128, 1}, // one 2 KB bank
+		{4096 * 8, 128, 128, 2}, // two subarrays
+		{1 << 20, 128, 128, 64}, // 128 KB way
+		{64, 8, 8, 1},           // tiny array stays square-ish
+	}
+	for _, c := range cases {
+		g := ArrayGeometry(c.bits)
+		if g.Rows != c.rows || g.Cols != c.cols || g.Subarrays != c.subarray {
+			t.Errorf("ArrayGeometry(%d) = %+v, want %dx%d x%d", c.bits, g, c.rows, c.cols, c.subarray)
+		}
+	}
+	if g := ArrayGeometry(0); g.Rows != 1 || g.Cols != 1 {
+		t.Errorf("ArrayGeometry(0) = %+v, want degenerate 1x1", g)
+	}
+}
+
+func TestReadEnergyMonotoneInWays(t *testing.T) {
+	tech := Default180nm()
+	prev := 0.0
+	for _, ways := range []int{1, 2, 4, 8} {
+		e := tech.ReadEnergy(2048, ways, 16, 21)
+		if e <= prev {
+			t.Errorf("ReadEnergy not increasing at %d ways: %g <= %g", ways, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestReadEnergyMonotoneInSize(t *testing.T) {
+	tech := Default180nm()
+	prev := 0.0
+	for _, size := range []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20} {
+		e := tech.ReadEnergy(size, 1, 32, 20)
+		if e <= prev {
+			t.Errorf("ReadEnergy not increasing at %d bytes: %g <= %g", size, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestEnergiesArePhysical(t *testing.T) {
+	tech := Default180nm()
+	read := tech.ReadEnergy(2048, 1, 16, 21)
+	if read <= 0 || read > 10e-9 {
+		t.Errorf("2 KB bank read = %g J, outside the plausible sub-10nJ range", read)
+	}
+	write := tech.WriteEnergy(2048, 16, 21)
+	if write <= 0 || write > 10e-9 {
+		t.Errorf("2 KB bank write = %g J, implausible", write)
+	}
+	leak := tech.LeakagePower(8192, 21)
+	if leak <= 0 || leak > 0.1 {
+		t.Errorf("8 KB leakage = %g W, implausible for 0.18um", leak)
+	}
+}
+
+func TestFourWayReadCostsMoreThanOneWay(t *testing.T) {
+	// The heuristic's premise (§3.2): concurrent way reads dominate the
+	// associativity energy cost.
+	tech := Default180nm()
+	one := tech.ReadEnergy(2048, 1, 16, 21)
+	four := tech.ReadEnergy(2048, 4, 16, 21)
+	if four < 2*one {
+		t.Errorf("4-way read %g not meaningfully above 1-way %g", four, one)
+	}
+}
+
+func TestCalibrationScaleIsLinear(t *testing.T) {
+	tech := Default180nm()
+	base := tech.ReadEnergy(2048, 1, 16, 21)
+	tech.CalibrationScale = 3
+	if got := tech.ReadEnergy(2048, 1, 16, 21); got < 2.99*base || got > 3.01*base {
+		t.Errorf("CalibrationScale=3 gave %g, want %g", got, 3*base)
+	}
+}
+
+func TestGateArea(t *testing.T) {
+	tech := Default180nm()
+	// ~4k gates should be a few hundredths of a mm^2 (paper: ~0.039 mm^2).
+	a := tech.GateArea(4000)
+	if a < 0.01 || a > 0.1 {
+		t.Errorf("GateArea(4000) = %g mm^2, outside [0.01, 0.1]", a)
+	}
+}
+
+// Property: read energy is positive and monotone in every argument.
+func TestQuickReadEnergyMonotone(t *testing.T) {
+	tech := Default180nm()
+	f := func(sizeExp, ways8 uint8) bool {
+		size := 1 << (10 + int(sizeExp)%9) // 1 KB .. 256 KB
+		ways := 1 << (int(ways8) % 4)      // 1..8
+		e := tech.ReadEnergy(size, ways, 16, 21)
+		bigger := tech.ReadEnergy(size*2, ways, 16, 21)
+		moreWays := tech.ReadEnergy(size, ways*2, 16, 21)
+		return e > 0 && bigger > e && moreWays > e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

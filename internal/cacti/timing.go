@@ -1,0 +1,64 @@
+package cacti
+
+import "math"
+
+// Timing model: a CACTI-style critical-path estimate — decoder, wordline,
+// bitline RC, sense amplifier, tag comparator and output driver in series —
+// used to check that a configuration meets single-cycle access at the
+// target clock (the paper's tuner runs at 200 MHz, so every configurable
+// cache configuration must be readable in under 5 ns).
+
+// TimingTech holds the delay constants of the process.
+type TimingTech struct {
+	// DecoderPerStageNs is the delay of one decode stage (per log2 rows).
+	DecoderPerStageNs float64
+	// WordlinePerColNs is wordline RC delay per column.
+	WordlinePerColNs float64
+	// BitlinePerRowNs is bitline RC delay per row.
+	BitlinePerRowNs float64
+	// SenseAmpNs is the sense amplifier resolution time.
+	SenseAmpNs float64
+	// ComparePerBitNs is tag-comparator delay per bit (tree reduces this
+	// to a log factor; the constant folds that in).
+	ComparePerBitNs float64
+	// OutputNs is the output-driver delay.
+	OutputNs float64
+	// RoutePerSubarrayNs is the H-tree hop delay per doubling.
+	RoutePerSubarrayNs float64
+}
+
+// DefaultTiming180nm returns representative 0.18 µm delays.
+func DefaultTiming180nm() TimingTech {
+	return TimingTech{
+		DecoderPerStageNs:  0.12,
+		WordlinePerColNs:   0.0018,
+		BitlinePerRowNs:    0.0052,
+		SenseAmpNs:         0.35,
+		ComparePerBitNs:    0.016,
+		OutputNs:           0.45,
+		RoutePerSubarrayNs: 0.18,
+	}
+}
+
+// AccessTimeNs estimates the read critical path of a cache way of
+// sizePerWayBytes with tagBits of tag. Ways are read in parallel, so
+// associativity affects energy, not latency (the way-select mux is folded
+// into OutputNs).
+func (t TimingTech) AccessTimeNs(sizePerWayBytes, tagBits int) float64 {
+	g := ArrayGeometry(sizePerWayBytes * 8)
+	d := t.DecoderPerStageNs * math.Log2(math.Max(float64(g.Rows), 2))
+	d += t.WordlinePerColNs * float64(g.Cols)
+	d += t.BitlinePerRowNs * float64(g.Rows)
+	d += t.SenseAmpNs
+	d += t.ComparePerBitNs * float64(tagBits)
+	d += t.OutputNs
+	if g.Subarrays > 1 {
+		d += t.RoutePerSubarrayNs * math.Log2(float64(g.Subarrays))
+	}
+	return d
+}
+
+// MeetsCycle reports whether the access fits a clock period (Hz).
+func (t TimingTech) MeetsCycle(sizePerWayBytes, tagBits int, clockHz float64) bool {
+	return t.AccessTimeNs(sizePerWayBytes, tagBits) <= 1e9/clockHz
+}

@@ -1,0 +1,40 @@
+package cacti
+
+import "testing"
+
+func TestAccessTimeMonotoneInSize(t *testing.T) {
+	tt := DefaultTiming180nm()
+	prev := 0.0
+	for _, size := range []int{1 << 10, 1 << 12, 1 << 14, 1 << 17, 1 << 20} {
+		d := tt.AccessTimeNs(size, 21)
+		if d <= prev {
+			t.Errorf("access time not increasing at %d bytes: %g <= %g", size, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestConfigurableCacheMeets200MHz(t *testing.T) {
+	// Every configuration of the paper's cache reads one or more 2 KB
+	// banks in parallel; the bank critical path must fit the 5 ns cycle
+	// of the 200 MHz system clock.
+	tt := DefaultTiming180nm()
+	got := tt.AccessTimeNs(2048, 21)
+	if got <= 0 || got > 5 {
+		t.Errorf("2 KB bank access = %.2f ns, must fit a 5 ns cycle", got)
+	}
+	if !tt.MeetsCycle(2048, 21, 200e6) {
+		t.Error("MeetsCycle(2 KB, 200 MHz) = false")
+	}
+}
+
+func TestBigCachesAreSlower(t *testing.T) {
+	tt := DefaultTiming180nm()
+	// A 1 MB way should not meet a 200 MHz single-cycle access; that is
+	// why large caches are banked/pipelined.
+	small := tt.AccessTimeNs(2048, 21)
+	big := tt.AccessTimeNs(1<<20, 12)
+	if big < 1.5*small {
+		t.Errorf("1 MB way (%.2f ns) implausibly close to 2 KB bank (%.2f ns)", big, small)
+	}
+}

@@ -1,0 +1,390 @@
+// Package cpu is a small in-order core for the mini MIPS-like ISA. It
+// substitutes for the paper's SimpleScalar MIPS model: executing a program
+// yields the instruction-fetch and data reference streams the cache tuner
+// consumes, plus instruction/cycle accounting.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"selftune/internal/asm"
+	"selftune/internal/isa"
+	"selftune/internal/trace"
+)
+
+const pageSize = 4096
+
+// Memory is a sparse byte-addressed 32-bit memory.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{pages: map[uint32]*[pageSize]byte{}} }
+
+func (m *Memory) page(addr uint32) *[pageSize]byte {
+	base := addr &^ (pageSize - 1)
+	p, ok := m.pages[base]
+	if !ok {
+		p = new([pageSize]byte)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr uint32) byte {
+	return m.page(addr)[addr&(pageSize-1)]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr)[addr&(pageSize-1)] = v
+}
+
+// LoadWord reads a little-endian 32-bit word (caller ensures alignment).
+func (m *Memory) LoadWord(addr uint32) uint32 {
+	return uint32(m.LoadByte(addr)) | uint32(m.LoadByte(addr+1))<<8 |
+		uint32(m.LoadByte(addr+2))<<16 | uint32(m.LoadByte(addr+3))<<24
+}
+
+// StoreWord writes a little-endian 32-bit word.
+func (m *Memory) StoreWord(addr uint32, v uint32) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+	m.StoreByte(addr+2, byte(v>>16))
+	m.StoreByte(addr+3, byte(v>>24))
+}
+
+// LoadHalf reads a little-endian 16-bit halfword.
+func (m *Memory) LoadHalf(addr uint32) uint16 {
+	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
+}
+
+// StoreHalf writes a little-endian 16-bit halfword.
+func (m *Memory) StoreHalf(addr uint32, v uint16) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+}
+
+// Stats counts retired work.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Taken        uint64
+}
+
+// Machine executes an assembled program.
+type Machine struct {
+	// Mem is the backing memory; text and data are loaded at construction.
+	Mem *Memory
+	// Reg is the register file; Reg[0] stays zero.
+	Reg [32]uint32
+	// Hi and Lo hold multiply/divide results.
+	Hi, Lo uint32
+	// PC is the next instruction address.
+	PC uint32
+	// Stdout receives syscall output; nil discards it.
+	Stdout io.Writer
+	// Stats counts retired instructions.
+	Stats Stats
+
+	hook   func(trace.Access)
+	halted bool
+}
+
+// ErrHalted is returned by Step after the program exits.
+var ErrHalted = errors.New("cpu: machine halted")
+
+// New loads prog into a fresh machine with conventional SP/GP values.
+func New(prog *asm.Program) *Machine {
+	m := &Machine{Mem: NewMemory(), PC: prog.Entry}
+	for i, w := range prog.Text {
+		m.Mem.StoreWord(prog.TextBase+uint32(4*i), w)
+	}
+	for i, b := range prog.Data {
+		m.Mem.StoreByte(prog.DataBase+uint32(i), b)
+	}
+	m.Reg[isa.SP] = asm.StackTop
+	m.Reg[isa.GP] = asm.DataBase + 0x8000
+	m.Reg[isa.RA] = haltAddress
+	return m
+}
+
+// haltAddress is a sentinel return address: `jr $ra` from main halts.
+const haltAddress = 0xfffffff0
+
+// OnAccess installs a hook that observes every instruction fetch, load and
+// store in program order.
+func (m *Machine) OnAccess(fn func(trace.Access)) { m.hook = fn }
+
+// Halted reports whether the program has exited.
+func (m *Machine) Halted() bool { return m.halted }
+
+func (m *Machine) emit(a trace.Access) {
+	if m.hook != nil {
+		m.hook(a)
+	}
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.halted {
+		return ErrHalted
+	}
+	if m.PC == haltAddress {
+		m.halted = true
+		return ErrHalted
+	}
+	if m.PC%4 != 0 {
+		return fmt.Errorf("cpu: unaligned PC %#x", m.PC)
+	}
+	m.emit(trace.Access{Addr: m.PC, Kind: trace.InstFetch})
+	word := m.Mem.LoadWord(m.PC)
+	in := isa.Decode(word)
+	nextPC := m.PC + 4
+	m.Stats.Instructions++
+
+	rs := m.Reg[in.Rs]
+	rt := m.Reg[in.Rt]
+	set := func(r uint8, v uint32) {
+		if r != 0 {
+			m.Reg[r] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.OpSpecial:
+		switch in.Funct {
+		case isa.FnSll:
+			set(in.Rd, rt<<in.Shamt)
+		case isa.FnSrl:
+			set(in.Rd, rt>>in.Shamt)
+		case isa.FnSra:
+			set(in.Rd, uint32(int32(rt)>>in.Shamt))
+		case isa.FnSllv:
+			set(in.Rd, rt<<(rs&31))
+		case isa.FnSrlv:
+			set(in.Rd, rt>>(rs&31))
+		case isa.FnSrav:
+			set(in.Rd, uint32(int32(rt)>>(rs&31)))
+		case isa.FnJr:
+			nextPC = rs
+		case isa.FnJalr:
+			set(in.Rd, m.PC+4)
+			nextPC = rs
+		case isa.FnSyscall:
+			if err := m.syscall(); err != nil {
+				return err
+			}
+			if m.halted {
+				m.PC = nextPC
+				return nil
+			}
+		case isa.FnMfhi:
+			set(in.Rd, m.Hi)
+		case isa.FnMflo:
+			set(in.Rd, m.Lo)
+		case isa.FnMult:
+			prod := int64(int32(rs)) * int64(int32(rt))
+			m.Lo, m.Hi = uint32(prod), uint32(prod>>32)
+		case isa.FnMultu:
+			prod := uint64(rs) * uint64(rt)
+			m.Lo, m.Hi = uint32(prod), uint32(prod>>32)
+		case isa.FnDiv:
+			if rt == 0 {
+				m.Lo, m.Hi = 0, 0
+			} else {
+				m.Lo = uint32(int32(rs) / int32(rt))
+				m.Hi = uint32(int32(rs) % int32(rt))
+			}
+		case isa.FnDivu:
+			if rt == 0 {
+				m.Lo, m.Hi = 0, 0
+			} else {
+				m.Lo, m.Hi = rs/rt, rs%rt
+			}
+		case isa.FnAdd, isa.FnAddu:
+			set(in.Rd, rs+rt)
+		case isa.FnSub, isa.FnSubu:
+			set(in.Rd, rs-rt)
+		case isa.FnAnd:
+			set(in.Rd, rs&rt)
+		case isa.FnOr:
+			set(in.Rd, rs|rt)
+		case isa.FnXor:
+			set(in.Rd, rs^rt)
+		case isa.FnNor:
+			set(in.Rd, ^(rs | rt))
+		case isa.FnSlt:
+			set(in.Rd, b2u(int32(rs) < int32(rt)))
+		case isa.FnSltu:
+			set(in.Rd, b2u(rs < rt))
+		default:
+			return fmt.Errorf("cpu: illegal funct %#x at %#x", in.Funct, m.PC)
+		}
+	case isa.OpRegimm:
+		m.Stats.Branches++
+		taken := false
+		switch in.Rt {
+		case isa.RtBltz:
+			taken = int32(rs) < 0
+		case isa.RtBgez:
+			taken = int32(rs) >= 0
+		default:
+			return fmt.Errorf("cpu: illegal regimm rt=%d at %#x", in.Rt, m.PC)
+		}
+		if taken {
+			m.Stats.Taken++
+			nextPC = m.PC + 4 + uint32(in.SImm())*4
+		}
+	case isa.OpJ:
+		nextPC = in.Target << 2
+	case isa.OpJal:
+		m.Reg[isa.RA] = m.PC + 4
+		nextPC = in.Target << 2
+	case isa.OpBeq, isa.OpBne, isa.OpBlez, isa.OpBgtz:
+		m.Stats.Branches++
+		var taken bool
+		switch in.Op {
+		case isa.OpBeq:
+			taken = rs == rt
+		case isa.OpBne:
+			taken = rs != rt
+		case isa.OpBlez:
+			taken = int32(rs) <= 0
+		case isa.OpBgtz:
+			taken = int32(rs) > 0
+		}
+		if taken {
+			m.Stats.Taken++
+			nextPC = m.PC + 4 + uint32(in.SImm())*4
+		}
+	case isa.OpAddi, isa.OpAddiu:
+		set(in.Rt, rs+uint32(in.SImm()))
+	case isa.OpSlti:
+		set(in.Rt, b2u(int32(rs) < in.SImm()))
+	case isa.OpSltiu:
+		set(in.Rt, b2u(rs < uint32(in.SImm())))
+	case isa.OpAndi:
+		set(in.Rt, rs&uint32(in.Imm))
+	case isa.OpOri:
+		set(in.Rt, rs|uint32(in.Imm))
+	case isa.OpXori:
+		set(in.Rt, rs^uint32(in.Imm))
+	case isa.OpLui:
+		set(in.Rt, uint32(in.Imm)<<16)
+	case isa.OpLb, isa.OpLh, isa.OpLw, isa.OpLbu, isa.OpLhu:
+		addr := rs + uint32(in.SImm())
+		if err := checkAlign(in.Op, addr, m.PC); err != nil {
+			return err
+		}
+		m.Stats.Loads++
+		m.emit(trace.Access{Addr: addr, Kind: trace.DataRead})
+		switch in.Op {
+		case isa.OpLb:
+			set(in.Rt, uint32(int32(int8(m.Mem.LoadByte(addr)))))
+		case isa.OpLbu:
+			set(in.Rt, uint32(m.Mem.LoadByte(addr)))
+		case isa.OpLh:
+			set(in.Rt, uint32(int32(int16(m.Mem.LoadHalf(addr)))))
+		case isa.OpLhu:
+			set(in.Rt, uint32(m.Mem.LoadHalf(addr)))
+		case isa.OpLw:
+			set(in.Rt, m.Mem.LoadWord(addr))
+		}
+	case isa.OpSb, isa.OpSh, isa.OpSw:
+		addr := rs + uint32(in.SImm())
+		if err := checkAlign(in.Op, addr, m.PC); err != nil {
+			return err
+		}
+		m.Stats.Stores++
+		m.emit(trace.Access{Addr: addr, Kind: trace.DataWrite})
+		switch in.Op {
+		case isa.OpSb:
+			m.Mem.StoreByte(addr, byte(rt))
+		case isa.OpSh:
+			m.Mem.StoreHalf(addr, uint16(rt))
+		case isa.OpSw:
+			m.Mem.StoreWord(addr, rt)
+		}
+	default:
+		return fmt.Errorf("cpu: illegal opcode %#x at %#x", in.Op, m.PC)
+	}
+
+	m.PC = nextPC
+	return nil
+}
+
+func checkAlign(op uint8, addr, pc uint32) error {
+	var need uint32
+	switch op {
+	case isa.OpLw, isa.OpSw:
+		need = 4
+	case isa.OpLh, isa.OpLhu, isa.OpSh:
+		need = 2
+	default:
+		return nil
+	}
+	if addr%need != 0 {
+		return fmt.Errorf("cpu: unaligned %d-byte access to %#x at pc %#x", need, addr, pc)
+	}
+	return nil
+}
+
+func (m *Machine) syscall() error {
+	switch m.Reg[isa.V0] {
+	case isa.SysPrintInt:
+		if m.Stdout != nil {
+			fmt.Fprintf(m.Stdout, "%d", int32(m.Reg[isa.A0]))
+		}
+	case isa.SysPrintStr:
+		if m.Stdout != nil {
+			addr := m.Reg[isa.A0]
+			var buf []byte
+			for {
+				b := m.Mem.LoadByte(addr)
+				if b == 0 || len(buf) > 1<<16 {
+					break
+				}
+				buf = append(buf, b)
+				addr++
+			}
+			m.Stdout.Write(buf)
+		}
+	case isa.SysExit:
+		m.halted = true
+	default:
+		return fmt.Errorf("cpu: unknown syscall %d at %#x", m.Reg[isa.V0], m.PC)
+	}
+	return nil
+}
+
+// Run executes until halt, an error, or maxInst retired instructions
+// (maxInst <= 0 means unbounded). Reaching the instruction budget is not an
+// error; callers use Halted to distinguish.
+func (m *Machine) Run(maxInst uint64) error {
+	for maxInst <= 0 || m.Stats.Instructions < maxInst {
+		if err := m.Step(); err != nil {
+			if errors.Is(err, ErrHalted) {
+				return nil
+			}
+			return err
+		}
+		if m.halted {
+			return nil
+		}
+	}
+	return nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

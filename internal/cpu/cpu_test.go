@@ -1,0 +1,294 @@
+package cpu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"selftune/internal/asm"
+	"selftune/internal/isa"
+	"selftune/internal/trace"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	m := New(asm.MustAssemble(src))
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, 7
+	li   $t1, 5
+	add  $s0, $t0, $t1     # 12
+	sub  $s1, $t0, $t1     # 2
+	mul  $s2, $t0, $t1     # 35
+	divq $s3, $t0, $t1     # 1
+	rem  $s4, $t0, $t1     # 2
+	and  $s5, $t0, $t1     # 5
+	or   $s6, $t0, $t1     # 7
+	xor  $s7, $t0, $t1     # 2
+	jr   $ra
+`)
+	want := map[int]uint32{isa.S0: 12, isa.S1: 2, isa.S2: 35, isa.S3: 1,
+		isa.S4: 2, isa.S5: 5, isa.S6: 7, isa.S7: 2}
+	for r, v := range want {
+		if m.Reg[r] != v {
+			t.Errorf("$%s = %d, want %d", isa.RegName(r), m.Reg[r], v)
+		}
+	}
+}
+
+func TestShiftsAndCompare(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, -8
+	sra  $s0, $t0, 1       # -4
+	srl  $s1, $t0, 28      # 0xf
+	sll  $s2, $t0, 1       # -16
+	slt  $s3, $t0, $zero   # 1
+	sltu $s4, $t0, $zero   # 0 (unsigned -8 is huge)
+	li   $t1, 3
+	sllv $s5, $t1, $t1     # 24
+	jr   $ra
+`)
+	if int32(m.Reg[isa.S0]) != -4 || m.Reg[isa.S1] != 0xf || int32(m.Reg[isa.S2]) != -16 {
+		t.Errorf("shifts wrong: %d %#x %d", int32(m.Reg[isa.S0]), m.Reg[isa.S1], int32(m.Reg[isa.S2]))
+	}
+	if m.Reg[isa.S3] != 1 || m.Reg[isa.S4] != 0 || m.Reg[isa.S5] != 24 {
+		t.Errorf("compares wrong: %d %d %d", m.Reg[isa.S3], m.Reg[isa.S4], m.Reg[isa.S5])
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	m := run(t, `
+	.data
+buf:	.space 64
+	.text
+main:
+	la   $t0, buf
+	li   $t1, 0x11223344
+	sw   $t1, 0($t0)
+	lb   $s0, 0($t0)       # 0x44
+	lb   $s1, 3($t0)       # 0x11
+	lbu  $s2, 3($t0)
+	lh   $s3, 0($t0)       # 0x3344
+	lw   $s4, 0($t0)
+	sb   $t1, 8($t0)
+	lbu  $s5, 8($t0)       # 0x44
+	sh   $t1, 12($t0)
+	lhu  $s6, 12($t0)      # 0x3344
+	jr   $ra
+`)
+	if m.Reg[isa.S0] != 0x44 || m.Reg[isa.S1] != 0x11 || m.Reg[isa.S2] != 0x11 {
+		t.Errorf("byte loads wrong: %#x %#x %#x", m.Reg[isa.S0], m.Reg[isa.S1], m.Reg[isa.S2])
+	}
+	if m.Reg[isa.S3] != 0x3344 || m.Reg[isa.S4] != 0x11223344 {
+		t.Errorf("wider loads wrong: %#x %#x", m.Reg[isa.S3], m.Reg[isa.S4])
+	}
+	if m.Reg[isa.S5] != 0x44 || m.Reg[isa.S6] != 0x3344 {
+		t.Errorf("stores wrong: %#x %#x", m.Reg[isa.S5], m.Reg[isa.S6])
+	}
+}
+
+func TestSignExtension(t *testing.T) {
+	m := run(t, `
+	.data
+v:	.byte 0xff
+	.align 1
+h:	.half 0x8000
+	.text
+main:
+	la  $t0, v
+	lb  $s0, 0($t0)   # -1
+	lbu $s1, 0($t0)   # 255
+	la  $t1, h
+	lh  $s2, 0($t1)   # -32768
+	lhu $s3, 0($t1)   # 32768
+	jr  $ra
+`)
+	if int32(m.Reg[isa.S0]) != -1 || m.Reg[isa.S1] != 255 {
+		t.Errorf("byte sign extension wrong: %d %d", int32(m.Reg[isa.S0]), m.Reg[isa.S1])
+	}
+	if int32(m.Reg[isa.S2]) != -32768 || m.Reg[isa.S3] != 32768 {
+		t.Errorf("half sign extension wrong: %d %d", int32(m.Reg[isa.S2]), m.Reg[isa.S3])
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 via a loop.
+	m := run(t, `
+main:
+	li   $t0, 10
+	li   $s0, 0
+loop:
+	add  $s0, $s0, $t0
+	addi $t0, $t0, -1
+	bgtz $t0, loop
+	jr   $ra
+`)
+	if m.Reg[isa.S0] != 55 {
+		t.Errorf("sum = %d, want 55", m.Reg[isa.S0])
+	}
+	if m.Stats.Branches != 10 || m.Stats.Taken != 9 {
+		t.Errorf("branch stats = %+v, want 10 branches / 9 taken", m.Stats)
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	m := run(t, `
+main:
+	addiu $sp, $sp, -8
+	sw    $ra, 4($sp)
+	li    $a0, 6
+	jal   square
+	move  $s0, $v0
+	lw    $ra, 4($sp)
+	addiu $sp, $sp, 8
+	jr    $ra
+square:
+	mul   $v0, $a0, $a0
+	jr    $ra
+`)
+	if m.Reg[isa.S0] != 36 {
+		t.Errorf("square(6) = %d, want 36", m.Reg[isa.S0])
+	}
+}
+
+func TestSyscallPrint(t *testing.T) {
+	var out bytes.Buffer
+	m := New(asm.MustAssemble(`
+	.data
+msg:	.asciiz "x="
+	.text
+main:
+	li $v0, 4
+	la $a0, msg
+	syscall
+	li $v0, 1
+	li $a0, -42
+	syscall
+	li $v0, 10
+	syscall
+`))
+	m.Stdout = &out
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "x=-42" {
+		t.Errorf("output = %q, want %q", out.String(), "x=-42")
+	}
+}
+
+func TestTraceEmission(t *testing.T) {
+	accs, m, err := TraceProgram(asm.MustAssemble(`
+	.data
+v:	.word 0
+	.text
+main:
+	la $t0, v
+	lw $t1, 0($t0)
+	sw $t1, 0($t0)
+	jr $ra
+`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Summarize(accs)
+	// la(2) + lw + sw + jr = 5 fetches, 1 read, 1 write.
+	if s.Inst != 5 || s.Reads != 1 || s.Writes != 1 {
+		t.Errorf("summary = %+v, want 5 fetches / 1 read / 1 write", s)
+	}
+	if m.Stats.Loads != 1 || m.Stats.Stores != 1 {
+		t.Errorf("machine stats = %+v", m.Stats)
+	}
+	// Accesses appear in program order: fetch precedes its data access.
+	if accs[0].Kind != trace.InstFetch || accs[0].Addr != asm.TextBase {
+		t.Errorf("first access = %+v, want fetch of entry", accs[0])
+	}
+}
+
+func TestRegisterZeroIsImmutable(t *testing.T) {
+	m := run(t, `
+main:
+	addi $zero, $zero, 99
+	li   $at, 1           # clobber at freely
+	add  $s0, $zero, $zero
+	jr   $ra
+`)
+	if m.Reg[isa.Zero] != 0 || m.Reg[isa.S0] != 0 {
+		t.Errorf("$zero mutated: %d %d", m.Reg[isa.Zero], m.Reg[isa.S0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	// Unaligned word access.
+	m := New(asm.MustAssemble(`
+main:
+	li $t0, 3
+	lw $t1, 0($t0)
+	jr $ra
+`))
+	if err := m.Run(0); err == nil || !strings.Contains(err.Error(), "unaligned") {
+		t.Errorf("unaligned load error = %v", err)
+	}
+	// Illegal instruction: write a reserved-opcode word and jump to it.
+	m2 := New(asm.MustAssemble(`
+main:
+	li $t0, 0xfc000000    # opcode 0x3f is unassigned
+	li $t1, 0x00500000
+	sw $t0, 0($t1)
+	jr $t1
+`))
+	if err := m2.Run(1000); err == nil || !strings.Contains(err.Error(), "illegal opcode") {
+		t.Errorf("illegal instruction error = %v", err)
+	}
+	// Runaway program hits instruction budget without halting.
+	m3 := New(asm.MustAssemble("main: j main\n"))
+	if err := m3.Run(1000); err != nil {
+		t.Errorf("budgeted run errored: %v", err)
+	}
+	if m3.Halted() {
+		t.Error("infinite loop reported halted")
+	}
+}
+
+func TestDivideByZeroIsDefined(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, 5
+	divq $s0, $t0, $zero
+	rem  $s1, $t0, $zero
+	jr   $ra
+`)
+	if m.Reg[isa.S0] != 0 || m.Reg[isa.S1] != 0 {
+		t.Errorf("div by zero = %d rem %d, want 0 0", m.Reg[isa.S0], m.Reg[isa.S1])
+	}
+}
+
+func TestMemoryLittleEndianRoundTrip(t *testing.T) {
+	mem := NewMemory()
+	mem.StoreWord(0x1000, 0xdeadbeef)
+	if got := mem.LoadWord(0x1000); got != 0xdeadbeef {
+		t.Errorf("word round trip = %#x", got)
+	}
+	if got := mem.LoadByte(0x1000); got != 0xef {
+		t.Errorf("little-endian low byte = %#x, want 0xef", got)
+	}
+	mem.StoreHalf(0x2000, 0xabcd)
+	if got := mem.LoadHalf(0x2000); got != 0xabcd {
+		t.Errorf("half round trip = %#x", got)
+	}
+	// Cross-page write.
+	mem.StoreWord(4094, 0x01020304)
+	if got := mem.LoadWord(4094); got != 0x01020304 {
+		t.Errorf("cross-page word = %#x", got)
+	}
+}

@@ -1,0 +1,33 @@
+package cpu
+
+import (
+	"fmt"
+
+	"selftune/internal/asm"
+	"selftune/internal/trace"
+)
+
+// TraceProgram assembles nothing: it runs an already-assembled program for
+// at most maxInst instructions (<= 0 means to completion) and returns its
+// memory reference stream in program order.
+func TraceProgram(prog *asm.Program, maxInst uint64) ([]trace.Access, *Machine, error) {
+	m := New(prog)
+	var accs []trace.Access
+	m.OnAccess(func(a trace.Access) { accs = append(accs, a) })
+	if err := m.Run(maxInst); err != nil {
+		return nil, m, err
+	}
+	if maxInst <= 0 && !m.Halted() {
+		return nil, m, fmt.Errorf("cpu: program did not halt")
+	}
+	return accs, m, nil
+}
+
+// TraceSource runs a program and exposes the stream as a trace.Source.
+func TraceSource(prog *asm.Program, maxInst uint64) (trace.Source, error) {
+	accs, _, err := TraceProgram(prog, maxInst)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewSliceSource(accs), nil
+}

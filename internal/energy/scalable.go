@@ -1,0 +1,66 @@
+package energy
+
+import (
+	"math/bits"
+
+	"selftune/internal/cache"
+)
+
+// ScalableModel prices configurations of a generalised (N-bank) configurable
+// cache geometry — the §3.4 larger-cache study. It reuses the calibrated
+// Params: per-bank array energy from the cacti model, routing per active
+// bank, and the same off-chip/stall/fill/static terms.
+type ScalableModel struct {
+	// P is the calibrated base model.
+	P *Params
+	// Geo is the cache geometry being priced.
+	Geo cache.Geometry
+}
+
+// tagBits is the stored tag width: everything above the 16 B offset and the
+// bank row index (full-tag comparison, as in the 4-bank design).
+func (m ScalableModel) tagBits() int {
+	rows := m.Geo.BankBytes / cache.PhysLineBytes
+	return 32 - 4 - bits.TrailingZeros(uint(rows))
+}
+
+// HitEnergy prices a full access: Ways bank arrays read concurrently plus
+// active-bank routing.
+func (m ScalableModel) HitEnergy(cfg cache.Config) float64 {
+	return m.P.Tech.ReadEnergy(m.Geo.BankBytes, cfg.Ways, cache.PhysLineBytes, m.tagBits()) +
+		float64(cfg.SizeBytes/m.Geo.BankBytes-1)*m.P.BankRouteEnergy
+}
+
+// OneWayEnergy prices a single-way probe at the configuration's size.
+func (m ScalableModel) OneWayEnergy(cfg cache.Config) float64 {
+	return m.P.Tech.ReadEnergy(m.Geo.BankBytes, 1, cache.PhysLineBytes, m.tagBits()) +
+		float64(cfg.SizeBytes/m.Geo.BankBytes-1)*m.P.BankRouteEnergy
+}
+
+// Evaluate applies Equation 1 under the geometry.
+func (m ScalableModel) Evaluate(cfg cache.Config, st cache.Stats) Breakdown {
+	p := m.P
+	var b Breakdown
+	full := m.HitEnergy(cfg)
+	if cfg.WayPredict && cfg.Ways > 1 {
+		one := m.OneWayEnergy(cfg)
+		b.CacheDynamic = float64(st.PredHits)*one +
+			float64(st.PredMisses)*(one+full) +
+			float64(st.Accesses)*p.PredictorOverheadEnergy
+	} else {
+		b.CacheDynamic = float64(st.Accesses) * full
+	}
+	b.OffChipAccess = float64(st.Misses) * p.OffChipEnergy(cfg.LineBytes)
+	b.Stall = (float64(st.Misses)*float64(p.MissLatency(cfg.LineBytes)) +
+		float64(st.ExtraCycles)) * p.StallPowerPerCycle
+	b.Fill = float64(st.SublinesFilled) * p.Tech.WriteEnergy(m.Geo.BankBytes, cache.PhysLineBytes, m.tagBits())
+	b.Writeback = float64(st.Writebacks+st.SettleWritebacks) * p.WritebackEnergy()
+	b.Cycles = p.Cycles(cfg, st)
+	b.Static = float64(b.Cycles) * p.Tech.LeakagePower(cfg.SizeBytes, m.tagBits()) / p.ClockHz
+	return b
+}
+
+// Total is shorthand for Evaluate(...).Total().
+func (m ScalableModel) Total(cfg cache.Config, st cache.Stats) float64 {
+	return m.Evaluate(cfg, st).Total()
+}

@@ -1,0 +1,259 @@
+// Package experiments produces the paper's tables and figures as data — the
+// cmd tools and bench harness render them, and the package's tests pin the
+// reproduction-quality invariants (match counts, averages, curve shapes)
+// independently of any output format.
+package experiments
+
+import (
+	"fmt"
+
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+	"selftune/internal/report"
+	"selftune/internal/trace"
+	"selftune/internal/tuner"
+	"selftune/internal/workload"
+)
+
+// Table1Row is one benchmark's row of the paper's Table 1.
+type Table1Row struct {
+	Name           string
+	ICfg, DCfg     cache.Config
+	INum, DNum     int
+	ISave, DSave   float64 // energy savings vs the 8K 4-way base
+	IOpt, DOpt     cache.Config
+	PaperI, PaperD string
+}
+
+// Table1Result is the whole table plus its summary line.
+type Table1Result struct {
+	Rows                 []Table1Row
+	AvgINum, AvgDNum     float64
+	AvgISave, AvgDSave   float64
+	PaperMatches         int // of 2*len(Rows) per-cache selections
+	OptimumMisses        int
+	WorstOptimumExcess   float64 // heuristic/optimal - 1, worst stream
+	AccessesPerBenchmark int
+}
+
+// Table1 regenerates the paper's Table 1 over the 19 benchmark profiles.
+func Table1(n int, p *energy.Params) Table1Result {
+	base := cache.BaseConfig()
+	res := Table1Result{AccessesPerBenchmark: n}
+	for _, prof := range workload.Profiles() {
+		inst, data := trace.Split(trace.NewSliceSource(prof.Generate(n)))
+		iev := tuner.NewTraceEvaluator(inst, p)
+		dev := tuner.NewTraceEvaluator(data, p)
+		ih, dh := tuner.SearchPaper(iev), tuner.SearchPaper(dev)
+		iOpt, dOpt := tuner.Exhaustive(iev).Best, tuner.Exhaustive(dev).Best
+
+		row := Table1Row{
+			Name:   prof.Name,
+			ICfg:   ih.Best.Cfg,
+			DCfg:   dh.Best.Cfg,
+			INum:   ih.NumExamined(),
+			DNum:   dh.NumExamined(),
+			ISave:  1 - ih.Best.Energy/iev.Evaluate(base).Energy,
+			DSave:  1 - dh.Best.Energy/dev.Evaluate(base).Energy,
+			IOpt:   iOpt.Cfg,
+			DOpt:   dOpt.Cfg,
+			PaperI: prof.Paper.ICfg,
+			PaperD: prof.Paper.DCfg,
+		}
+		res.Rows = append(res.Rows, row)
+
+		res.AvgINum += float64(row.INum)
+		res.AvgDNum += float64(row.DNum)
+		res.AvgISave += row.ISave
+		res.AvgDSave += row.DSave
+		if row.ICfg.String() == row.PaperI {
+			res.PaperMatches++
+		}
+		if row.DCfg.String() == row.PaperD {
+			res.PaperMatches++
+		}
+		for _, pair := range []struct {
+			h   tuner.SearchResult
+			opt tuner.EvalResult
+		}{{ih, iOpt}, {dh, dOpt}} {
+			if pair.h.Best.Cfg != pair.opt.Cfg {
+				res.OptimumMisses++
+			}
+			if x := pair.h.Best.Energy/pair.opt.Energy - 1; x > res.WorstOptimumExcess {
+				res.WorstOptimumExcess = x
+			}
+		}
+	}
+	k := float64(len(res.Rows))
+	res.AvgINum /= k
+	res.AvgDNum /= k
+	res.AvgISave /= k
+	res.AvgDSave /= k
+	return res
+}
+
+// Table renders the result in the paper's layout.
+func (r Table1Result) Table() *report.Table {
+	tb := report.NewTable("Ben.", "I-cache cfg.", "No.", "paper-I",
+		"D-cache cfg.", "No.", "paper-D", "I-E%", "D-E%", "I-opt", "D-opt")
+	mark := func(chosen, opt cache.Config) string {
+		if chosen == opt {
+			return "="
+		}
+		return opt.String()
+	}
+	for _, row := range r.Rows {
+		tb.Add(row.Name,
+			row.ICfg.String(), fmt.Sprint(row.INum), row.PaperI,
+			row.DCfg.String(), fmt.Sprint(row.DNum), row.PaperD,
+			report.Pct(row.ISave), report.Pct(row.DSave),
+			mark(row.ICfg, row.IOpt), mark(row.DCfg, row.DOpt))
+	}
+	tb.Add("Average:", "", fmt.Sprintf("%.1f", r.AvgINum), "",
+		"", fmt.Sprintf("%.1f", r.AvgDNum), "",
+		report.Pct(r.AvgISave), report.Pct(r.AvgDSave), "", "")
+	return tb
+}
+
+// Fig2Point is one cache size's energies in the Figure 2 sweep.
+type Fig2Point struct {
+	SizeBytes              int
+	OnChip, OffChip, Total float64
+}
+
+// Figure2 sweeps direct-mapped caches 1 KB-1 MB over the parser-like
+// workload's data stream.
+func Figure2(n int, p *energy.Params) []Fig2Point {
+	_, data := trace.Split(trace.NewSliceSource(workload.ParserLike().Generate(n)))
+	var out []Fig2Point
+	for size := 1 << 10; size <= 1<<20; size *= 2 {
+		cfg := cache.GenericConfig{SizeBytes: size, Ways: 1, LineBytes: 32}
+		g := cache.MustGeneric(cfg)
+		for _, a := range data {
+			g.Access(a.Addr, a.IsWrite())
+		}
+		b := p.GenericEvaluate(cfg, g.Stats())
+		out = append(out, Fig2Point{size, b.OnChip(), b.OffChip(), b.Total()})
+	}
+	return out
+}
+
+// Knee returns the size with the minimum total energy.
+func Knee(points []Fig2Point) Fig2Point {
+	best := points[0]
+	for _, pt := range points[1:] {
+		if pt.Total < best.Total {
+			best = pt
+		}
+	}
+	return best
+}
+
+// Fig34Row is one configuration's averages in the Figure 3/4 sweeps.
+type Fig34Row struct {
+	Cfg         cache.Config
+	AvgMissRate float64
+	Energy      float64 // summed over benchmarks
+	Normalised  float64 // Energy / max over configurations
+}
+
+// Figure34 sweeps the 18 base configurations over all benchmarks; inst
+// selects the instruction (Figure 3) or data (Figure 4) stream.
+func Figure34(n int, inst bool, p *energy.Params) []Fig34Row {
+	configs := cache.BaseConfigs()
+	rows := make([]Fig34Row, len(configs))
+	profiles := workload.Profiles()
+	for _, prof := range profiles {
+		i, d := trace.Split(trace.NewSliceSource(prof.Generate(n)))
+		stream := d
+		if inst {
+			stream = i
+		}
+		for ci, cfg := range configs {
+			c := cache.MustConfigurable(cfg)
+			for _, a := range stream {
+				c.Access(a.Addr, a.IsWrite())
+			}
+			st := c.Stats()
+			rows[ci].Cfg = cfg
+			rows[ci].AvgMissRate += st.MissRate()
+			rows[ci].Energy += p.Total(cfg, st)
+		}
+	}
+	maxE := 0.0
+	for i := range rows {
+		rows[i].AvgMissRate /= float64(len(profiles))
+		if rows[i].Energy > maxE {
+			maxE = rows[i].Energy
+		}
+	}
+	for i := range rows {
+		rows[i].Normalised = rows[i].Energy / maxE
+	}
+	return rows
+}
+
+// WindowPoint is one measurement-window length's outcome in the window
+// sensitivity study: how good the online tuner's choice is (whole-trace
+// energy relative to the offline optimum) and how long tuning takes.
+type WindowPoint struct {
+	Window          uint64
+	AvgExcess       float64 // mean over streams of online/optimal - 1
+	WorstExcess     float64
+	AvgTuningLength float64 // accesses until the session settles
+}
+
+// WindowSensitivity studies the on-chip tuner's one free parameter: the
+// per-configuration measurement interval. Short windows finish tuning
+// sooner but measure noisier intervals; long windows converge to the
+// offline decision. Run over every benchmark's data stream.
+func WindowSensitivity(n int, windows []uint64, p *energy.Params) []WindowPoint {
+	type stream struct {
+		accs []trace.Access
+		opt  float64
+		ev   *tuner.TraceEvaluator
+	}
+	var streams []stream
+	for _, prof := range workload.Profiles() {
+		all := prof.Generate(n)
+		steady := all[prof.InitAccesses:]
+		_, data := trace.Split(trace.NewSliceSource(steady))
+		ev := tuner.NewTraceEvaluator(data, p)
+		streams = append(streams, stream{data, tuner.Exhaustive(ev).Best.Energy, ev})
+	}
+
+	var out []WindowPoint
+	for _, w := range windows {
+		pt := WindowPoint{Window: w}
+		for _, s := range streams {
+			c := cache.MustConfigurable(cache.MinConfig())
+			o := tuner.NewOnline(c, p, w)
+			settled := 0
+			for i, a := range s.accs {
+				if o.Done() {
+					break
+				}
+				o.Access(a.Addr, a.IsWrite())
+				settled = i + 1
+			}
+			var excess float64
+			if o.Done() {
+				excess = s.ev.Evaluate(o.Result().Best.Cfg).Energy/s.opt - 1
+			} else {
+				// Never settled within the trace: charge the
+				// starting configuration.
+				o.Abort()
+				excess = s.ev.Evaluate(cache.MinConfig()).Energy/s.opt - 1
+			}
+			pt.AvgExcess += excess
+			if excess > pt.WorstExcess {
+				pt.WorstExcess = excess
+			}
+			pt.AvgTuningLength += float64(settled)
+		}
+		pt.AvgExcess /= float64(len(streams))
+		pt.AvgTuningLength /= float64(len(streams))
+		out = append(out, pt)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders one instruction at pc in assembler syntax.
+func Disassemble(word, pc uint32) string {
+	in := Decode(word)
+	r := func(x uint8) string { return "$" + RegName(int(x)) }
+	switch in.Op {
+	case OpSpecial:
+		switch in.Funct {
+		case FnSll:
+			if word == 0 {
+				return "nop"
+			}
+			return fmt.Sprintf("sll %s, %s, %d", r(in.Rd), r(in.Rt), in.Shamt)
+		case FnSrl:
+			return fmt.Sprintf("srl %s, %s, %d", r(in.Rd), r(in.Rt), in.Shamt)
+		case FnSra:
+			return fmt.Sprintf("sra %s, %s, %d", r(in.Rd), r(in.Rt), in.Shamt)
+		case FnSllv:
+			return fmt.Sprintf("sllv %s, %s, %s", r(in.Rd), r(in.Rt), r(in.Rs))
+		case FnSrlv:
+			return fmt.Sprintf("srlv %s, %s, %s", r(in.Rd), r(in.Rt), r(in.Rs))
+		case FnSrav:
+			return fmt.Sprintf("srav %s, %s, %s", r(in.Rd), r(in.Rt), r(in.Rs))
+		case FnJr:
+			return fmt.Sprintf("jr %s", r(in.Rs))
+		case FnJalr:
+			return fmt.Sprintf("jalr %s, %s", r(in.Rd), r(in.Rs))
+		case FnSyscall:
+			return "syscall"
+		case FnMfhi:
+			return fmt.Sprintf("mfhi %s", r(in.Rd))
+		case FnMflo:
+			return fmt.Sprintf("mflo %s", r(in.Rd))
+		case FnMult:
+			return fmt.Sprintf("mult %s, %s", r(in.Rs), r(in.Rt))
+		case FnMultu:
+			return fmt.Sprintf("multu %s, %s", r(in.Rs), r(in.Rt))
+		case FnDiv:
+			return fmt.Sprintf("div %s, %s", r(in.Rs), r(in.Rt))
+		case FnDivu:
+			return fmt.Sprintf("divu %s, %s", r(in.Rs), r(in.Rt))
+		case FnAdd, FnAddu, FnSub, FnSubu, FnAnd, FnOr, FnXor, FnNor, FnSlt, FnSltu:
+			names := map[uint8]string{
+				FnAdd: "add", FnAddu: "addu", FnSub: "sub", FnSubu: "subu",
+				FnAnd: "and", FnOr: "or", FnXor: "xor", FnNor: "nor",
+				FnSlt: "slt", FnSltu: "sltu",
+			}
+			return fmt.Sprintf("%s %s, %s, %s", names[in.Funct], r(in.Rd), r(in.Rs), r(in.Rt))
+		}
+		return fmt.Sprintf(".word %#08x", word)
+	case OpRegimm:
+		tgt := pc + 4 + uint32(in.SImm())*4
+		if in.Rt == RtBltz {
+			return fmt.Sprintf("bltz %s, %#x", r(in.Rs), tgt)
+		}
+		return fmt.Sprintf("bgez %s, %#x", r(in.Rs), tgt)
+	case OpJ:
+		return fmt.Sprintf("j %#x", in.Target<<2)
+	case OpJal:
+		return fmt.Sprintf("jal %#x", in.Target<<2)
+	case OpBeq:
+		return fmt.Sprintf("beq %s, %s, %#x", r(in.Rs), r(in.Rt), pc+4+uint32(in.SImm())*4)
+	case OpBne:
+		return fmt.Sprintf("bne %s, %s, %#x", r(in.Rs), r(in.Rt), pc+4+uint32(in.SImm())*4)
+	case OpBlez:
+		return fmt.Sprintf("blez %s, %#x", r(in.Rs), pc+4+uint32(in.SImm())*4)
+	case OpBgtz:
+		return fmt.Sprintf("bgtz %s, %#x", r(in.Rs), pc+4+uint32(in.SImm())*4)
+	case OpAddi:
+		return fmt.Sprintf("addi %s, %s, %d", r(in.Rt), r(in.Rs), in.SImm())
+	case OpAddiu:
+		return fmt.Sprintf("addiu %s, %s, %d", r(in.Rt), r(in.Rs), in.SImm())
+	case OpSlti:
+		return fmt.Sprintf("slti %s, %s, %d", r(in.Rt), r(in.Rs), in.SImm())
+	case OpSltiu:
+		return fmt.Sprintf("sltiu %s, %s, %d", r(in.Rt), r(in.Rs), in.SImm())
+	case OpAndi:
+		return fmt.Sprintf("andi %s, %s, %#x", r(in.Rt), r(in.Rs), in.Imm)
+	case OpOri:
+		return fmt.Sprintf("ori %s, %s, %#x", r(in.Rt), r(in.Rs), in.Imm)
+	case OpXori:
+		return fmt.Sprintf("xori %s, %s, %#x", r(in.Rt), r(in.Rs), in.Imm)
+	case OpLui:
+		return fmt.Sprintf("lui %s, %#x", r(in.Rt), in.Imm)
+	case OpLb, OpLh, OpLw, OpLbu, OpLhu, OpSb, OpSh, OpSw:
+		names := map[uint8]string{
+			OpLb: "lb", OpLh: "lh", OpLw: "lw", OpLbu: "lbu", OpLhu: "lhu",
+			OpSb: "sb", OpSh: "sh", OpSw: "sw",
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", names[in.Op], r(in.Rt), in.SImm(), r(in.Rs))
+	}
+	return fmt.Sprintf(".word %#08x", word)
+}

@@ -1,0 +1,215 @@
+// Package isa defines a 32-bit MIPS-like instruction set used as the
+// SimpleScalar substitute's target: the paper evaluates on SimpleScalar's
+// "MIPS-like microprocessor model" (§2), which we reproduce with a compact
+// in-order core (package cpu) running this ISA.
+//
+// Encodings follow classic MIPS-I: R-type (opcode 0 + funct), I-type and
+// J-type. Unlike MIPS there are no branch delay slots, matching
+// SimpleScalar-PISA's simplification.
+package isa
+
+import "fmt"
+
+// Register aliases, MIPS calling convention.
+const (
+	Zero = 0 // hardwired zero
+	AT   = 1 // assembler temporary
+	V0   = 2 // results
+	V1   = 3
+	A0   = 4 // arguments
+	A1   = 5
+	A2   = 6
+	A3   = 7
+	T0   = 8 // caller-saved temporaries
+	T1   = 9
+	T2   = 10
+	T3   = 11
+	T4   = 12
+	T5   = 13
+	T6   = 14
+	T7   = 15
+	S0   = 16 // callee-saved
+	S1   = 17
+	S2   = 18
+	S3   = 19
+	S4   = 20
+	S5   = 21
+	S6   = 22
+	S7   = 23
+	T8   = 24
+	T9   = 25
+	K0   = 26
+	K1   = 27
+	GP   = 28
+	SP   = 29
+	FP   = 30
+	RA   = 31
+)
+
+// RegName returns the conventional name of register r.
+func RegName(r int) string {
+	names := [32]string{
+		"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+		"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+		"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+		"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+	}
+	if r < 0 || r > 31 {
+		return fmt.Sprintf("r%d", r)
+	}
+	return names[r]
+}
+
+// Primary opcodes.
+const (
+	OpSpecial = 0x00 // R-type, funct selects
+	OpRegimm  = 0x01 // BLTZ/BGEZ, rt selects
+	OpJ       = 0x02
+	OpJal     = 0x03
+	OpBeq     = 0x04
+	OpBne     = 0x05
+	OpBlez    = 0x06
+	OpBgtz    = 0x07
+	OpAddi    = 0x08
+	OpAddiu   = 0x09
+	OpSlti    = 0x0a
+	OpSltiu   = 0x0b
+	OpAndi    = 0x0c
+	OpOri     = 0x0d
+	OpXori    = 0x0e
+	OpLui     = 0x0f
+	OpLb      = 0x20
+	OpLh      = 0x21
+	OpLw      = 0x23
+	OpLbu     = 0x24
+	OpLhu     = 0x25
+	OpSb      = 0x28
+	OpSh      = 0x29
+	OpSw      = 0x2b
+)
+
+// R-type funct codes.
+const (
+	FnSll     = 0x00
+	FnSrl     = 0x02
+	FnSra     = 0x03
+	FnSllv    = 0x04
+	FnSrlv    = 0x06
+	FnSrav    = 0x07
+	FnJr      = 0x08
+	FnJalr    = 0x09
+	FnSyscall = 0x0c
+	FnMfhi    = 0x10
+	FnMflo    = 0x12
+	FnMult    = 0x18
+	FnMultu   = 0x19
+	FnDiv     = 0x1a
+	FnDivu    = 0x1b
+	FnAdd     = 0x20
+	FnAddu    = 0x21
+	FnSub     = 0x22
+	FnSubu    = 0x23
+	FnAnd     = 0x24
+	FnOr      = 0x25
+	FnXor     = 0x26
+	FnNor     = 0x27
+	FnSlt     = 0x2a
+	FnSltu    = 0x2b
+)
+
+// REGIMM rt selectors.
+const (
+	RtBltz = 0x00
+	RtBgez = 0x01
+)
+
+// Syscall numbers (in $v0), a subset of the SPIM conventions.
+const (
+	SysPrintInt = 1
+	SysPrintStr = 4
+	SysExit     = 10
+)
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op     uint8
+	Rs     uint8
+	Rt     uint8
+	Rd     uint8
+	Shamt  uint8
+	Funct  uint8
+	Imm    uint16 // raw immediate (sign- or zero-extended by semantics)
+	Target uint32 // 26-bit jump target
+}
+
+// SImm returns the sign-extended immediate.
+func (i Inst) SImm() int32 { return int32(int16(i.Imm)) }
+
+// Decode splits a raw word into fields.
+func Decode(word uint32) Inst {
+	return Inst{
+		Op:     uint8(word >> 26),
+		Rs:     uint8(word >> 21 & 0x1f),
+		Rt:     uint8(word >> 16 & 0x1f),
+		Rd:     uint8(word >> 11 & 0x1f),
+		Shamt:  uint8(word >> 6 & 0x1f),
+		Funct:  uint8(word & 0x3f),
+		Imm:    uint16(word),
+		Target: word & 0x03ffffff,
+	}
+}
+
+// Encode packs fields back into a word. Op selects which fields matter.
+func (i Inst) Encode() uint32 {
+	switch i.Op {
+	case OpSpecial:
+		return uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Rd)<<11 |
+			uint32(i.Shamt)<<6 | uint32(i.Funct)
+	case OpJ, OpJal:
+		return uint32(i.Op)<<26 | i.Target&0x03ffffff
+	default:
+		return uint32(i.Op)<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Imm)
+	}
+}
+
+// R constructs an R-type instruction.
+func R(funct, rd, rs, rt, shamt uint8) Inst {
+	return Inst{Op: OpSpecial, Funct: funct, Rd: rd, Rs: rs, Rt: rt, Shamt: shamt}
+}
+
+// I constructs an I-type instruction.
+func I(op, rt, rs uint8, imm uint16) Inst {
+	return Inst{Op: op, Rt: rt, Rs: rs, Imm: imm}
+}
+
+// J constructs a J-type instruction targeting byte address addr.
+func J(op uint8, addr uint32) Inst {
+	return Inst{Op: op, Target: addr >> 2}
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Inst) IsLoad() bool {
+	switch i.Op {
+	case OpLb, OpLh, OpLw, OpLbu, OpLhu:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool {
+	switch i.Op {
+	case OpSb, OpSh, OpSw:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool {
+	switch i.Op {
+	case OpBeq, OpBne, OpBlez, OpBgtz, OpRegimm:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		R(FnAdd, T0, T1, T2, 0),
+		R(FnSll, S0, 0, T3, 7),
+		R(FnSyscall, 0, 0, 0, 0),
+		I(OpAddi, T0, SP, 0xfff0),
+		I(OpLw, RA, SP, 4),
+		I(OpBeq, T0, T1, 0xfffe),
+		J(OpJal, 0x00400040),
+	}
+	for _, in := range cases {
+		got := Decode(in.Encode())
+		// Compare the fields meaningful for the opcode class.
+		if got.Op != in.Op {
+			t.Errorf("op mismatch: %+v -> %+v", in, got)
+		}
+		switch in.Op {
+		case OpSpecial:
+			if got.Funct != in.Funct || got.Rd != in.Rd || got.Rs != in.Rs ||
+				got.Rt != in.Rt || got.Shamt != in.Shamt {
+				t.Errorf("R round trip %+v -> %+v", in, got)
+			}
+		case OpJ, OpJal:
+			if got.Target != in.Target&0x03ffffff {
+				t.Errorf("J round trip %+v -> %+v", in, got)
+			}
+		default:
+			if got.Rt != in.Rt || got.Rs != in.Rs || got.Imm != in.Imm {
+				t.Errorf("I round trip %+v -> %+v", in, got)
+			}
+		}
+	}
+}
+
+// Property: Decode(Encode(Decode(w))) == Decode(w) for arbitrary words.
+func TestQuickDecodeEncodeStable(t *testing.T) {
+	f := func(w uint32) bool {
+		d := Decode(w)
+		return Decode(d.Encode()) == Decode(d.Encode())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSImm(t *testing.T) {
+	if got := (Inst{Imm: 0xffff}).SImm(); got != -1 {
+		t.Errorf("SImm(0xffff) = %d, want -1", got)
+	}
+	if got := (Inst{Imm: 0x7fff}).SImm(); got != 32767 {
+		t.Errorf("SImm(0x7fff) = %d, want 32767", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !(I(OpLw, 0, 0, 0)).IsLoad() || (I(OpSw, 0, 0, 0)).IsLoad() {
+		t.Error("IsLoad wrong")
+	}
+	if !(I(OpSb, 0, 0, 0)).IsStore() || (I(OpLb, 0, 0, 0)).IsStore() {
+		t.Error("IsStore wrong")
+	}
+	if !(I(OpBne, 0, 0, 0)).IsBranch() || (J(OpJ, 0)).IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+}
+
+func TestRegName(t *testing.T) {
+	cases := map[int]string{0: "zero", 2: "v0", 4: "a0", 8: "t0", 16: "s0", 29: "sp", 31: "ra"}
+	for r, want := range cases {
+		if got := RegName(r); got != want {
+			t.Errorf("RegName(%d) = %q, want %q", r, got, want)
+		}
+	}
+	if got := RegName(99); got != "r99" {
+		t.Errorf("RegName(99) = %q", got)
+	}
+}
+
+func TestDisassembleKnown(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{R(FnAddu, T0, T1, T2, 0), "addu $t0, $t1, $t2"},
+		{R(FnSll, 0, 0, 0, 0), "nop"},
+		{I(OpAddi, T0, Zero, 5), "addi $t0, $zero, 5"},
+		{I(OpLw, RA, SP, 12), "lw $ra, 12($sp)"},
+		{I(OpLui, GP, 0, 0x1001), "lui $gp, 0x1001"},
+		{R(FnJr, 0, RA, 0, 0), "jr $ra"},
+		{R(FnSyscall, 0, 0, 0, 0), "syscall"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.in.Encode(), 0x400000); got != c.want {
+			t.Errorf("Disassemble(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Branch targets are resolved relative to PC.
+	br := I(OpBne, T1, T0, 0xfffe) // offset -2 words
+	if got := Disassemble(br.Encode(), 0x400010); !strings.Contains(got, "0x40000c") {
+		t.Errorf("branch target wrong: %q", got)
+	}
+	// Unknown encodings degrade to .word.
+	if got := Disassemble(0x0000003f, 0); !strings.HasPrefix(got, ".word") {
+		t.Errorf("unknown funct = %q", got)
+	}
+}

@@ -1,0 +1,231 @@
+package programs
+
+import "math/bits"
+
+// crcKernel computes a bitwise CRC-32 (poly 0xEDB88320) over a 4 KB buffer,
+// modelled on Powerstone's crc.
+var crcKernel = Kernel{
+	Name:        "crc",
+	Description: "bitwise CRC-32 over a 4 KB buffer",
+	MaxInst:     2_000_000,
+	Source: `
+	.text
+main:` + lcgInitAsm("buf", 1024) + `
+	li   $s2, -1
+	move $t1, $s0
+	li   $s1, 4096
+	li   $s3, 0xEDB88320
+byteloop:
+	lbu  $t2, 0($t1)
+	xor  $s2, $s2, $t2
+	li   $t3, 8
+bitloop:
+	andi $t4, $s2, 1
+	srl  $s2, $s2, 1
+	beqz $t4, skipx
+	xor  $s2, $s2, $s3
+skipx:
+	addi $t3, $t3, -1
+	bgtz $t3, bitloop
+	addi $t1, $t1, 1
+	addi $s1, $s1, -1
+	bgtz $s1, byteloop
+	not  $v0, $s2
+	sw   $v0, result
+	jr   $ra
+	.data
+buf:	.space 4096
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		words := lcgFill(1024)
+		crc := uint32(0xffffffff)
+		for _, w := range words {
+			for b := 0; b < 4; b++ {
+				crc ^= uint32(byte(w >> (8 * b)))
+				for k := 0; k < 8; k++ {
+					if crc&1 != 0 {
+						crc = crc>>1 ^ 0xEDB88320
+					} else {
+						crc >>= 1
+					}
+				}
+			}
+		}
+		return ^crc
+	},
+}
+
+// bcntKernel counts set bits with Kernighan's loop, like Powerstone's bcnt.
+var bcntKernel = Kernel{
+	Name:        "bcnt",
+	Description: "population count over 1024 words",
+	MaxInst:     1_000_000,
+	Source: `
+	.text
+main:` + lcgInitAsm("buf", 1024) + `
+	move $t1, $s0
+	li   $s1, 1024
+	li   $v0, 0
+wordloop:
+	lw   $t2, 0($t1)
+cntloop:
+	beqz $t2, donew
+	addi $t3, $t2, -1
+	and  $t2, $t2, $t3
+	addi $v0, $v0, 1
+	j    cntloop
+donew:
+	addi $t1, $t1, 4
+	addi $s1, $s1, -1
+	bgtz $s1, wordloop
+	sw   $v0, result
+	jr   $ra
+	.data
+buf:	.space 4096
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		var n uint32
+		for _, w := range lcgFill(1024) {
+			n += uint32(bits.OnesCount32(w))
+		}
+		return n
+	},
+}
+
+// brevKernel reverses the bits of every word in place (Powerstone's brev).
+var brevKernel = Kernel{
+	Name:        "brev",
+	Description: "bit reversal of 1024 words, in place",
+	MaxInst:     1_000_000,
+	Source: `
+	.text
+main:` + lcgInitAsm("buf", 1024) + `
+	move $t1, $s0
+	li   $s1, 1024
+	li   $v0, 0
+	li   $s2, 0x55555555
+	li   $s3, 0x33333333
+	li   $s4, 0x0F0F0F0F
+	li   $s5, 0x00FF00FF
+revloop:
+	lw   $t2, 0($t1)
+	srl  $t3, $t2, 1
+	and  $t3, $t3, $s2
+	and  $t4, $t2, $s2
+	sll  $t4, $t4, 1
+	or   $t2, $t3, $t4
+	srl  $t3, $t2, 2
+	and  $t3, $t3, $s3
+	and  $t4, $t2, $s3
+	sll  $t4, $t4, 2
+	or   $t2, $t3, $t4
+	srl  $t3, $t2, 4
+	and  $t3, $t3, $s4
+	and  $t4, $t2, $s4
+	sll  $t4, $t4, 4
+	or   $t2, $t3, $t4
+	srl  $t3, $t2, 8
+	and  $t3, $t3, $s5
+	and  $t4, $t2, $s5
+	sll  $t4, $t4, 8
+	or   $t2, $t3, $t4
+	srl  $t3, $t2, 16
+	sll  $t4, $t2, 16
+	or   $t2, $t3, $t4
+	sw   $t2, 0($t1)
+	xor  $v0, $v0, $t2
+	addi $t1, $t1, 4
+	addi $s1, $s1, -1
+	bgtz $s1, revloop
+	sw   $v0, result
+	jr   $ra
+	.data
+buf:	.space 4096
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		var x uint32
+		for _, w := range lcgFill(1024) {
+			x ^= bits.Reverse32(w)
+		}
+		return x
+	},
+}
+
+// bilvKernel interleaves the low 16 bits of word pairs (Morton encoding),
+// like Powerstone's bilv bit-interleaving kernel.
+var bilvKernel = Kernel{
+	Name:        "bilv",
+	Description: "bit interleave of 512 word pairs",
+	MaxInst:     1_000_000,
+	Source: `
+	.text
+main:` + lcgInitAsm("buf", 1024) + `
+	move $t1, $s0
+	li   $s1, 512
+	li   $v0, 0
+	li   $s2, 0x00FF00FF
+	li   $s3, 0x0F0F0F0F
+	li   $s4, 0x33333333
+	li   $s5, 0x55555555
+pairloop:
+	lw   $t2, 0($t1)
+	lw   $t3, 4($t1)
+	andi $t2, $t2, 0xFFFF
+	andi $t3, $t3, 0xFFFF
+	sll  $t4, $t2, 8
+	or   $t2, $t2, $t4
+	and  $t2, $t2, $s2
+	sll  $t4, $t2, 4
+	or   $t2, $t2, $t4
+	and  $t2, $t2, $s3
+	sll  $t4, $t2, 2
+	or   $t2, $t2, $t4
+	and  $t2, $t2, $s4
+	sll  $t4, $t2, 1
+	or   $t2, $t2, $t4
+	and  $t2, $t2, $s5
+	sll  $t4, $t3, 8
+	or   $t3, $t3, $t4
+	and  $t3, $t3, $s2
+	sll  $t4, $t3, 4
+	or   $t3, $t3, $t4
+	and  $t3, $t3, $s3
+	sll  $t4, $t3, 2
+	or   $t3, $t3, $t4
+	and  $t3, $t3, $s4
+	sll  $t4, $t3, 1
+	or   $t3, $t3, $t4
+	and  $t3, $t3, $s5
+	sll  $t3, $t3, 1
+	or   $t4, $t2, $t3
+	sw   $t4, 0($t1)
+	xor  $v0, $v0, $t4
+	addi $t1, $t1, 8
+	addi $s1, $s1, -1
+	bgtz $s1, pairloop
+	sw   $v0, result
+	jr   $ra
+	.data
+buf:	.space 4096
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		spread := func(x uint32) uint32 {
+			x &= 0xFFFF
+			x = (x | x<<8) & 0x00FF00FF
+			x = (x | x<<4) & 0x0F0F0F0F
+			x = (x | x<<2) & 0x33333333
+			x = (x | x<<1) & 0x55555555
+			return x
+		}
+		words := lcgFill(1024)
+		var v uint32
+		for i := 0; i < 1024; i += 2 {
+			v ^= spread(words[i]) | spread(words[i+1])<<1
+		}
+		return v
+	},
+}

@@ -1,0 +1,319 @@
+package programs
+
+import "fmt"
+
+// IMA ADPCM tables.
+var stepTable = []int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41,
+	45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190,
+	209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724,
+	796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+	2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
+	7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500,
+	20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+var indexTable = []int32{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+func wordList(vals []int32) string {
+	s := ""
+	for i, v := range vals {
+		if i%8 == 0 {
+			if i > 0 {
+				s += "\n"
+			}
+			s += "\t.word "
+		} else {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s + "\n"
+}
+
+// adpcmKernel is an IMA ADPCM encoder over 4096 samples, like MediaBench's
+// adpcm (rawcaudio).
+var adpcmKernel = Kernel{
+	Name:        "adpcm",
+	Description: "IMA ADPCM encode of 4096 samples",
+	MaxInst:     5_000_000,
+	Source: `
+	.text
+main:
+	la   $s0, samples
+	li   $s1, 4096
+	li   $t0, 12345
+	li   $t7, 1103515245
+	move $t1, $s0
+fillloop:
+	mul  $t0, $t0, $t7
+	addi $t0, $t0, 12345
+	andi $t2, $t0, 0xFFFF
+	addi $t2, $t2, -32768
+	sw   $t2, 0($t1)
+	addi $t1, $t1, 4
+	addi $s1, $s1, -1
+	bgtz $s1, fillloop
+	la   $s2, steptab
+	la   $s3, idxtab
+	la   $s7, outbuf
+	li   $s4, 0            # predictor
+	li   $s5, 0            # index
+	li   $s6, 0            # i
+	li   $v0, 0
+	move $t1, $s0
+encloop:
+	lw   $t2, 0($t1)
+	sub  $t3, $t2, $s4     # diff
+	li   $t4, 0            # code
+	bgez $t3, pos
+	li   $t4, 8
+	neg  $t3, $t3
+pos:
+	sll  $t5, $s5, 2
+	add  $t5, $t5, $s2
+	lw   $t6, 0($t5)       # step
+	slt  $t7, $t3, $t6
+	bnez $t7, b1
+	ori  $t4, $t4, 4
+	sub  $t3, $t3, $t6
+b1:
+	srl  $t8, $t6, 1
+	slt  $t7, $t3, $t8
+	bnez $t7, b0
+	ori  $t4, $t4, 2
+	sub  $t3, $t3, $t8
+b0:
+	srl  $t8, $t6, 2
+	slt  $t7, $t3, $t8
+	bnez $t7, recon
+	ori  $t4, $t4, 1
+recon:
+	srl  $t9, $t6, 3       # vpdiff = step>>3
+	andi $t7, $t4, 4
+	beqz $t7, r2
+	add  $t9, $t9, $t6
+r2:
+	andi $t7, $t4, 2
+	beqz $t7, r1
+	srl  $t8, $t6, 1
+	add  $t9, $t9, $t8
+r1:
+	andi $t7, $t4, 1
+	beqz $t7, r0
+	srl  $t8, $t6, 2
+	add  $t9, $t9, $t8
+r0:
+	andi $t7, $t4, 8
+	beqz $t7, addp
+	sub  $s4, $s4, $t9
+	j    clampp
+addp:
+	add  $s4, $s4, $t9
+clampp:
+	li   $t8, 32767
+	slt  $t7, $t8, $s4
+	beqz $t7, cl1
+	move $s4, $t8
+cl1:
+	li   $t8, -32768
+	slt  $t7, $s4, $t8
+	beqz $t7, cl2
+	move $s4, $t8
+cl2:
+	sll  $t5, $t4, 2
+	add  $t5, $t5, $s3
+	lw   $t8, 0($t5)
+	add  $s5, $s5, $t8
+	bgez $s5, ci1
+	li   $s5, 0
+ci1:
+	li   $t8, 88
+	slt  $t7, $t8, $s5
+	beqz $t7, ci2
+	move $s5, $t8
+ci2:
+	srl  $t5, $s6, 1
+	add  $t5, $t5, $s7
+	lbu  $t8, 0($t5)
+	andi $t7, $s6, 1
+	beqz $t7, lownib
+	sll  $t9, $t4, 4
+	or   $t8, $t8, $t9
+	j    stnib
+lownib:
+	or   $t8, $t8, $t4
+stnib:
+	sb   $t8, 0($t5)
+	add  $v0, $v0, $t4
+	addi $t1, $t1, 4
+	addi $s6, $s6, 1
+	slti $t7, $s6, 4096
+	bnez $t7, encloop
+	sw   $v0, result
+	jr   $ra
+	.data
+samples: .space 16384
+outbuf:	 .space 2048
+steptab:
+` + wordList(stepTable) + `
+idxtab:
+` + wordList(indexTable) + `
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		samples := make([]int32, 4096)
+		x := uint32(12345)
+		for i := range samples {
+			x = lcg(x)
+			samples[i] = int32(x&0xFFFF) - 32768
+		}
+		var pred, idx int32
+		var v uint32
+		for _, s := range samples {
+			diff := s - pred
+			var code int32
+			if diff < 0 {
+				code = 8
+				diff = -diff
+			}
+			step := stepTable[idx]
+			if diff >= step {
+				code |= 4
+				diff -= step
+			}
+			if diff >= step>>1 {
+				code |= 2
+				diff -= step >> 1
+			}
+			if diff >= step>>2 {
+				code |= 1
+			}
+			vpdiff := step >> 3
+			if code&4 != 0 {
+				vpdiff += step
+			}
+			if code&2 != 0 {
+				vpdiff += step >> 1
+			}
+			if code&1 != 0 {
+				vpdiff += step >> 2
+			}
+			if code&8 != 0 {
+				pred -= vpdiff
+			} else {
+				pred += vpdiff
+			}
+			if pred > 32767 {
+				pred = 32767
+			}
+			if pred < -32768 {
+				pred = -32768
+			}
+			idx += indexTable[code]
+			if idx < 0 {
+				idx = 0
+			}
+			if idx > 88 {
+				idx = 88
+			}
+			v += uint32(code)
+		}
+		return v
+	},
+}
+
+// matmulKernel multiplies two 24x24 integer matrices (an auto/control-style
+// compute kernel).
+var matmulKernel = Kernel{
+	Name:        "matmul",
+	Description: "24x24 integer matrix multiply",
+	MaxInst:     5_000_000,
+	Source: `
+	.text
+main:
+	la   $s0, mata
+	li   $s1, 1152         # fill A and B contiguously
+	li   $t0, 12345
+	li   $t7, 1103515245
+	move $t1, $s0
+mfill:
+	mul  $t0, $t0, $t7
+	addi $t0, $t0, 12345
+	andi $t2, $t0, 0xFF
+	sw   $t2, 0($t1)
+	addi $t1, $t1, 4
+	addi $s1, $s1, -1
+	bgtz $s1, mfill
+	la   $s2, matb
+	la   $s3, matc
+	li   $s4, 0            # i
+	li   $v0, 0
+iloop:
+	li   $s5, 0            # j
+jloop:
+	li   $t4, 0            # acc
+	li   $t5, 0            # k
+	sll  $t6, $s4, 5
+	sll  $t7, $s4, 6
+	add  $t6, $t6, $t7
+	add  $t6, $t6, $s0     # &A[i][0]
+kloop:
+	sll  $t8, $t5, 2
+	add  $t8, $t8, $t6
+	lw   $t2, 0($t8)       # A[i][k]
+	sll  $t8, $t5, 5
+	sll  $t9, $t5, 6
+	add  $t8, $t8, $t9
+	add  $t8, $t8, $s2
+	sll  $t9, $s5, 2
+	add  $t8, $t8, $t9
+	lw   $t3, 0($t8)       # B[k][j]
+	mul  $t3, $t2, $t3
+	add  $t4, $t4, $t3
+	addi $t5, $t5, 1
+	slti $t9, $t5, 24
+	bnez $t9, kloop
+	sll  $t8, $s4, 5
+	sll  $t9, $s4, 6
+	add  $t8, $t8, $t9
+	add  $t8, $t8, $s3
+	sll  $t9, $s5, 2
+	add  $t8, $t8, $t9
+	sw   $t4, 0($t8)       # C[i][j]
+	add  $v0, $v0, $t4
+	addi $s5, $s5, 1
+	slti $t9, $s5, 24
+	bnez $t9, jloop
+	addi $s4, $s4, 1
+	slti $t9, $s4, 24
+	bnez $t9, iloop
+	sw   $v0, result
+	jr   $ra
+	.data
+mata:	.space 2304
+matb:	.space 2304
+matc:	.space 2304
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		flat := make([]uint32, 1152)
+		x := uint32(12345)
+		for i := range flat {
+			x = lcg(x)
+			flat[i] = x & 0xFF
+		}
+		a, b := flat[:576], flat[576:]
+		var v uint32
+		for i := 0; i < 24; i++ {
+			for j := 0; j < 24; j++ {
+				var acc uint32
+				for k := 0; k < 24; k++ {
+					acc += a[i*24+k] * b[k*24+j]
+				}
+				v += acc
+			}
+		}
+		return v
+	},
+}

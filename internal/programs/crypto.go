@@ -1,0 +1,181 @@
+package programs
+
+// xteaKey is the 128-bit key shared by the assembly and the reference.
+var xteaKey = [4]uint32{0xA56BABCD, 0x00000000, 0xFFFFFFFF, 0xABCDEF01}
+
+// xteaKernel encrypts 512 64-bit blocks with 32-round XTEA — a
+// pegwit-style crypto kernel: tight register-heavy rounds, tiny tables.
+var xteaKernel = Kernel{
+	Name:        "xtea",
+	Description: "XTEA encryption of 512 blocks, 32 rounds",
+	MaxInst:     2_000_000,
+	Source: `
+	.text
+main:` + lcgInitAsm("buf", 1024) + `
+	la   $s2, key
+	li   $s3, 0x9E3779B9
+	move $s4, $s0
+	li   $s1, 512
+	li   $v0, 0
+blockloop:
+	lw   $t0, 0($s4)
+	lw   $t1, 4($s4)
+	li   $t2, 0
+	li   $t3, 32
+round:
+	sll  $t4, $t1, 4
+	srl  $t5, $t1, 5
+	xor  $t4, $t4, $t5
+	add  $t4, $t4, $t1
+	andi $t6, $t2, 3
+	sll  $t6, $t6, 2
+	add  $t6, $t6, $s2
+	lw   $t5, 0($t6)
+	add  $t5, $t5, $t2
+	xor  $t4, $t4, $t5
+	add  $t0, $t0, $t4
+	add  $t2, $t2, $s3
+	sll  $t4, $t0, 4
+	srl  $t5, $t0, 5
+	xor  $t4, $t4, $t5
+	add  $t4, $t4, $t0
+	srl  $t6, $t2, 11
+	andi $t6, $t6, 3
+	sll  $t6, $t6, 2
+	add  $t6, $t6, $s2
+	lw   $t5, 0($t6)
+	add  $t5, $t5, $t2
+	xor  $t4, $t4, $t5
+	add  $t1, $t1, $t4
+	addi $t3, $t3, -1
+	bgtz $t3, round
+	sw   $t0, 0($s4)
+	sw   $t1, 4($s4)
+	xor  $v0, $v0, $t0
+	xor  $v0, $v0, $t1
+	addi $s4, $s4, 8
+	addi $s1, $s1, -1
+	bgtz $s1, blockloop
+	sw   $v0, result
+	jr   $ra
+	.data
+buf:	.space 4096
+key:	.word 0xA56BABCD, 0x00000000, 0xFFFFFFFF, 0xABCDEF01
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		words := lcgFill(1024)
+		const delta = 0x9E3779B9
+		var cksum uint32
+		for i := 0; i < 1024; i += 2 {
+			v0, v1 := words[i], words[i+1]
+			var sum uint32
+			for r := 0; r < 32; r++ {
+				v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + xteaKey[sum&3])
+				sum += delta
+				v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + xteaKey[(sum>>11)&3])
+			}
+			cksum ^= v0 ^ v1
+		}
+		return cksum
+	},
+}
+
+// rleKernel run-length encodes a bi-level scan line buffer, like
+// Powerstone's g3fax fax encoder.
+var rleKernel = Kernel{
+	Name:        "rle",
+	Description: "run-length encoding of a 4 KB bi-level buffer",
+	MaxInst:     2_000_000,
+	Source: `
+	.text
+main:
+	la   $s0, buf
+	li   $s1, 4096
+	li   $t0, 12345
+	li   $t7, 1103515245
+	move $t1, $s0
+fill:
+	mul  $t0, $t0, $t7
+	addi $t0, $t0, 12345
+	srl  $t2, $t0, 8
+	andi $t2, $t2, 0xFF
+	slti $t3, $t2, 200
+	xori $t3, $t3, 1
+	sb   $t3, 0($t1)
+	addi $t1, $t1, 1
+	addi $s1, $s1, -1
+	bgtz $s1, fill
+	la   $s2, out
+	move $t1, $s0
+	li   $s1, 4095
+	lbu  $t2, 0($t1)
+	addi $t1, $t1, 1
+	li   $t3, 1
+	li   $v0, 0
+enc:
+	beqz $s1, flush
+	lbu  $t4, 0($t1)
+	addi $t1, $t1, 1
+	addi $s1, $s1, -1
+	beq  $t4, $t2, same
+	sb   $t2, 0($s2)
+	andi $t5, $t3, 0xFF
+	sb   $t5, 1($s2)
+	srl  $t5, $t3, 8
+	sb   $t5, 2($s2)
+	addi $s2, $s2, 3
+	li   $t5, 33
+	mul  $v0, $v0, $t5
+	sll  $t5, $t2, 16
+	add  $v0, $v0, $t5
+	add  $v0, $v0, $t3
+	move $t2, $t4
+	li   $t3, 1
+	j    enc
+same:
+	addi $t3, $t3, 1
+	j    enc
+flush:
+	sb   $t2, 0($s2)
+	andi $t5, $t3, 0xFF
+	sb   $t5, 1($s2)
+	srl  $t5, $t3, 8
+	sb   $t5, 2($s2)
+	li   $t5, 33
+	mul  $v0, $v0, $t5
+	sll  $t5, $t2, 16
+	add  $v0, $v0, $t5
+	add  $v0, $v0, $t3
+	sw   $v0, result
+	jr   $ra
+	.data
+buf:	.space 4096
+out:	.space 8192
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		bytes := make([]byte, 4096)
+		x := uint32(12345)
+		for i := range bytes {
+			x = lcg(x)
+			if (x>>8)&0xFF < 200 {
+				bytes[i] = 0
+			} else {
+				bytes[i] = 1
+			}
+		}
+		var v uint32
+		cur, run := bytes[0], uint32(1)
+		for _, b := range bytes[1:] {
+			if b == cur {
+				run++
+				continue
+			}
+			v = v*33 + uint32(cur)<<16 + run
+			cur, run = b, 1
+		}
+		v = v*33 + uint32(cur)<<16 + run
+		return v
+	},
+}

@@ -1,0 +1,127 @@
+// Package programs contains Powerstone-style benchmark kernels written in
+// the mini-ISA assembly. The paper's Powerstone suite (crc, bcnt, bilv,
+// binary, blit, brev, fir, ucbqsort, adpcm, ...) consists of exactly this
+// kind of small embedded kernel; running them on the cpu core produces real
+// instruction and data reference streams for the tuner.
+//
+// Every kernel initialises its own input data from a fixed linear
+// congruential generator (so the .data section stays small), computes a
+// checksum into $v0 and stores it at the `result` label; the tests validate
+// the checksum against a Go reference implementation.
+package programs
+
+import (
+	"fmt"
+
+	"selftune/internal/asm"
+	"selftune/internal/cpu"
+	"selftune/internal/trace"
+)
+
+// Kernel is one runnable benchmark.
+type Kernel struct {
+	// Name is the benchmark name (matching Powerstone where applicable).
+	Name string
+	// Description says what the kernel computes.
+	Description string
+	// Source is the assembly text.
+	Source string
+	// MaxInst bounds execution as a runaway safeguard.
+	MaxInst uint64
+	// Reference computes the expected checksum.
+	Reference func() uint32
+}
+
+// All returns the kernels in a deterministic order.
+func All() []Kernel {
+	return []Kernel{
+		crcKernel,
+		bcntKernel,
+		brevKernel,
+		bilvKernel,
+		binaryKernel,
+		firKernel,
+		blitKernel,
+		qsortKernel,
+		adpcmKernel,
+		matmulKernel,
+		xteaKernel,
+		rleKernel,
+	}
+}
+
+// ByName looks a kernel up.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// Run assembles and executes the kernel, returning its checksum and machine.
+func (k Kernel) Run() (uint32, *cpu.Machine, error) {
+	prog, err := asm.Assemble(k.Source)
+	if err != nil {
+		return 0, nil, fmt.Errorf("programs: assembling %s: %w", k.Name, err)
+	}
+	m := cpu.New(prog)
+	if err := m.Run(k.MaxInst); err != nil {
+		return 0, m, fmt.Errorf("programs: running %s: %w", k.Name, err)
+	}
+	if !m.Halted() {
+		return 0, m, fmt.Errorf("programs: %s exceeded its %d-instruction budget", k.Name, k.MaxInst)
+	}
+	return m.Reg[2], m, nil // $v0
+}
+
+// Trace assembles and executes the kernel, returning its reference stream.
+func (k Kernel) Trace() ([]trace.Access, error) {
+	prog, err := asm.Assemble(k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("programs: assembling %s: %w", k.Name, err)
+	}
+	accs, m, err := cpu.TraceProgram(prog, k.MaxInst)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Halted() {
+		return nil, fmt.Errorf("programs: %s exceeded its %d-instruction budget", k.Name, k.MaxInst)
+	}
+	return accs, nil
+}
+
+// lcg is the shared pseudo-random generator the kernels use; Go references
+// must match the assembly exactly.
+func lcg(x uint32) uint32 { return x*1103515245 + 12345 }
+
+// lcgInitAsm is the preamble kernels use to fill a word buffer:
+// $s0 = base, count words, seeded with 12345.
+func lcgInitAsm(label string, words int) string {
+	return fmt.Sprintf(`
+	la   $s0, %s
+	li   $s1, %d
+	li   $t0, 12345
+	li   $t7, 1103515245
+	move $t1, $s0
+init_fill:
+	mul  $t0, $t0, $t7
+	addi $t0, $t0, 12345
+	sw   $t0, 0($t1)
+	addi $t1, $t1, 4
+	addi $s1, $s1, -1
+	bgtz $s1, init_fill
+`, label, words)
+}
+
+// lcgFill mirrors lcgInit in Go.
+func lcgFill(words int) []uint32 {
+	out := make([]uint32, words)
+	x := uint32(12345)
+	for i := range out {
+		x = lcg(x)
+		out[i] = x
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package programs
+
+import (
+	"testing"
+
+	"selftune/internal/asm"
+	"selftune/internal/trace"
+)
+
+// TestKernelsMatchReference executes every kernel on the VM and checks its
+// checksum against the Go reference implementation — end-to-end validation
+// of assembler + CPU + kernel.
+func TestKernelsMatchReference(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			got, m, err := k.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			want := k.Reference()
+			if got != want {
+				t.Fatalf("%s checksum = %#x, want %#x", k.Name, got, want)
+			}
+			// The checksum must also be stored at the result label.
+			prog := asm.MustAssemble(k.Source)
+			addr, ok := prog.Symbols["result"]
+			if !ok {
+				t.Fatalf("%s has no result label", k.Name)
+			}
+			if stored := m.Mem.LoadWord(addr); stored != want {
+				t.Errorf("%s stored result %#x, want %#x", k.Name, stored, want)
+			}
+		})
+	}
+}
+
+func TestKernelNamesUniqueAndLookup(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range All() {
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel name %q", k.Name)
+		}
+		seen[k.Name] = true
+		got, ok := ByName(k.Name)
+		if !ok || got.Name != k.Name {
+			t.Errorf("ByName(%q) failed", k.Name)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName accepted a bogus name")
+	}
+}
+
+func TestKernelTracesAreSubstantial(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			accs, err := k.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := trace.Summarize(accs)
+			if s.Total < 10_000 {
+				t.Errorf("%s trace has only %d accesses; too small to exercise a cache", k.Name, s.Total)
+			}
+			if s.Inst == 0 || s.Reads == 0 || s.Writes == 0 {
+				t.Errorf("%s trace lacks a stream: %+v", k.Name, s)
+			}
+		})
+	}
+}
+
+func TestLcgFillMatchesAsmPreamble(t *testing.T) {
+	// Run just the fill preamble and compare memory with lcgFill.
+	src := "\t.text\nmain:" + lcgInitAsm("buf", 16) + "\tjr $ra\n\t.data\nbuf: .space 64\n"
+	prog := asm.MustAssemble(src)
+	k := Kernel{Name: "fill", Source: src, MaxInst: 10_000}
+	_, m, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lcgFill(16)
+	base := prog.Symbols["buf"]
+	for i, w := range want {
+		if got := m.Mem.LoadWord(base + uint32(4*i)); got != w {
+			t.Fatalf("buf[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}

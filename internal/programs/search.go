@@ -1,0 +1,327 @@
+package programs
+
+// binaryKernel performs 4096 binary searches over a sorted 1024-entry table,
+// like Powerstone's binary.
+var binaryKernel = Kernel{
+	Name:        "binary",
+	Description: "4096 binary searches in a sorted 1024-entry table",
+	MaxInst:     2_000_000,
+	Source: `
+	.text
+main:
+	la   $s0, table
+	li   $t1, 0
+	li   $s1, 1024
+	move $t2, $s0
+build:
+	sll  $t3, $t1, 3
+	sub  $t3, $t3, $t1
+	addi $t3, $t3, 3       # v = i*7 + 3
+	sw   $t3, 0($t2)
+	addi $t2, $t2, 4
+	addi $t1, $t1, 1
+	addi $s1, $s1, -1
+	bgtz $s1, build
+	li   $s2, 4096
+	li   $t0, 99
+	li   $s6, 1103515245
+	li   $v0, 0
+search:
+	mul  $t0, $t0, $s6
+	addi $t0, $t0, 12345
+	andi $a0, $t0, 0x1FFF
+	li   $t1, 0
+	li   $t2, 1023
+bsloop:
+	blt  $t2, $t1, notfound
+	add  $t3, $t1, $t2
+	srl  $t3, $t3, 1
+	sll  $t4, $t3, 2
+	add  $t4, $t4, $s0
+	lw   $t5, 0($t4)
+	beq  $t5, $a0, found
+	blt  $t5, $a0, goright
+	addi $t2, $t3, -1
+	j    bsloop
+goright:
+	addi $t1, $t3, 1
+	j    bsloop
+found:
+	add  $v0, $v0, $t3
+	j    next
+notfound:
+	addi $v0, $v0, -1
+next:
+	addi $s2, $s2, -1
+	bgtz $s2, search
+	sw   $v0, result
+	jr   $ra
+	.data
+table:	.space 4096
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		table := make([]uint32, 1024)
+		for i := range table {
+			table[i] = uint32(i*7 + 3)
+		}
+		var v uint32
+		x := uint32(99)
+		for n := 0; n < 4096; n++ {
+			x = lcg(x)
+			key := x & 0x1FFF
+			lo, hi := 0, 1023
+			found := false
+			for lo <= hi {
+				mid := (lo + hi) / 2
+				switch {
+				case table[mid] == key:
+					v += uint32(mid)
+					found = true
+				case table[mid] < key:
+					lo = mid + 1
+				default:
+					hi = mid - 1
+				}
+				if found {
+					break
+				}
+			}
+			if !found {
+				v--
+			}
+		}
+		return v
+	},
+}
+
+// firKernel is a 32-tap integer FIR filter over 2048 samples, like
+// Powerstone's fir.
+var firKernel = Kernel{
+	Name:        "fir",
+	Description: "32-tap FIR filter over 2048 samples",
+	MaxInst:     5_000_000,
+	Source: `
+	.text
+main:
+	la   $s0, samples
+	li   $s1, 2080
+	li   $t0, 12345
+	li   $t7, 1103515245
+	move $t1, $s0
+sinit:
+	mul  $t0, $t0, $t7
+	addi $t0, $t0, 12345
+	andi $t2, $t0, 0xFF
+	sw   $t2, 0($t1)
+	addi $t1, $t1, 4
+	addi $s1, $s1, -1
+	bgtz $s1, sinit
+	la   $s2, taps
+	li   $t1, 0
+	move $t2, $s2
+tinit:
+	add  $t3, $t1, $t1
+	add  $t3, $t3, $t1
+	addi $t3, $t3, -17     # tap = j*3 - 17
+	sw   $t3, 0($t2)
+	addi $t2, $t2, 4
+	addi $t1, $t1, 1
+	slti $t3, $t1, 32
+	bnez $t3, tinit
+	la   $s4, out
+	li   $s3, 0
+	li   $v0, 0
+outer:
+	li   $t4, 0
+	li   $t5, 0
+inner:
+	sll  $t6, $t5, 2
+	add  $t6, $t6, $s2
+	lw   $t2, 0($t6)
+	add  $t6, $s3, $t5
+	sll  $t6, $t6, 2
+	add  $t6, $t6, $s0
+	lw   $t3, 0($t6)
+	mul  $t3, $t2, $t3
+	add  $t4, $t4, $t3
+	addi $t5, $t5, 1
+	slti $t6, $t5, 32
+	bnez $t6, inner
+	sll  $t6, $s3, 2
+	add  $t6, $t6, $s4
+	sw   $t4, 0($t6)
+	add  $v0, $v0, $t4
+	addi $s3, $s3, 1
+	slti $t6, $s3, 2048
+	bnez $t6, outer
+	sw   $v0, result
+	jr   $ra
+	.data
+samples: .space 8320
+taps:	 .space 128
+out:	 .space 8192
+result:	 .word 0
+`,
+	Reference: func() uint32 {
+		samples := make([]uint32, 2080)
+		x := uint32(12345)
+		for i := range samples {
+			x = lcg(x)
+			samples[i] = x & 0xFF
+		}
+		taps := make([]int32, 32)
+		for j := range taps {
+			taps[j] = int32(j*3 - 17)
+		}
+		var v uint32
+		for i := 0; i < 2048; i++ {
+			var acc int32
+			for j := 0; j < 32; j++ {
+				acc += taps[j] * int32(samples[i+j])
+			}
+			v += uint32(acc)
+		}
+		return v
+	},
+}
+
+// blitKernel is a masked block transfer between two 8 KB buffers, like
+// Powerstone's blit.
+var blitKernel = Kernel{
+	Name:        "blit",
+	Description: "masked 8 KB block transfer",
+	MaxInst:     1_000_000,
+	Source: `
+	.text
+main:` + lcgInitAsm("src", 2048) + `
+	la   $s2, dst
+	li   $s1, 2048
+	move $t1, $s0
+	move $t2, $s2
+	li   $v0, 0
+	li   $s3, 0xFF00FF00
+bloop:
+	lw   $t3, 0($t1)
+	and  $t4, $t3, $s3
+	srl  $t5, $t3, 3
+	or   $t4, $t4, $t5
+	sw   $t4, 0($t2)
+	xor  $v0, $v0, $t4
+	addi $t1, $t1, 4
+	addi $t2, $t2, 4
+	addi $s1, $s1, -1
+	bgtz $s1, bloop
+	sw   $v0, result
+	jr   $ra
+	.data
+src:	.space 8192
+dst:	.space 8192
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		var v uint32
+		for _, w := range lcgFill(2048) {
+			v ^= (w & 0xFF00FF00) | w>>3
+		}
+		return v
+	},
+}
+
+// qsortKernel is an iterative Lomuto quicksort of 1024 unsigned words with
+// an explicit work stack, like Powerstone's ucbqsort.
+var qsortKernel = Kernel{
+	Name:        "ucbqsort",
+	Description: "iterative quicksort of 1024 words",
+	MaxInst:     5_000_000,
+	Source: `
+	.text
+main:` + lcgInitAsm("buf", 1024) + `
+	la   $s2, qstack
+	li   $t1, 0
+	sw   $t1, 0($s2)
+	li   $t1, 1023
+	sw   $t1, 4($s2)
+	addi $s2, $s2, 8
+	la   $s7, qstack
+qloop:
+	beq  $s2, $s7, qdone
+	addi $s2, $s2, -8
+	lw   $s3, 0($s2)       # lo
+	lw   $s4, 4($s2)       # hi
+	slt  $t1, $s3, $s4
+	beqz $t1, qloop
+	sll  $t2, $s4, 2
+	add  $t2, $t2, $s0
+	lw   $s5, 0($t2)       # pivot = a[hi]
+	addi $t3, $s3, -1      # i
+	move $t4, $s3          # j
+ploop:
+	beq  $t4, $s4, pdone
+	sll  $t5, $t4, 2
+	add  $t5, $t5, $s0
+	lw   $t6, 0($t5)
+	sltu $t7, $s5, $t6     # pivot < a[j]?
+	bnez $t7, pskip
+	addi $t3, $t3, 1
+	sll  $t8, $t3, 2
+	add  $t8, $t8, $s0
+	lw   $t9, 0($t8)
+	sw   $t6, 0($t8)
+	sw   $t9, 0($t5)
+pskip:
+	addi $t4, $t4, 1
+	j    ploop
+pdone:
+	addi $t3, $t3, 1
+	sll  $t8, $t3, 2
+	add  $t8, $t8, $s0
+	lw   $t9, 0($t8)
+	sw   $s5, 0($t8)
+	sll  $t5, $s4, 2
+	add  $t5, $t5, $s0
+	sw   $t9, 0($t5)
+	addi $t6, $t3, -1
+	sw   $s3, 0($s2)
+	sw   $t6, 4($s2)
+	addi $s2, $s2, 8
+	addi $t6, $t3, 1
+	sw   $t6, 0($s2)
+	sw   $s4, 4($s2)
+	addi $s2, $s2, 8
+	j    qloop
+qdone:
+	move $t1, $s0
+	li   $s1, 1024
+	li   $v0, 0
+	li   $t4, 0
+ckloop:
+	lw   $t2, 0($t1)
+	add  $t2, $t2, $t4
+	xor  $v0, $v0, $t2
+	addi $t1, $t1, 4
+	addi $t4, $t4, 1
+	addi $s1, $s1, -1
+	bgtz $s1, ckloop
+	sw   $v0, result
+	jr   $ra
+	.data
+buf:	.space 4096
+qstack:	.space 16384
+result:	.word 0
+`,
+	Reference: func() uint32 {
+		a := lcgFill(1024)
+		// Reference sort: ascending unsigned.
+		for i := 1; i < len(a); i++ {
+			for j := i; j > 0 && a[j] < a[j-1]; j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+		var v uint32
+		for i, w := range a {
+			v ^= w + uint32(i)
+		}
+		return v
+	},
+}

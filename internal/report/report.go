@@ -1,0 +1,111 @@
+// Package report formats the tables and figure series the cmd tools and the
+// bench harness print when regenerating the paper's results.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a fixed-width text table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table { return &Table{Headers: headers} }
+
+// Add appends a row; cells beyond the header count are dropped, missing
+// cells are blank.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row of formatted values.
+func (t *Table) Addf(cells ...any) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			s[i] = v
+		case float64:
+			s[i] = fmt.Sprintf("%.2f", v)
+		default:
+			s[i] = fmt.Sprint(v)
+		}
+	}
+	t.Add(s...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	seps := make([]string, len(t.Headers))
+	for i, w := range widths {
+		seps[i] = strings.Repeat("-", w)
+	}
+	line(seps)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series renders one named figure series as "name: x=y x=y ..." — the plain
+// text stand-in for a plotted curve.
+func Series(name string, xs []string, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", name)
+	for i := range xs {
+		fmt.Fprintf(&b, " %s=%.4g", xs[i], ys[i])
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

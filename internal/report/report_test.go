@@ -1,0 +1,62 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Ben.", "cfg", "E%")
+	tb.Add("crc", "2K_1W_32B", "97%")
+	tb.Add("padpcm", "8K_1W_64B", "23%")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want header+sep+2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Ben.") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header/separator malformed:\n%s", out)
+	}
+	// Columns align: "cfg" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "cfg")
+	for _, l := range lines[2:] {
+		if !strings.Contains(l[idx:], "K_") {
+			t.Errorf("misaligned row %q", l)
+		}
+	}
+}
+
+func TestTableAddfAndShortRows(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.Addf("x", 1.5, 7)
+	tb.Add("only-one")
+	if tb.Rows[0][1] != "1.50" || tb.Rows[0][2] != "7" {
+		t.Errorf("Addf row = %v", tb.Rows[0])
+	}
+	if tb.Rows[1][1] != "" {
+		t.Errorf("short row not padded: %v", tb.Rows[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("x", "y")
+	tb.Add("1", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "x,y\n1,2\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestSeriesAndPct(t *testing.T) {
+	s := Series("Cache", []string{"1K", "2K"}, []float64{0.5, 1.25})
+	if !strings.Contains(s, "1K=0.5") || !strings.Contains(s, "2K=1.25") {
+		t.Errorf("Series = %q", s)
+	}
+	if Pct(0.4567) != "45.7%" {
+		t.Errorf("Pct = %q", Pct(0.4567))
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"selftune/internal/energy"
+	"selftune/internal/trace"
+	"selftune/internal/tuner"
+	"selftune/internal/workload"
+)
+
+func TestHierarchyRouting(t *testing.T) {
+	h, err := NewHierarchy(32, 32, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instruction fetch misses L1I and goes to L2.
+	h.Access(trace.Access{Addr: 0x1000, Kind: trace.InstFetch})
+	if h.L1I.Stats().Misses != 1 || h.L2.Stats().Accesses != 1 {
+		t.Errorf("fetch miss did not reach L2: L1I=%+v L2=%+v", h.L1I.Stats(), h.L2.Stats())
+	}
+	// Repeat hits in L1I and leaves L2 untouched.
+	h.Access(trace.Access{Addr: 0x1000, Kind: trace.InstFetch})
+	if h.L1I.Stats().Hits != 1 || h.L2.Stats().Accesses != 1 {
+		t.Errorf("L1 hit leaked to L2")
+	}
+	// Data access routes to L1D.
+	h.Access(trace.Access{Addr: 0x2000, Kind: trace.DataWrite})
+	if h.L1D.Stats().Accesses != 1 || h.L1I.Stats().Accesses != 2 {
+		t.Errorf("data access misrouted")
+	}
+}
+
+func TestHierarchyInvalidLines(t *testing.T) {
+	if _, err := NewHierarchy(3, 32, 128); err == nil {
+		t.Error("invalid L1I line accepted")
+	}
+}
+
+func TestHierarchyEnergyPositiveAndLineSensitive(t *testing.T) {
+	p := energy.DefaultParams()
+	prof := workload.ParserLike()
+	accs := prof.Generate(120_000)
+	eval := HierarchyEvaluator(accs, p)
+	e1 := eval([]int{8, 8, 64})
+	e2 := eval([]int{32, 32, 128})
+	if e1 <= 0 || e2 <= 0 {
+		t.Fatalf("non-positive energies %g %g", e1, e2)
+	}
+	if e1 == e2 {
+		t.Error("line sizes have no energy effect")
+	}
+	// Memoisation: same values return identical energy.
+	if eval([]int{8, 8, 64}) != e1 {
+		t.Error("evaluator not deterministic")
+	}
+}
+
+// Paper §3.4: the multilevel heuristic examines a sum of values, not the
+// 4x4x4 = 64 product, and lands within a few percent of brute force.
+func TestMultilevelHierarchyTuning(t *testing.T) {
+	p := energy.DefaultParams()
+	prof := workload.ParserLike()
+	accs := prof.Generate(150_000)
+	eval := HierarchyEvaluator(accs, p)
+
+	h := tuner.MultilevelSearch(eval, LineParams())
+	if h.BruteForceSize != 64 {
+		t.Fatalf("brute force size = %d, want 64", h.BruteForceSize)
+	}
+	if h.Examined > 12 {
+		t.Errorf("heuristic examined %d combinations, want <= 12", h.Examined)
+	}
+	bf := tuner.MultilevelBruteForce(eval, LineParams())
+	ratio := h.BestEnergy / bf.BestEnergy
+	t.Logf("heuristic %v (%.3g J, %d examined) vs brute force %v (%.3g J, %d examined)",
+		h.Best, h.BestEnergy, h.Examined, bf.Best, bf.BestEnergy, bf.Examined)
+	if ratio > 1.10 {
+		t.Errorf("multilevel heuristic %.1f%% worse than brute force", (ratio-1)*100)
+	}
+}

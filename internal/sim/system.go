@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+
+	"selftune/internal/asm"
+	"selftune/internal/core"
+	"selftune/internal/cpu"
+	"selftune/internal/energy"
+	"selftune/internal/trace"
+)
+
+// FullSystem couples the mini in-order core with the self-tuning memory
+// system: every instruction fetch and data reference goes through the live
+// caches, miss latencies and way-misprediction bubbles stall the processor,
+// and the tuner reconfigures the caches while the program runs. It is the
+// closest thing in this repository to the paper's whole-platform picture.
+type FullSystem struct {
+	// Machine is the core executing the program.
+	Machine *cpu.Machine
+	// Memory is the self-tuning cache system.
+	Memory *core.System
+	// Cycles accumulates execution time: one cycle per instruction plus
+	// all memory stalls and branch penalties.
+	Cycles uint64
+	// BranchPenaltyCycles is charged per taken branch (the in-order core
+	// predicts not-taken). Default 1.
+	BranchPenaltyCycles uint64
+
+	params *energy.Params
+}
+
+// NewFullSystem loads prog and wires the core's memory references through
+// the self-tuning system.
+func NewFullSystem(prog *asm.Program, opts core.Options) *FullSystem {
+	opts0 := opts
+	if opts0.Params == nil {
+		opts0.Params = energy.DefaultParams()
+	}
+	fs := &FullSystem{
+		Machine:             cpu.New(prog),
+		Memory:              core.New(opts0),
+		BranchPenaltyCycles: 1,
+		params:              opts0.Params,
+	}
+	fs.Machine.OnAccess(func(a trace.Access) {
+		var line int
+		if a.Kind == trace.InstFetch {
+			line = fs.Memory.IConfig().LineBytes
+		} else {
+			line = fs.Memory.DConfig().LineBytes
+		}
+		r := fs.Memory.Access(a)
+		if !r.Hit {
+			fs.Cycles += uint64(fs.params.MissLatency(line))
+		}
+		fs.Cycles += uint64(r.ExtraLatency)
+	})
+	return fs
+}
+
+// Run executes up to maxInst instructions (<= 0 means to completion).
+func (fs *FullSystem) Run(maxInst uint64) error {
+	if err := fs.Machine.Run(maxInst); err != nil {
+		return err
+	}
+	fs.Cycles += fs.Machine.Stats.Instructions // one base cycle each
+	fs.Cycles += fs.Machine.Stats.Taken * fs.BranchPenaltyCycles
+	return nil
+}
+
+// CPI returns cycles per retired instruction.
+func (fs *FullSystem) CPI() float64 {
+	if fs.Machine.Stats.Instructions == 0 {
+		return 0
+	}
+	return float64(fs.Cycles) / float64(fs.Machine.Stats.Instructions)
+}
+
+// String summarises the run.
+func (fs *FullSystem) String() string {
+	return fmt.Sprintf("fullsystem: %d insts, %d cycles (CPI %.2f), I$=%v D$=%v",
+		fs.Machine.Stats.Instructions, fs.Cycles, fs.CPI(),
+		fs.Memory.IConfig(), fs.Memory.DConfig())
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"selftune/internal/asm"
+	"selftune/internal/core"
+	"selftune/internal/programs"
+)
+
+func kernelProg(t *testing.T, name string) *asm.Program {
+	t.Helper()
+	k, ok := programs.ByName(name)
+	if !ok {
+		t.Fatalf("no kernel %q", name)
+	}
+	p, err := asm.Assemble(k.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFullSystemRunsKernelToCompletion(t *testing.T) {
+	fs := NewFullSystem(kernelProg(t, "crc"), core.Options{Window: 20_000})
+	if err := fs.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Machine.Halted() {
+		t.Fatal("kernel did not halt")
+	}
+	// The program must produce the same checksum as when run standalone:
+	// the memory system must be functionally transparent.
+	k, _ := programs.ByName("crc")
+	if got, want := fs.Machine.Reg[2], k.Reference(); got != want {
+		t.Fatalf("checksum through self-tuning caches = %#x, want %#x", got, want)
+	}
+	if fs.CPI() < 1 {
+		t.Errorf("CPI = %.2f < 1", fs.CPI())
+	}
+	r := fs.Memory.Report()
+	if r.IStats.Accesses == 0 || r.DStats.Accesses == 0 {
+		t.Error("memory system saw no traffic")
+	}
+}
+
+func TestFullSystemTunesWhileRunning(t *testing.T) {
+	fs := NewFullSystem(kernelProg(t, "xtea"), core.Options{Window: 15_000})
+	if err := fs.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	evs := fs.Memory.Events()
+	if len(evs) == 0 {
+		t.Fatal("no tuning sessions completed during execution")
+	}
+	for _, e := range evs {
+		if e.Chosen.Validate() != nil {
+			t.Errorf("invalid chosen config %v", e.Chosen)
+		}
+	}
+}
+
+func TestFullSystemCPIImprovesOverTinyCache(t *testing.T) {
+	// The tuned system should not be slower than leaving the cache at
+	// the 2 KB starting point for a kernel with a >2 KB working set.
+	prog := kernelProg(t, "ucbqsort")
+
+	tuned := NewFullSystem(prog, core.Options{Window: 10_000})
+	if err := tuned.Run(6_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Untuned: a window so large tuning never finishes its second probe.
+	frozen := NewFullSystem(kernelProg(t, "ucbqsort"), core.Options{Window: 1 << 40})
+	if err := frozen.Run(6_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if tuned.CPI() > frozen.CPI()*1.05 {
+		t.Errorf("tuned CPI %.3f worse than frozen-at-minimum CPI %.3f", tuned.CPI(), frozen.CPI())
+	}
+	t.Logf("tuned %v vs frozen CPI %.3f", tuned, frozen.CPI())
+}

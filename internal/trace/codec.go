@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The on-disk format is a magic header followed by one varint-coded record
+// per access: a kind byte, then the zigzag-coded delta from the previous
+// address of that kind. Delta coding makes sequential instruction streams
+// nearly one byte per access.
+var magic = [4]byte{'S', 'T', 'R', 'C'}
+
+const codecVersion = 1
+
+// Writer encodes accesses to an io.Writer.
+type Writer struct {
+	w    *bufio.Writer
+	prev [3]uint32 // previous address per kind
+	err  error
+}
+
+// NewWriter writes the header and returns an encoder.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write encodes one access.
+func (w *Writer) Write(a Access) error {
+	if w.err != nil {
+		return w.err
+	}
+	if a.Kind > DataWrite {
+		w.err = fmt.Errorf("trace: invalid kind %d", a.Kind)
+		return w.err
+	}
+	var buf [binary.MaxVarintLen64 + 1]byte
+	buf[0] = byte(a.Kind)
+	delta := int64(a.Addr) - int64(w.prev[a.Kind])
+	n := binary.PutVarint(buf[1:], delta)
+	w.prev[a.Kind] = a.Addr
+	_, w.err = w.w.Write(buf[:n+1])
+	return w.err
+}
+
+// Flush commits buffered records.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a stream written by Writer. It implements Source.
+type Reader struct {
+	r    *bufio.Reader
+	prev [3]uint32
+	err  error
+}
+
+// NewReader validates the header and returns a decoder.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Source. The first error is sticky and retrievable via Err.
+func (r *Reader) Next() (Access, bool) {
+	if r.err != nil {
+		return Access{}, false
+	}
+	kb, err := r.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			r.err = err
+		}
+		return Access{}, false
+	}
+	if kb > byte(DataWrite) {
+		r.err = fmt.Errorf("trace: invalid kind %d", kb)
+		return Access{}, false
+	}
+	delta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: truncated record: %w", err)
+		return Access{}, false
+	}
+	k := Kind(kb)
+	addr := uint32(int64(r.prev[k]) + delta)
+	r.prev[k] = addr
+	return Access{Addr: addr, Kind: k}, true
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Encode writes a whole recorded stream.
+func Encode(w io.Writer, accs []Access) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, a := range accs {
+		if err := tw.Write(a); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Decode reads a whole stream.
+func Decode(r io.Reader) ([]Access, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := Collect(tr, 0)
+	return out, tr.Err()
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Dinero-style text traces: one access per line, "<label> <hex address>",
+// with labels 0 (read), 1 (write), 2 (instruction fetch) — the din format
+// of Dinero IV, the classic cache simulator. Supported for interchange with
+// existing trace tooling alongside the compact native binary format.
+
+// WriteDinero writes accs in din format.
+func WriteDinero(w io.Writer, accs []Access) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range accs {
+		label := 0
+		switch a.Kind {
+		case DataWrite:
+			label = 1
+		case InstFetch:
+			label = 2
+		}
+		if _, err := fmt.Fprintf(bw, "%d %x\n", label, a.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDinero parses a din-format stream. Blank lines and lines starting
+// with '#' are ignored.
+func ReadDinero(r io.Reader) ([]Access, error) {
+	var out []Access
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: din line %d: want \"<label> <addr>\", got %q", lineNo, line)
+		}
+		var kind Kind
+		switch fields[0] {
+		case "0":
+			kind = DataRead
+		case "1":
+			kind = DataWrite
+		case "2":
+			kind = InstFetch
+		default:
+			return nil, fmt.Errorf("trace: din line %d: unknown label %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: din line %d: bad address %q: %v", lineNo, fields[1], err)
+		}
+		out = append(out, Access{Addr: uint32(addr), Kind: kind})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Open loads a trace file, sniffing the format: the native binary codec
+// (STRC magic) or din text.
+func Open(path string) ([]Access, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [4]byte
+	n, err := io.ReadFull(f, hdr[:])
+	if err != nil && n == 0 {
+		return nil, fmt.Errorf("trace: %s is empty", path)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if n == 4 && hdr == magic {
+		return Decode(f)
+	}
+	return ReadDinero(f)
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDineroRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDinero(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDinero(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("round trip = %v, want %v", got, sample())
+	}
+}
+
+func TestDineroFormatIsTheClassicOne(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDinero(&buf, []Access{{0x400000, InstFetch}, {0x1000, DataRead}, {0x1004, DataWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "2 400000\n0 1000\n1 1004\n"
+	if buf.String() != want {
+		t.Errorf("din output = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestReadDineroTolerance(t *testing.T) {
+	in := "# comment\n\n2 0x400000\n0 1000\n"
+	got, err := ReadDinero(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Kind != InstFetch || got[1].Addr != 0x1000 {
+		t.Errorf("parsed %v", got)
+	}
+}
+
+func TestReadDineroErrors(t *testing.T) {
+	for _, in := range []string{"x 1000\n", "0\n", "0 zz\n", "7 1000\n"} {
+		if _, err := ReadDinero(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadDinero(%q) accepted", in)
+		}
+	}
+}
+
+func TestOpenSniffsFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "t.bin")
+	var buf bytes.Buffer
+	if err := Encode(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bin, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(bin)
+	if err != nil || !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("Open(binary) = %v, %v", got, err)
+	}
+
+	din := filepath.Join(dir, "t.din")
+	var tbuf bytes.Buffer
+	if err := WriteDinero(&tbuf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(din, tbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Open(din)
+	if err != nil || !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("Open(din) = %v, %v", got, err)
+	}
+
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Error("Open(missing) succeeded")
+	}
+	empty := filepath.Join(dir, "empty")
+	os.WriteFile(empty, nil, 0o644)
+	if _, err := Open(empty); err == nil {
+		t.Error("Open(empty) succeeded")
+	}
+}

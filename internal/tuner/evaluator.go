@@ -1,0 +1,78 @@
+// Package tuner implements the paper's self-tuning search: the Figure 6
+// heuristic (size, then line size, then associativity, then way prediction,
+// each swept in the flush-free direction), an exhaustive baseline, the
+// alternative parameter ordering the paper compares against, the on-line
+// no-flush tuner that drives a live cache through successive measurement
+// windows, the §3.5 FSMD hardware model with its gate/area/power estimate,
+// the largest-first flush ablation (§4), and the §3.4 multilevel-hierarchy
+// generalisation.
+package tuner
+
+import (
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+	"selftune/internal/trace"
+)
+
+// EvalResult is the outcome of measuring one configuration.
+type EvalResult struct {
+	// Cfg is the configuration measured.
+	Cfg cache.Config
+	// Energy is the Equation 1 total the tuner minimises.
+	Energy float64
+	// Breakdown decomposes Energy.
+	Breakdown energy.Breakdown
+	// Stats are the interval counters.
+	Stats cache.Stats
+}
+
+// Evaluator measures the energy of one cache configuration.
+type Evaluator interface {
+	Evaluate(cfg cache.Config) EvalResult
+}
+
+// TraceEvaluator replays a recorded reference stream through a fresh cache
+// per configuration — the paper's Table 1 methodology (full-benchmark
+// simulation per configuration). Results are memoised.
+type TraceEvaluator struct {
+	accs   []trace.Access
+	params *energy.Params
+	memo   map[cache.Config]EvalResult
+}
+
+// NewTraceEvaluator builds an evaluator over a recorded stream. The stream
+// should be a single cache's view: instruction fetches for an I-cache study
+// or data references for a D-cache study (use trace.Split).
+func NewTraceEvaluator(accs []trace.Access, p *energy.Params) *TraceEvaluator {
+	return &TraceEvaluator{accs: accs, params: p, memo: map[cache.Config]EvalResult{}}
+}
+
+// Evaluate implements Evaluator.
+func (e *TraceEvaluator) Evaluate(cfg cache.Config) EvalResult {
+	if r, ok := e.memo[cfg]; ok {
+		return r
+	}
+	c := cache.MustConfigurable(cfg)
+	for _, a := range e.accs {
+		c.Access(a.Addr, a.IsWrite())
+	}
+	st := c.Stats()
+	// Drain: charge the dirty lines still resident at interval end as
+	// writebacks. Without this a larger cache gets credit for merely
+	// postponing write traffic past the measurement horizon, which would
+	// bias every size comparison upward.
+	st.Writebacks += uint64(c.DirtyLines())
+	b := e.params.Evaluate(cfg, st)
+	r := EvalResult{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}
+	e.memo[cfg] = r
+	return r
+}
+
+// Params exposes the energy model used.
+func (e *TraceEvaluator) Params() *energy.Params { return e.params }
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(cfg cache.Config) EvalResult
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(cfg cache.Config) EvalResult { return f(cfg) }

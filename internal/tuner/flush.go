@@ -1,0 +1,63 @@
+package tuner
+
+import (
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+	"selftune/internal/trace"
+)
+
+// FlushAblationResult quantifies §4's flush-cost comparison: searching the
+// cache sizes largest-first forces the dirty contents of deactivated ways
+// to be written back at every shrink, which the paper reports costs tens of
+// thousands of times the tuner's own search energy.
+type FlushAblationResult struct {
+	// SettleWritebacks is the number of dirty 16 B lines written back by
+	// the shrinking transitions.
+	SettleWritebacks uint64
+	// WritebackEnergy is their total energy.
+	WritebackEnergy float64
+	// TunerEnergy is the Equation 2 energy of the heuristic search that
+	// avoids them (same windows, smallest-first).
+	TunerEnergy float64
+	// Ratio is WritebackEnergy / TunerEnergy.
+	Ratio float64
+}
+
+// FlushAblation replays the data stream through a live cache while stepping
+// the size largest-first (8 KB -> 4 KB -> 2 KB at one way), measuring the
+// writebacks each way shutdown forces, and compares their energy with the
+// tuner hardware energy of the paper-ordered search over the same stream.
+func FlushAblation(accs []trace.Access, p *energy.Params, window int) FlushAblationResult {
+	if window <= 0 || window > len(accs) {
+		window = len(accs) / 3
+	}
+	c := cache.MustConfigurable(cache.Config{SizeBytes: 8192, Ways: 1, LineBytes: 16})
+	c.AllowShrink = true
+	pos := 0
+	runWindow := func() {
+		for n := 0; n < window && pos < len(accs); n++ {
+			c.Access(accs[pos].Addr, accs[pos].IsWrite())
+			pos++
+		}
+	}
+	runWindow()
+	c.SetConfig(cache.Config{SizeBytes: 4096, Ways: 1, LineBytes: 16})
+	runWindow()
+	c.SetConfig(cache.MinConfig())
+	runWindow()
+
+	var res FlushAblationResult
+	res.SettleWritebacks = c.Stats().SettleWritebacks
+	res.WritebackEnergy = float64(res.SettleWritebacks) * p.WritebackEnergy()
+
+	// The heuristic search over the same stream: number of configurations
+	// examined times the hardware's per-configuration energy.
+	search := SearchPaper(NewTraceEvaluator(accs, p))
+	hw := NewHardwareModel()
+	f := NewFSMD(p)
+	res.TunerEnergy = hw.SearchEnergy(p, f.EvaluationCycles(), search.NumExamined())
+	if res.TunerEnergy > 0 {
+		res.Ratio = res.WritebackEnergy / res.TunerEnergy
+	}
+	return res
+}

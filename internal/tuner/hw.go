@@ -1,0 +1,93 @@
+package tuner
+
+import (
+	"fmt"
+
+	"selftune/internal/cacti"
+	"selftune/internal/energy"
+)
+
+// HardwareModel estimates the tuner's silicon cost from its datapath
+// inventory, reproducing the paper's §4 synthesis results: about 4,000
+// gates, 0.039 mm² in 0.18 µm, 2.69 mW at 200 MHz, 64 cycles per
+// configuration evaluated, and a few nanojoules per whole search.
+type HardwareModel struct {
+	// GatesPerRegisterBit etc. are equivalent-gate costs of the
+	// datapath elements (2-input NAND equivalents).
+	GatesPerRegisterBit int
+	// SequentialMultiplierGates is the 16x16 shift-add multiplier.
+	SequentialMultiplierGates int
+	// AdderGates is the 32-bit accumulator adder.
+	AdderGates int
+	// ComparatorGates is the 32-bit magnitude comparator.
+	ComparatorGates int
+	// FSMGates covers the three state machines and control.
+	FSMGates int
+	// MuxGates covers the register-file read muxes (Figure 7).
+	MuxGates int
+	// PowerWatts is the synthesised power at ClockHz (the paper reports
+	// 2.69 mW at 200 MHz from Synopsys Design Compiler).
+	PowerWatts float64
+	// ClockHz is the tuner clock.
+	ClockHz float64
+}
+
+// NewHardwareModel returns the calibrated 0.18 µm model.
+func NewHardwareModel() *HardwareModel {
+	return &HardwareModel{
+		GatesPerRegisterBit:       8,
+		SequentialMultiplierGates: 700,
+		AdderGates:                230,
+		ComparatorGates:           160,
+		FSMGates:                  250,
+		MuxGates:                  220,
+		PowerWatts:                2.69e-3,
+		ClockHz:                   200e6,
+	}
+}
+
+// RegisterBits is the datapath register inventory (Figure 7): fifteen
+// 16-bit energy registers, three 32-bit collection registers, the 32-bit
+// energy and lowest-energy registers, and the 7-bit configure register.
+func (h *HardwareModel) RegisterBits() int {
+	return 15*16 + 3*32 + 2*32 + 7
+}
+
+// Gates returns the equivalent gate count.
+func (h *HardwareModel) Gates() int {
+	return h.RegisterBits()*h.GatesPerRegisterBit +
+		h.SequentialMultiplierGates + h.AdderGates + h.ComparatorGates +
+		h.FSMGates + h.MuxGates
+}
+
+// AreaMM2 returns the silicon area in the given technology.
+func (h *HardwareModel) AreaMM2(t cacti.Tech) float64 {
+	return t.GateArea(h.Gates())
+}
+
+// AreaOverheadVsMIPS returns the area relative to a MIPS 4Kp-class core
+// with caches (~1.2 mm² in 0.18 µm, per the MIPS datasheet the paper
+// cites); the paper reports just over 3%.
+func (h *HardwareModel) AreaOverheadVsMIPS(t cacti.Tech) float64 {
+	const mips4kpMM2 = 1.2
+	return h.AreaMM2(t) / mips4kpMM2
+}
+
+// PowerOverheadVsMIPS returns tuner power relative to a ~0.5 W MIPS-class
+// core; the paper reports about 0.5%.
+func (h *HardwareModel) PowerOverheadVsMIPS() float64 {
+	const mipsWatts = 0.5
+	return h.PowerWatts / mipsWatts
+}
+
+// SearchEnergy applies Equation 2 for a search that evaluated numSearch
+// configurations at cyclesPerConfig each.
+func (h *HardwareModel) SearchEnergy(p *energy.Params, cyclesPerConfig, numSearch int) float64 {
+	return p.TunerEnergy(h.PowerWatts, cyclesPerConfig, numSearch)
+}
+
+// String summarises the cost estimate.
+func (h *HardwareModel) String() string {
+	return fmt.Sprintf("tuner hw: %d gates, %.2f mW @ %.0f MHz",
+		h.Gates(), h.PowerWatts*1e3, h.ClockHz/1e6)
+}

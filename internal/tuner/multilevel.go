@@ -1,0 +1,111 @@
+package tuner
+
+import "fmt"
+
+// This file generalises the heuristic to a multilevel hierarchy (paper
+// §3.4): with n tunable parameters of m values each, brute force examines
+// m^n combinations while the one-parameter-at-a-time heuristic examines at
+// most m*n. The paper's example tunes the line sizes of 16 KB 8-way L1
+// instruction and data caches and a 256 KB 8-way unified L2.
+
+// LevelParam is one tunable parameter of a hierarchy.
+type LevelParam struct {
+	// Name identifies the parameter (e.g. "L1I line").
+	Name string
+	// Values are the candidate settings in sweep order.
+	Values []int
+}
+
+// MultilevelResult records a hierarchy search.
+type MultilevelResult struct {
+	// Best holds the chosen value per parameter, in input order.
+	Best []int
+	// BestEnergy is the energy of the chosen combination.
+	BestEnergy float64
+	// Examined is the number of combinations measured.
+	Examined int
+	// BruteForceSize is the full cross-product size for comparison.
+	BruteForceSize int
+}
+
+// MultilevelSearch tunes each parameter in turn with the others held at
+// their current best, sweeping values in order and stopping a sweep at the
+// first value that fails to improve — the paper's heuristic applied per
+// level. eval receives one value per parameter.
+func MultilevelSearch(eval func(values []int) float64, params []LevelParam) MultilevelResult {
+	if len(params) == 0 {
+		return MultilevelResult{}
+	}
+	cur := make([]int, len(params))
+	for i, p := range params {
+		if len(p.Values) == 0 {
+			panic(fmt.Sprintf("tuner: parameter %q has no values", p.Name))
+		}
+		cur[i] = p.Values[0]
+	}
+	res := MultilevelResult{BruteForceSize: 1}
+	for _, p := range params {
+		res.BruteForceSize *= len(p.Values)
+	}
+	memo := map[string]float64{}
+	measure := func(values []int) float64 {
+		key := fmt.Sprint(values)
+		if e, ok := memo[key]; ok {
+			return e
+		}
+		e := eval(values)
+		memo[key] = e
+		res.Examined++
+		return e
+	}
+
+	bestE := measure(cur)
+	for i, p := range params {
+		for _, v := range p.Values[1:] {
+			cand := append([]int(nil), cur...)
+			cand[i] = v
+			e := measure(cand)
+			if e < bestE {
+				bestE = e
+				cur = cand
+			} else {
+				break
+			}
+		}
+	}
+	res.Best = cur
+	res.BestEnergy = bestE
+	return res
+}
+
+// MultilevelBruteForce measures every combination (for validating the
+// heuristic's choice quality in tests and benches).
+func MultilevelBruteForce(eval func(values []int) float64, params []LevelParam) MultilevelResult {
+	res := MultilevelResult{BruteForceSize: 1}
+	for _, p := range params {
+		res.BruteForceSize *= len(p.Values)
+	}
+	cur := make([]int, len(params))
+	var best []int
+	bestE := 0.0
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(params) {
+			e := eval(cur)
+			res.Examined++
+			if best == nil || e < bestE {
+				best = append([]int(nil), cur...)
+				bestE = e
+			}
+			return
+		}
+		for _, v := range params[i].Values {
+			cur[i] = v
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	res.Best = best
+	res.BestEnergy = bestE
+	return res
+}

@@ -1,0 +1,71 @@
+package tuner
+
+import "selftune/internal/cache"
+
+// Objective maps a measured configuration to the scalar the search
+// minimises. The paper's tuner minimises total memory-access energy; the
+// authors' follow-up work also considers performance-aware objectives,
+// which the same heuristic supports unchanged — only the datapath's
+// computed figure differs.
+type Objective func(EvalResult) float64
+
+// EnergyObjective is the paper's Equation 1 total.
+func EnergyObjective(r EvalResult) float64 { return r.Energy }
+
+// EDPObjective is the energy-delay product: energy times the interval's
+// cycles. It penalises configurations that save energy by stalling (small
+// caches with high miss rates) and favours the performance-balanced points.
+func EDPObjective(r EvalResult) float64 {
+	return r.Energy * float64(r.Breakdown.Cycles)
+}
+
+// DelayCapObjective minimises energy among configurations whose cycle count
+// stays within slack (e.g. 1.05 = 5% slowdown) of the best cycle count seen
+// so far; configurations beyond the cap are heavily penalised. It models
+// "lowest energy subject to a performance constraint" tuning relative to a
+// baseline measurement.
+func DelayCapObjective(baselineCycles uint64, slack float64) Objective {
+	cap := float64(baselineCycles) * slack
+	return func(r EvalResult) float64 {
+		if float64(r.Breakdown.Cycles) > cap {
+			// Still ordered (prefer the least-slow violator), but
+			// strictly after every in-budget configuration.
+			return 1e6 * r.Energy * (float64(r.Breakdown.Cycles) / cap)
+		}
+		return r.Energy
+	}
+}
+
+// SearchObjective runs the heuristic minimising an arbitrary objective over
+// an arbitrary space. Search/SearchPaper are the energy-objective wrappers.
+func SearchObjective(eval Evaluator, order []Param, space Space, obj Objective) SearchResult {
+	wrapped := EvaluatorFunc(func(cfg cache.Config) EvalResult {
+		r := eval.Evaluate(cfg)
+		r.Energy = obj(r)
+		return r
+	})
+	res := SearchInSpace(wrapped, order, space)
+	restore(&res, eval)
+	return res
+}
+
+// ExhaustiveObjective measures every configuration under an objective.
+func ExhaustiveObjective(eval Evaluator, configs []cache.Config, obj Objective) SearchResult {
+	wrapped := EvaluatorFunc(func(cfg cache.Config) EvalResult {
+		r := eval.Evaluate(cfg)
+		r.Energy = obj(r)
+		return r
+	})
+	res := ExhaustiveConfigs(wrapped, configs)
+	restore(&res, eval)
+	return res
+}
+
+// restore rewrites the recorded results with the true energies (the
+// objective value only steered the search).
+func restore(res *SearchResult, eval Evaluator) {
+	for i := range res.Examined {
+		res.Examined[i] = eval.Evaluate(res.Examined[i].Cfg)
+	}
+	res.Best = eval.Evaluate(res.Best.Cfg)
+}

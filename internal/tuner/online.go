@@ -1,0 +1,180 @@
+package tuner
+
+import (
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+)
+
+// Online drives a live configurable cache through the heuristic without
+// ever flushing it, the way the on-chip tuner hardware does: each candidate
+// configuration is applied to the running cache and measured over the next
+// window of accesses. Because the heuristic only grows size/associativity
+// and only changes line size otherwise, every reconfiguration is flush-free
+// (§3.3); the final settle to the chosen configuration is the only
+// transition that may shrink, and its writeback cost is recorded.
+type Online struct {
+	cache  *cache.Configurable
+	params *energy.Params
+	window uint64
+	warmup uint64
+
+	req  chan cache.Config
+	resp chan EvalResult
+	done chan SearchResult
+	quit chan struct{}
+
+	pending    bool
+	count      uint64
+	warmupLeft uint64
+	finished   bool
+	aborted    bool
+	result     SearchResult
+	settleWB   uint64
+}
+
+// NewOnline starts a tuning session on c. window is the number of accesses
+// each configuration is measured over (the hardware's measurement
+// interval). The search begins at the smallest configuration.
+func NewOnline(c *cache.Configurable, p *energy.Params, window uint64) *Online {
+	o := &Online{
+		cache:  c,
+		params: p,
+		window: window,
+		// A quarter-window warmup after each reconfiguration keeps the
+		// transition transient (blocks stranded by the remapping
+		// re-missing once) out of the measurement, which would
+		// otherwise bias the sweep against growth steps.
+		warmup: window / 4,
+		req:    make(chan cache.Config),
+		resp:   make(chan EvalResult),
+		done:   make(chan SearchResult, 1),
+		quit:   make(chan struct{}),
+	}
+	// The search logic runs in its own goroutine; Evaluate blocks until
+	// the measurement window completes. This reuses the exact heuristic
+	// implementation for the online hardware behaviour.
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSession); ok {
+					return // Abort unwound the search
+				}
+				panic(r)
+			}
+		}()
+		res := Search(EvaluatorFunc(func(cfg cache.Config) EvalResult {
+			select {
+			case o.req <- cfg:
+			case <-o.quit:
+				panic(abortSession{})
+			}
+			select {
+			case r := <-o.resp:
+				return r
+			case <-o.quit:
+				panic(abortSession{})
+			}
+		}), PaperOrder)
+		o.done <- res
+		close(o.req)
+	}()
+	o.advance()
+	return o
+}
+
+// advance applies the search's next requested configuration, or completes.
+func (o *Online) advance() {
+	select {
+	case res := <-o.done:
+		o.finish(res)
+	case cfg, ok := <-o.req:
+		if !ok {
+			// The search goroutine closed req after publishing its
+			// result; the select may observe the close first.
+			o.finish(<-o.done)
+			return
+		}
+		o.apply(cfg)
+		o.cache.ResetStats()
+		o.count = 0
+		o.warmupLeft = o.warmup
+		o.pending = true
+	}
+}
+
+func (o *Online) finish(res SearchResult) {
+	o.result = res
+	o.finished = true
+	o.apply(res.Best.Cfg)
+}
+
+// apply reconfigures the live cache. Most transitions are flush-free
+// growth; retreating from a rejected larger size to the sweep's best (and
+// the final settle) shrinks, which way shutdown pays for by writing back
+// only the dirty lines of the deactivated banks — never a full flush.
+func (o *Online) apply(cfg cache.Config) {
+	before := o.cache.Stats().SettleWritebacks
+	o.cache.AllowShrink = true
+	if err := o.cache.SetConfig(cfg); err != nil {
+		panic("tuner: online transition rejected: " + err.Error())
+	}
+	o.cache.AllowShrink = false
+	o.settleWB += o.cache.Stats().SettleWritebacks - before
+}
+
+// abortSession unwinds the search goroutine when Abort is called.
+type abortSession struct{}
+
+// Abort ends an unfinished session: the search goroutine unwinds, the cache
+// keeps its current configuration, and subsequent Access calls behave as a
+// plain cache. Harmless after completion.
+func (o *Online) Abort() {
+	if o.finished || o.aborted {
+		return
+	}
+	o.aborted = true
+	o.pending = false
+	close(o.quit)
+}
+
+// Aborted reports whether the session was cancelled.
+func (o *Online) Aborted() bool { return o.aborted }
+
+// SettleWritebacks returns the dirty lines written back by shrinking
+// transitions over the whole session (zero for instruction caches; small
+// for data caches — compare FlushAblation for the largest-first ordering).
+func (o *Online) SettleWritebacks() uint64 { return o.settleWB }
+
+// Access feeds one reference through the cache and advances the tuning
+// session when the window completes.
+func (o *Online) Access(addr uint32, write bool) cache.AccessResult {
+	r := o.cache.Access(addr, write)
+	if o.pending {
+		if o.warmupLeft > 0 {
+			o.warmupLeft--
+			if o.warmupLeft == 0 {
+				o.cache.ResetStats()
+			}
+			return r
+		}
+		o.count++
+		if o.count >= o.window {
+			o.pending = false
+			cfg := o.cache.Config()
+			st := o.cache.Stats()
+			b := o.params.Evaluate(cfg, st)
+			o.resp <- EvalResult{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}
+			o.advance()
+		}
+	}
+	return r
+}
+
+// Done reports whether the search has settled.
+func (o *Online) Done() bool { return o.finished }
+
+// Result returns the completed search (zero until Done).
+func (o *Online) Result() SearchResult { return o.result }
+
+// Cache returns the cache under tuning.
+func (o *Online) Cache() *cache.Configurable { return o.cache }

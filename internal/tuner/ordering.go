@@ -1,0 +1,38 @@
+package tuner
+
+// AllOrders enumerates the 24 permutations of the four tunable parameters.
+// The paper compares its impact-derived ordering (size, line, assoc, pred)
+// against one strawman; the tournament over all orderings (see the ordering
+// ablation test and bench) shows why the impact analysis of §3.2 matters:
+// orderings that defer the size decision systematically miss the optimum.
+func AllOrders() [][]Param {
+	base := []Param{ParamSize, ParamLine, ParamAssoc, ParamPred}
+	var out [][]Param
+	var permute func(cur []Param, rest []Param)
+	permute = func(cur []Param, rest []Param) {
+		if len(rest) == 0 {
+			out = append(out, append([]Param(nil), cur...))
+			return
+		}
+		for i := range rest {
+			next := make([]Param, 0, len(rest)-1)
+			next = append(next, rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			permute(append(cur, rest[i]), next)
+		}
+	}
+	permute(nil, base)
+	return out
+}
+
+// OrderName renders an ordering compactly, e.g. "size>line>assoc>pred".
+func OrderName(order []Param) string {
+	s := ""
+	for i, p := range order {
+		if i > 0 {
+			s += ">"
+		}
+		s += p.String()
+	}
+	return s
+}

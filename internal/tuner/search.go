@@ -1,0 +1,223 @@
+package tuner
+
+import "selftune/internal/cache"
+
+// Param identifies one tunable cache parameter.
+type Param int
+
+// The four tunable parameters (paper §1).
+const (
+	ParamSize Param = iota
+	ParamLine
+	ParamAssoc
+	ParamPred
+)
+
+// String names the parameter.
+func (p Param) String() string {
+	switch p {
+	case ParamSize:
+		return "size"
+	case ParamLine:
+		return "line"
+	case ParamAssoc:
+		return "assoc"
+	case ParamPred:
+		return "pred"
+	default:
+		return "?"
+	}
+}
+
+// PaperOrder is the Figure 6 ordering derived from the impact analysis of
+// §3.2: cache size first, then line size, then associativity, then way
+// prediction.
+var PaperOrder = []Param{ParamSize, ParamLine, ParamAssoc, ParamPred}
+
+// AlternativeOrder is the ordering the paper evaluates as a strawman in §4
+// (line size, associativity, way prediction, then cache size), which misses
+// the optimum on most benchmarks.
+var AlternativeOrder = []Param{ParamLine, ParamAssoc, ParamPred, ParamSize}
+
+// SearchResult records a completed search.
+type SearchResult struct {
+	// Best is the selected configuration.
+	Best EvalResult
+	// Examined lists every configuration measured, in order. Its length
+	// is the paper's "No." column (configurations examined).
+	Examined []EvalResult
+}
+
+// NumExamined is the number of configurations the search measured.
+func (r SearchResult) NumExamined() int { return len(r.Examined) }
+
+// Space is the configuration space a search walks: the candidate values per
+// parameter in sweep order, a realisability check, and the starting point.
+// DefaultSpace is the paper's 27-configuration space; GeometrySpace derives
+// a space from a scalable-cache geometry (§3.4's larger-cache future work).
+type Space struct {
+	// Sizes, Assocs and Lines are candidate values, smallest first.
+	Sizes, Assocs, Lines []int
+	// Valid reports whether a combination is realisable.
+	Valid func(cache.Config) bool
+	// Start is the initial (smallest) configuration.
+	Start cache.Config
+}
+
+// DefaultSpace returns the paper's four-bank configuration space.
+func DefaultSpace() Space {
+	return Space{
+		Sizes:  cache.SizeValues,
+		Assocs: cache.AssocValues,
+		Lines:  cache.LineValues,
+		Valid:  func(c cache.Config) bool { return c.Validate() == nil },
+		Start:  cache.MinConfig(),
+	}
+}
+
+// GeometrySpace returns the configuration space of a scalable geometry.
+func GeometrySpace(geo cache.Geometry) Space {
+	return Space{
+		Sizes:  geo.SizeValues(),
+		Assocs: geo.AssocValues(),
+		Lines:  geo.LineValues(),
+		Valid:  func(c cache.Config) bool { return geo.ValidateConfig(c) == nil },
+		Start:  geo.MinConfig(),
+	}
+}
+
+// search drives one sweep-per-parameter hill climb.
+type search struct {
+	eval  Evaluator
+	space Space
+	res   SearchResult
+	cur   cache.Config
+	best  EvalResult
+	seen  map[cache.Config]bool
+}
+
+// measure evaluates cfg (once), records it, and updates the incumbent.
+func (s *search) measure(cfg cache.Config) EvalResult {
+	r := s.eval.Evaluate(cfg)
+	if !s.seen[cfg] {
+		s.seen[cfg] = true
+		s.res.Examined = append(s.res.Examined, r)
+	}
+	if s.best.Cfg == (cache.Config{}) || r.Energy < s.best.Energy {
+		s.best = r
+	}
+	return r
+}
+
+// Search runs the heuristic with the given parameter order in the paper's
+// four-bank configuration space, starting from the smallest configuration
+// (2 KB, 1-way, 16 B, prediction off) and sweeping each parameter in the
+// flush-free growth direction while energy keeps strictly decreasing
+// (paper Figure 6).
+func Search(eval Evaluator, order []Param) SearchResult {
+	return SearchInSpace(eval, order, DefaultSpace())
+}
+
+// SearchInSpace runs the heuristic over an arbitrary configuration space —
+// the §3.4 scalability path: with n parameters of m values each it examines
+// at most m*n configurations instead of the space's full product.
+func SearchInSpace(eval Evaluator, order []Param, space Space) SearchResult {
+	s := &search{eval: eval, space: space, cur: space.Start, seen: map[cache.Config]bool{}}
+	prev := s.measure(s.cur)
+	for _, p := range order {
+		prev = s.sweep(p, prev)
+	}
+	s.res.Best = s.best
+	return s.res
+}
+
+// SearchPaper runs the paper's heuristic ordering.
+func SearchPaper(eval Evaluator) SearchResult { return Search(eval, PaperOrder) }
+
+// sweep walks one parameter upward from its current value, keeping the best
+// value seen and stopping at the first configuration that fails to improve.
+// prev is the measurement of the current configuration; the returned value
+// measures the configuration the search settles on.
+func (s *search) sweep(p Param, prev EvalResult) EvalResult {
+	bestLocal := prev
+	for _, cfg := range s.candidates(p) {
+		r := s.measure(cfg)
+		if r.Energy < bestLocal.Energy {
+			bestLocal = r
+		} else {
+			break
+		}
+	}
+	s.cur = bestLocal.Cfg
+	return bestLocal
+}
+
+// candidates lists the next values of parameter p above the current
+// configuration, skipping unrealisable combinations.
+func (s *search) candidates(p Param) []cache.Config {
+	var out []cache.Config
+	switch p {
+	case ParamSize:
+		for _, size := range s.space.Sizes {
+			if size <= s.cur.SizeBytes {
+				continue
+			}
+			c := s.cur
+			c.SizeBytes = size
+			if s.space.Valid(c) {
+				out = append(out, c)
+			}
+		}
+	case ParamLine:
+		for _, line := range s.space.Lines {
+			if line <= s.cur.LineBytes {
+				continue
+			}
+			c := s.cur
+			c.LineBytes = line
+			if s.space.Valid(c) {
+				out = append(out, c)
+			}
+		}
+	case ParamAssoc:
+		for _, ways := range s.space.Assocs {
+			if ways <= s.cur.Ways {
+				continue
+			}
+			c := s.cur
+			c.Ways = ways
+			if s.space.Valid(c) {
+				out = append(out, c)
+			}
+		}
+	case ParamPred:
+		if s.cur.Ways > 1 && !s.cur.WayPredict {
+			c := s.cur
+			c.WayPredict = true
+			if s.space.Valid(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Exhaustive measures all 27 configurations and returns the optimum — the
+// baseline the heuristic's quality is judged against (paper §4).
+func Exhaustive(eval Evaluator) SearchResult {
+	return ExhaustiveConfigs(eval, cache.AllConfigs())
+}
+
+// ExhaustiveConfigs measures an explicit configuration list (e.g. a
+// scalable geometry's Configs).
+func ExhaustiveConfigs(eval Evaluator, configs []cache.Config) SearchResult {
+	var res SearchResult
+	for _, cfg := range configs {
+		r := eval.Evaluate(cfg)
+		res.Examined = append(res.Examined, r)
+		if res.Best.Cfg == (cache.Config{}) || r.Energy < res.Best.Energy {
+			res.Best = r
+		}
+	}
+	return res
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+
+	"selftune/internal/trace"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 19 {
+		t.Fatalf("Profiles() = %d, want the paper's 19 benchmarks", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Paper.ICfg == "" || p.Paper.DCfg == "" {
+			t.Errorf("%s missing paper Table 1 row", p.Name)
+		}
+		if len(p.Code) == 0 || len(p.Data) == 0 || p.InstPerStep <= 0 {
+			t.Errorf("%s incompletely specified", p.Name)
+		}
+	}
+	for _, name := range []string{"padpcm", "jpeg", "mpeg2", "g721"} {
+		if !seen[name] {
+			t.Errorf("missing paper benchmark %q", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("crc")
+	if !ok || p.Name != "crc" {
+		t.Fatal("ByName(crc) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted a bogus name")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("jpeg")
+	a := p.Generate(5000)
+	q, _ := ByName("jpeg")
+	b := q.Generate(5000)
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("Generate lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamsStayInDeclaredRanges(t *testing.T) {
+	for _, p := range Profiles() {
+		accs := p.Generate(20_000)
+		for _, a := range accs {
+			if a.Kind == trace.InstFetch {
+				ok := false
+				for _, r := range p.Code {
+					if a.Addr >= r.Base && a.Addr < r.Base+uint32(r.Size) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("%s: fetch %#x outside all code regions", p.Name, a.Addr)
+				}
+			} else {
+				ok := false
+				for _, d := range append(append([]ArrayRef{}, p.Data...), p.InitData...) {
+					if a.Addr >= d.Base && a.Addr < d.Base+uint32(d.Size) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("%s: data ref %#x outside all arrays", p.Name, a.Addr)
+				}
+			}
+		}
+	}
+}
+
+func TestMixMatchesSpec(t *testing.T) {
+	p, _ := ByName("blit")
+	accs := p.Generate(30_000)
+	s := trace.Summarize(accs)
+	wantRatio := float64(p.DataPerStep) / float64(p.InstPerStep)
+	gotRatio := float64(s.Reads+s.Writes) / float64(s.Inst)
+	if gotRatio < 0.8*wantRatio || gotRatio > 1.2*wantRatio {
+		t.Errorf("data/inst ratio = %.3f, want ~%.3f", gotRatio, wantRatio)
+	}
+	// blit's destination stream is write-heavy.
+	if s.Writes == 0 || s.Reads == 0 {
+		t.Errorf("blit stream missing reads or writes: %+v", s)
+	}
+}
+
+func TestWritePctRespected(t *testing.T) {
+	p := &Profile{
+		Name: "wtest", Seed: 1, InstPerStep: 10, DataPerStep: 10,
+		Code: []CodeRegion{{Base: codeBase, Size: 256, RunBytes: 64, Weight: 1}},
+		Data: []ArrayRef{{Base: dataBase, Size: 1024, Stride: 4, RunLen: 4, WritePct: 100, Weight: 1}},
+	}
+	for _, a := range p.Generate(2000) {
+		if a.IsData() && !a.IsWrite() {
+			t.Fatal("WritePct=100 produced a read")
+		}
+	}
+}
+
+func TestParserLikeFootprint(t *testing.T) {
+	p := ParserLike()
+	accs := p.Generate(200_000)
+	s := trace.Summarize(accs)
+	// The Figure 2 workload needs a footprint far beyond 8 KB.
+	if s.UniqueLines16 < 2048 {
+		t.Errorf("parser-like footprint = %d lines (%d KB), want >= 32 KB",
+			s.UniqueLines16, s.UniqueLines16*16/1024)
+	}
+}
+
+func TestAlternationGrainIsSticky(t *testing.T) {
+	// With sticky runs, consecutive data refs should come from the same
+	// array RunLen at a time.
+	p := &Profile{
+		Name: "sticky", Seed: 3, InstPerStep: 4, DataPerStep: 4,
+		Code: []CodeRegion{{Base: codeBase, Size: 256, RunBytes: 64, Weight: 1}},
+		Data: []ArrayRef{
+			{Base: dataBase, Size: 4096, Stride: 4, RunLen: 4, Weight: 1},
+			{Base: dataBase + 0x10000, Size: 4096, Stride: 4, RunLen: 4, Weight: 1},
+		},
+	}
+	var data []trace.Access
+	for _, a := range p.Generate(4000) {
+		if a.IsData() {
+			data = append(data, a)
+		}
+	}
+	// Count switches between the arrays; with RunLen 4 there should be
+	// about len(data)/4 runs, not len(data)/2 (which random picking with
+	// two arrays would give).
+	switches := 0
+	for i := 1; i < len(data); i++ {
+		if (data[i].Addr >= dataBase+0x10000) != (data[i-1].Addr >= dataBase+0x10000) {
+			switches++
+		}
+	}
+	maxSwitches := len(data)/4 + len(data)/20
+	if switches > maxSwitches {
+		t.Errorf("%d switches in %d refs; runs are not sticky (want <= %d)",
+			switches, len(data), maxSwitches)
+	}
+}
