@@ -10,6 +10,8 @@ package selftune_test
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"selftune/internal/cache"
@@ -462,4 +464,31 @@ func BenchmarkScalableSpace(b *testing.B) {
 		float64(examined)/float64(len(streams)), misses, len(streams))
 	b.ReportMetric(float64(examined)/float64(len(streams)), "avg-examined-of-64")
 	b.ReportMetric(float64(misses), "optimum-misses")
+}
+
+// BenchmarkSweepSerialVsParallel times the exhaustive 27-configuration sweep
+// through the replay engine at one worker versus GOMAXPROCS workers. The
+// results are checked bit-identical before timing; on a multicore machine the
+// parallel sub-benchmark's ns/op should drop roughly linearly with cores.
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	p := energy.DefaultParams()
+	prof, _ := workload.ByName("mpeg2")
+	_, data := trace.Split(trace.NewSliceSource(prof.Generate(benchAccesses)))
+	configs := cache.AllConfigs()
+
+	serial := tuner.ExhaustiveWorkers(tuner.NewTraceEvaluator(data, p), configs, 1)
+	parallel := tuner.ExhaustiveWorkers(tuner.NewTraceEvaluator(data, p), configs, runtime.GOMAXPROCS(0))
+	if !reflect.DeepEqual(serial, parallel) {
+		b.Fatal("parallel sweep is not bit-identical to the serial sweep")
+	}
+
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh evaluator per iteration so the memo
+				// cannot short-circuit the replays being timed.
+				tuner.ExhaustiveWorkers(tuner.NewTraceEvaluator(data, p), configs, w)
+			}
+		})
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"selftune/internal/energy"
 	"selftune/internal/experiments"
@@ -18,9 +19,10 @@ import (
 func main() {
 	n := flag.Int("n", 150_000, "accesses to simulate per benchmark")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers")
 	flag.Parse()
 
-	r := experiments.Table1(*n, energy.DefaultParams())
+	r := experiments.Table1Workers(*n, energy.DefaultParams(), *workers)
 	tb := r.Table()
 	if *csv {
 		if err := tb.WriteCSV(os.Stdout); err != nil {

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"selftune/internal/cache"
 	"selftune/internal/core"
@@ -16,6 +17,7 @@ import (
 	"selftune/internal/programs"
 	"selftune/internal/report"
 	"selftune/internal/trace"
+	"selftune/internal/tuner"
 	"selftune/internal/workload"
 )
 
@@ -27,6 +29,8 @@ func main() {
 	n := flag.Int("n", 600_000, "accesses to simulate (synthetic profiles)")
 	window := flag.Uint64("window", 10_000, "accesses per tuner measurement window")
 	mode := flag.String("mode", "once", "tuning mode: once, periodic or phase")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers for the -compare sweep")
+	compare := flag.Bool("compare", false, "after the run, sweep all 27 configurations offline and compare the tuner's choices against the exhaustive optimum")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +64,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *compare {
+		src = &recordingSource{src: src}
+	}
 	sys := core.New(opts)
 	ran := sys.Run(src, limit)
 	fmt.Printf("ran %d accesses, mode=%s\n", ran, *mode)
@@ -84,6 +91,53 @@ func main() {
 		sys.DConfig(), r.DBreak, 100*r.DStats.MissRate(), base, report.Pct(1-r.DBreak.Total()/dBase))
 	fmt.Printf("tuner energy: %.2f nJ (%.6f%% of memory-access energy)\n",
 		r.TunerEnergy*1e9, 100*r.TunerEnergy/(r.IBreak.Total()+r.DBreak.Total()))
+
+	if rec, ok := src.(*recordingSource); ok {
+		compareOffline(rec.accs, sys, p, *workers)
+	}
+}
+
+// recordingSource passes a stream through while keeping a copy, so the run
+// can be replayed offline afterwards.
+type recordingSource struct {
+	src  trace.Source
+	accs []trace.Access
+}
+
+func (r *recordingSource) Next() (trace.Access, bool) {
+	a, ok := r.src.Next()
+	if ok {
+		r.accs = append(r.accs, a)
+	}
+	return a, ok
+}
+
+// compareOffline sweeps all 27 configurations over the recorded instruction
+// and data streams through the replay engine's worker pool and reports how
+// far the online tuner's choices sit from the exhaustive optimum.
+func compareOffline(accs []trace.Access, sys *core.System, p *energy.Params, workers int) {
+	inst, data := trace.Split(trace.NewSliceSource(accs))
+	fmt.Printf("\noffline exhaustive sweep of the recorded trace (%d configs, %d workers):\n",
+		len(cache.AllConfigs()), workers)
+	for _, s := range []struct {
+		name   string
+		accs   []trace.Access
+		chosen cache.Config
+	}{{"I$", inst, sys.IConfig()}, {"D$", data, sys.DConfig()}} {
+		if len(s.accs) == 0 {
+			fmt.Printf("%s: no recorded accesses\n", s.name)
+			continue
+		}
+		ev := tuner.NewTraceEvaluator(s.accs, p)
+		opt := tuner.ExhaustiveWorkers(ev, cache.AllConfigs(), workers).Best
+		online := ev.Evaluate(s.chosen)
+		if s.chosen == opt.Cfg {
+			fmt.Printf("%s: online choice %v IS the exhaustive optimum\n", s.name, s.chosen)
+		} else {
+			fmt.Printf("%s: online choice %v costs +%s vs optimum %v\n",
+				s.name, s.chosen, report.Pct(online.Energy/opt.Energy-1), opt.Cfg)
+		}
+	}
 }
 
 func pickSource(wl, kernel, traceFile string, n int) (trace.Source, int, error) {

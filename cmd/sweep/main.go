@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"selftune/internal/energy"
 	"selftune/internal/experiments"
@@ -20,12 +21,13 @@ import (
 func main() {
 	fig := flag.Int("fig", 2, "figure to regenerate (2, 3 or 4)")
 	n := flag.Int("n", 200_000, "accesses to simulate per data point")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers")
 	flag.Parse()
 
 	p := energy.DefaultParams()
 	switch *fig {
 	case 2:
-		pts := experiments.Figure2(*n, p)
+		pts := experiments.Figure2Workers(*n, p, *workers)
 		var sizes []string
 		var onChip, offChip, total []float64
 		for _, pt := range pts {
@@ -41,7 +43,7 @@ func main() {
 		fmt.Printf("minimum total energy at %dKB\n", experiments.Knee(pts).SizeBytes/1024)
 	case 3, 4:
 		inst := *fig == 3
-		rows := experiments.Figure34(*n, inst, p)
+		rows := experiments.Figure34Workers(*n, inst, p, *workers)
 		name := "data"
 		if inst {
 			name = "instruction"

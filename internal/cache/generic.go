@@ -150,6 +150,20 @@ func (g *Generic) Access(addr uint32, write bool) AccessResult {
 	return res
 }
 
+// DirtyLines returns the number of valid dirty lines, counted at 16 B
+// physical-line granularity like the configurable cache, so the
+// end-of-interval drain prices both models' residual write traffic on the
+// same scale.
+func (g *Generic) DirtyLines() int {
+	n := 0
+	for i := range g.lines {
+		if g.lines[i].valid && g.lines[i].dirty {
+			n += int(g.sublinesPerFill)
+		}
+	}
+	return n
+}
+
 // Flush writes back all dirty lines and invalidates the cache.
 func (g *Generic) Flush() {
 	for i := range g.lines {

@@ -1,0 +1,167 @@
+// Package engine owns trace replay end-to-end: it replays a shared immutable
+// reference stream through a freshly built cache simulator per configuration,
+// applies the end-of-interval dirty-line drain and the Equation 1 energy
+// pricing exactly once, memoises per-configuration results behind a mutex,
+// and fans sweeps out across a bounded worker pool. Every evaluator and
+// experiment sweep in the repository (tuner.TraceEvaluator,
+// tuner.ScalableEvaluator, the exhaustive baselines, the ordering
+// tournament, and the Table 1 / Figure 2-4 / window-sensitivity experiment
+// generators) routes through this package, so the replay semantics are
+// defined in one place and every sweep parallelises the same way.
+package engine
+
+import (
+	"sync"
+
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+	"selftune/internal/trace"
+)
+
+// Simulator is the replay contract: a cache the engine can drive through a
+// reference stream and account for afterwards. cache.Configurable,
+// cache.Scalable and cache.Generic all implement it.
+type Simulator interface {
+	cache.Simulator
+	// DirtyLines reports the dirty lines still resident at interval end;
+	// the engine charges them as writebacks (the drain) so a larger cache
+	// gets no credit for merely postponing write traffic past the
+	// measurement horizon.
+	DirtyLines() int
+}
+
+// Factory builds a fresh, cold Simulator for one configuration. The engine
+// calls it once per configuration (results are memoised), possibly from
+// several goroutines at once for different configurations.
+type Factory[C comparable] func(C) Simulator
+
+// Model binds a configuration type to simulator construction and energy
+// pricing. C is the configuration key (cache.Config for the four-bank and
+// scalable caches, cache.GenericConfig for conventional caches).
+type Model[C comparable] struct {
+	// Build constructs the simulator for a configuration.
+	Build Factory[C]
+	// Price applies Equation 1 to the interval's counters.
+	Price func(C, cache.Stats) energy.Breakdown
+	// NoDrain skips the end-of-interval dirty-line drain. The tuner's
+	// evaluators always drain; the Figure 2-4 sweeps reproduce the
+	// paper's raw per-configuration comparison, which does not.
+	NoDrain bool
+}
+
+// Result is the outcome of replaying one configuration.
+type Result[C comparable] struct {
+	// Cfg is the configuration measured.
+	Cfg C
+	// Energy is the Equation 1 total the tuner minimises.
+	Energy float64
+	// Breakdown decomposes Energy.
+	Breakdown energy.Breakdown
+	// Stats are the interval counters (drain writebacks included unless
+	// the model sets NoDrain).
+	Stats cache.Stats
+}
+
+// Engine replays one shared immutable reference stream through
+// configurations of one model. It is safe for concurrent use: results are
+// memoised behind a mutex and a configuration is replayed at most once even
+// when requested by several goroutines at the same time.
+type Engine[C comparable] struct {
+	accs  []trace.Access
+	model Model[C]
+
+	mu       sync.Mutex
+	memo     map[C]Result[C]
+	inflight map[C]*sync.WaitGroup
+}
+
+// New builds an engine over a recorded stream. The stream should be a single
+// cache's view: instruction fetches for an I-cache study or data references
+// for a D-cache study (use trace.Split). The engine aliases accs; callers
+// must not mutate it afterwards.
+func New[C comparable](accs []trace.Access, m Model[C]) *Engine[C] {
+	return &Engine[C]{
+		accs:     accs,
+		model:    m,
+		memo:     map[C]Result[C]{},
+		inflight: map[C]*sync.WaitGroup{},
+	}
+}
+
+// Len is the number of accesses replayed per configuration.
+func (e *Engine[C]) Len() int { return len(e.accs) }
+
+// Evaluate measures one configuration, memoised. Concurrent calls for the
+// same configuration replay it once; the others wait for the result.
+func (e *Engine[C]) Evaluate(cfg C) Result[C] {
+	for {
+		e.mu.Lock()
+		if r, ok := e.memo[cfg]; ok {
+			e.mu.Unlock()
+			return r
+		}
+		wg, running := e.inflight[cfg]
+		if !running {
+			wg = new(sync.WaitGroup)
+			wg.Add(1)
+			e.inflight[cfg] = wg
+		}
+		e.mu.Unlock()
+		if running {
+			wg.Wait()
+			continue
+		}
+		return e.lead(cfg, wg)
+	}
+}
+
+// lead replays cfg on behalf of every waiter and publishes the result.
+func (e *Engine[C]) lead(cfg C, wg *sync.WaitGroup) Result[C] {
+	defer func() {
+		e.mu.Lock()
+		delete(e.inflight, cfg)
+		e.mu.Unlock()
+		wg.Done()
+	}()
+	r := e.replay(cfg)
+	e.mu.Lock()
+	e.memo[cfg] = r
+	e.mu.Unlock()
+	return r
+}
+
+// replay is the one replay loop in the repository: fresh cache, full stream,
+// drain, price.
+func (e *Engine[C]) replay(cfg C) Result[C] {
+	s := e.model.Build(cfg)
+	for _, a := range e.accs {
+		s.Access(a.Addr, a.IsWrite())
+	}
+	st := s.Stats()
+	if !e.model.NoDrain {
+		// Drain: charge the dirty lines still resident at interval end
+		// as writebacks. Without this a larger cache gets credit for
+		// merely postponing write traffic past the measurement horizon,
+		// which would bias every size comparison upward.
+		st.Writebacks += uint64(s.DirtyLines())
+	}
+	b := e.model.Price(cfg, st)
+	return Result[C]{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}
+}
+
+// EvaluateAll measures every configuration, fanned out across workers
+// goroutines (non-positive means GOMAXPROCS). Results are returned in input
+// order and are bit-identical to a serial replay: each configuration's
+// simulation is independent and deterministic, so only the scheduling
+// changes with the worker count.
+func (e *Engine[C]) EvaluateAll(cfgs []C, workers int) []Result[C] {
+	return Parallel(len(cfgs), workers, func(i int) Result[C] {
+		return e.Evaluate(cfgs[i])
+	})
+}
+
+// Sweep replays one stream through every configuration in parallel — the
+// one-shot form of New(...).EvaluateAll(...).
+func Sweep[C comparable](accs []trace.Access, m Model[C], cfgs []C, workers int) []Result[C] {
+	return New(accs, m).EvaluateAll(cfgs, workers)
+}

@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+)
+
+// Configurable is the model of the paper's four-bank configurable cache
+// priced with the calibrated Equation 1 parameters — the Table 1 replay
+// methodology (full-benchmark simulation per configuration, drain included).
+func Configurable(p *energy.Params) Model[cache.Config] {
+	return Model[cache.Config]{
+		Build: func(cfg cache.Config) Simulator { return cache.MustConfigurable(cfg) },
+		Price: p.Evaluate,
+	}
+}
+
+// Scalable is the model of the generalised N-bank configurable cache priced
+// with the geometry-aware model — the §3.4 larger-cache study.
+func Scalable(geo cache.Geometry, p *energy.Params) Model[cache.Config] {
+	m := energy.ScalableModel{P: p, Geo: geo}
+	return Model[cache.Config]{
+		Build: func(cfg cache.Config) Simulator { return cache.MustScalable(geo, cfg) },
+		Price: m.Evaluate,
+	}
+}
+
+// Generic is the model of a conventional set-associative cache priced with
+// the generic Equation 1 terms — the Figure 2 sweep and multilevel L2.
+func Generic(p *energy.Params) Model[cache.GenericConfig] {
+	return Model[cache.GenericConfig]{
+		Build: func(cfg cache.GenericConfig) Simulator { return cache.MustGeneric(cfg) },
+		Price: p.GenericEvaluate,
+	}
+}

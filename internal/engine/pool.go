@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: n when positive, otherwise
+// runtime.GOMAXPROCS(0). Every -workers flag and sweep in the repository
+// funnels through this so the default is defined once.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Parallel computes fn(0..n-1) on a bounded worker pool and returns the
+// results in input order. workers is resolved by Workers; the pool never
+// exceeds n goroutines. fn must be safe for concurrent use. With one worker
+// (or n <= 1) it degenerates to a plain serial loop on the calling
+// goroutine, so serial and parallel callers share one code path and results
+// differ only in scheduling, never in value.
+func Parallel[T any](n, workers int, fn func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

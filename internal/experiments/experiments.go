@@ -2,6 +2,11 @@
 // cmd tools and bench harness render them, and the package's tests pin the
 // reproduction-quality invariants (match counts, averages, curve shapes)
 // independently of any output format.
+//
+// All replay is delegated to internal/engine: each experiment builds
+// configuration lists and streams, fans them out across the engine's worker
+// pool, and reduces the results in deterministic input order, so every
+// function is bit-identical at any worker count.
 package experiments
 
 import (
@@ -9,6 +14,7 @@ import (
 
 	"selftune/internal/cache"
 	"selftune/internal/energy"
+	"selftune/internal/engine"
 	"selftune/internal/report"
 	"selftune/internal/trace"
 	"selftune/internal/tuner"
@@ -36,32 +42,53 @@ type Table1Result struct {
 	AccessesPerBenchmark int
 }
 
-// Table1 regenerates the paper's Table 1 over the 19 benchmark profiles.
-func Table1(n int, p *energy.Params) Table1Result {
+// Table1 regenerates the paper's Table 1 over the 19 benchmark profiles
+// with the default worker count.
+func Table1(n int, p *energy.Params) Table1Result { return Table1Workers(n, p, 0) }
+
+// Table1Workers regenerates Table 1 fanning the benchmarks (and each
+// benchmark's exhaustive baseline) out across workers goroutines.
+func Table1Workers(n int, p *energy.Params, workers int) Table1Result {
 	base := cache.BaseConfig()
-	res := Table1Result{AccessesPerBenchmark: n}
-	for _, prof := range workload.Profiles() {
+	profiles := workload.Profiles()
+
+	// benchOutcome carries what one benchmark contributes to the table:
+	// its row plus the heuristic/optimal excess per cache stream.
+	type benchOutcome struct {
+		row              Table1Row
+		iExcess, dExcess float64
+	}
+	outcomes := engine.Parallel(len(profiles), workers, func(i int) benchOutcome {
+		prof := profiles[i]
 		inst, data := trace.Split(trace.NewSliceSource(prof.Generate(n)))
 		iev := tuner.NewTraceEvaluator(inst, p)
 		dev := tuner.NewTraceEvaluator(data, p)
 		ih, dh := tuner.SearchPaper(iev), tuner.SearchPaper(dev)
-		iOpt, dOpt := tuner.Exhaustive(iev).Best, tuner.Exhaustive(dev).Best
-
-		row := Table1Row{
-			Name:   prof.Name,
-			ICfg:   ih.Best.Cfg,
-			DCfg:   dh.Best.Cfg,
-			INum:   ih.NumExamined(),
-			DNum:   dh.NumExamined(),
-			ISave:  1 - ih.Best.Energy/iev.Evaluate(base).Energy,
-			DSave:  1 - dh.Best.Energy/dev.Evaluate(base).Energy,
-			IOpt:   iOpt.Cfg,
-			DOpt:   dOpt.Cfg,
-			PaperI: prof.Paper.ICfg,
-			PaperD: prof.Paper.DCfg,
+		iOpt := tuner.ExhaustiveWorkers(iev, cache.AllConfigs(), workers).Best
+		dOpt := tuner.ExhaustiveWorkers(dev, cache.AllConfigs(), workers).Best
+		return benchOutcome{
+			row: Table1Row{
+				Name:   prof.Name,
+				ICfg:   ih.Best.Cfg,
+				DCfg:   dh.Best.Cfg,
+				INum:   ih.NumExamined(),
+				DNum:   dh.NumExamined(),
+				ISave:  1 - ih.Best.Energy/iev.Evaluate(base).Energy,
+				DSave:  1 - dh.Best.Energy/dev.Evaluate(base).Energy,
+				IOpt:   iOpt.Cfg,
+				DOpt:   dOpt.Cfg,
+				PaperI: prof.Paper.ICfg,
+				PaperD: prof.Paper.DCfg,
+			},
+			iExcess: ih.Best.Energy/iOpt.Energy - 1,
+			dExcess: dh.Best.Energy/dOpt.Energy - 1,
 		}
-		res.Rows = append(res.Rows, row)
+	})
 
+	res := Table1Result{AccessesPerBenchmark: n}
+	for _, o := range outcomes {
+		row := o.row
+		res.Rows = append(res.Rows, row)
 		res.AvgINum += float64(row.INum)
 		res.AvgDNum += float64(row.DNum)
 		res.AvgISave += row.ISave
@@ -73,14 +100,14 @@ func Table1(n int, p *energy.Params) Table1Result {
 			res.PaperMatches++
 		}
 		for _, pair := range []struct {
-			h   tuner.SearchResult
-			opt tuner.EvalResult
-		}{{ih, iOpt}, {dh, dOpt}} {
-			if pair.h.Best.Cfg != pair.opt.Cfg {
+			chosen, opt cache.Config
+			excess      float64
+		}{{row.ICfg, row.IOpt, o.iExcess}, {row.DCfg, row.DOpt, o.dExcess}} {
+			if pair.chosen != pair.opt {
 				res.OptimumMisses++
 			}
-			if x := pair.h.Best.Energy/pair.opt.Energy - 1; x > res.WorstOptimumExcess {
-				res.WorstOptimumExcess = x
+			if pair.excess > res.WorstOptimumExcess {
+				res.WorstOptimumExcess = pair.excess
 			}
 		}
 	}
@@ -122,18 +149,24 @@ type Fig2Point struct {
 }
 
 // Figure2 sweeps direct-mapped caches 1 KB-1 MB over the parser-like
-// workload's data stream.
-func Figure2(n int, p *energy.Params) []Fig2Point {
+// workload's data stream with the default worker count.
+func Figure2(n int, p *energy.Params) []Fig2Point { return Figure2Workers(n, p, 0) }
+
+// Figure2Workers runs the Figure 2 size sweep fanned out across workers.
+func Figure2Workers(n int, p *energy.Params, workers int) []Fig2Point {
 	_, data := trace.Split(trace.NewSliceSource(workload.ParserLike().Generate(n)))
-	var out []Fig2Point
+	var cfgs []cache.GenericConfig
 	for size := 1 << 10; size <= 1<<20; size *= 2 {
-		cfg := cache.GenericConfig{SizeBytes: size, Ways: 1, LineBytes: 32}
-		g := cache.MustGeneric(cfg)
-		for _, a := range data {
-			g.Access(a.Addr, a.IsWrite())
-		}
-		b := p.GenericEvaluate(cfg, g.Stats())
-		out = append(out, Fig2Point{size, b.OnChip(), b.OffChip(), b.Total()})
+		cfgs = append(cfgs, cache.GenericConfig{SizeBytes: size, Ways: 1, LineBytes: 32})
+	}
+	m := engine.Generic(p)
+	// The figure reproduces the paper's raw per-size comparison, which
+	// does not charge an end-of-interval drain.
+	m.NoDrain = true
+	results := engine.Sweep(data, m, cfgs, workers)
+	out := make([]Fig2Point, len(results))
+	for i, r := range results {
+		out[i] = Fig2Point{r.Cfg.SizeBytes, r.Breakdown.OnChip(), r.Breakdown.OffChip(), r.Breakdown.Total()}
 	}
 	return out
 }
@@ -157,27 +190,37 @@ type Fig34Row struct {
 	Normalised  float64 // Energy / max over configurations
 }
 
-// Figure34 sweeps the 18 base configurations over all benchmarks; inst
-// selects the instruction (Figure 3) or data (Figure 4) stream.
+// Figure34 sweeps the 18 base configurations over all benchmarks with the
+// default worker count; inst selects the instruction (Figure 3) or data
+// (Figure 4) stream.
 func Figure34(n int, inst bool, p *energy.Params) []Fig34Row {
+	return Figure34Workers(n, inst, p, 0)
+}
+
+// Figure34Workers runs the Figure 3/4 sweep fanning the benchmarks (and
+// each benchmark's 18-configuration sweep) out across workers.
+func Figure34Workers(n int, inst bool, p *energy.Params, workers int) []Fig34Row {
 	configs := cache.BaseConfigs()
-	rows := make([]Fig34Row, len(configs))
 	profiles := workload.Profiles()
-	for _, prof := range profiles {
-		i, d := trace.Split(trace.NewSliceSource(prof.Generate(n)))
+	m := engine.Configurable(p)
+	// Like Figure 2, the figure compares raw per-configuration energy
+	// without the end-of-interval drain.
+	m.NoDrain = true
+	perProfile := engine.Parallel(len(profiles), workers, func(pi int) []engine.Result[cache.Config] {
+		i, d := trace.Split(trace.NewSliceSource(profiles[pi].Generate(n)))
 		stream := d
 		if inst {
 			stream = i
 		}
-		for ci, cfg := range configs {
-			c := cache.MustConfigurable(cfg)
-			for _, a := range stream {
-				c.Access(a.Addr, a.IsWrite())
-			}
-			st := c.Stats()
-			rows[ci].Cfg = cfg
-			rows[ci].AvgMissRate += st.MissRate()
-			rows[ci].Energy += p.Total(cfg, st)
+		return engine.Sweep(stream, m, configs, workers)
+	})
+
+	rows := make([]Fig34Row, len(configs))
+	for _, results := range perProfile {
+		for ci, r := range results {
+			rows[ci].Cfg = r.Cfg
+			rows[ci].AvgMissRate += r.Stats.MissRate()
+			rows[ci].Energy += r.Energy
 		}
 	}
 	maxE := 0.0
@@ -203,29 +246,45 @@ type WindowPoint struct {
 	AvgTuningLength float64 // accesses until the session settles
 }
 
-// WindowSensitivity studies the on-chip tuner's one free parameter: the
-// per-configuration measurement interval. Short windows finish tuning
-// sooner but measure noisier intervals; long windows converge to the
-// offline decision. Run over every benchmark's data stream.
+// WindowSensitivity studies the on-chip tuner's one free parameter with the
+// default worker count: the per-configuration measurement interval. Short
+// windows finish tuning sooner but measure noisier intervals; long windows
+// converge to the offline decision. Run over every benchmark's data stream.
 func WindowSensitivity(n int, windows []uint64, p *energy.Params) []WindowPoint {
+	return WindowSensitivityWorkers(n, windows, p, 0)
+}
+
+// WindowSensitivityWorkers runs the window study fanning the benchmark
+// streams (offline baselines and online sessions) out across workers.
+func WindowSensitivityWorkers(n int, windows []uint64, p *energy.Params, workers int) []WindowPoint {
 	type stream struct {
 		accs []trace.Access
 		opt  float64
 		ev   *tuner.TraceEvaluator
 	}
-	var streams []stream
-	for _, prof := range workload.Profiles() {
+	profiles := workload.Profiles()
+	streams := engine.Parallel(len(profiles), workers, func(i int) stream {
+		prof := profiles[i]
 		all := prof.Generate(n)
 		steady := all[prof.InitAccesses:]
 		_, data := trace.Split(trace.NewSliceSource(steady))
 		ev := tuner.NewTraceEvaluator(data, p)
-		streams = append(streams, stream{data, tuner.Exhaustive(ev).Best.Energy, ev})
-	}
+		opt := tuner.ExhaustiveWorkers(ev, cache.AllConfigs(), workers).Best.Energy
+		return stream{data, opt, ev}
+	})
 
+	// sessionOutcome is one (window, stream) online tuning session. The
+	// online tuner drives a live cache, so the session itself is serial;
+	// the sessions are independent and fan out.
+	type sessionOutcome struct {
+		excess  float64
+		settled int
+	}
 	var out []WindowPoint
 	for _, w := range windows {
-		pt := WindowPoint{Window: w}
-		for _, s := range streams {
+		w := w
+		sessions := engine.Parallel(len(streams), workers, func(si int) sessionOutcome {
+			s := streams[si]
 			c := cache.MustConfigurable(cache.MinConfig())
 			o := tuner.NewOnline(c, p, w)
 			settled := 0
@@ -245,11 +304,15 @@ func WindowSensitivity(n int, windows []uint64, p *energy.Params) []WindowPoint 
 				o.Abort()
 				excess = s.ev.Evaluate(cache.MinConfig()).Energy/s.opt - 1
 			}
-			pt.AvgExcess += excess
-			if excess > pt.WorstExcess {
-				pt.WorstExcess = excess
+			return sessionOutcome{excess, settled}
+		})
+		pt := WindowPoint{Window: w}
+		for _, se := range sessions {
+			pt.AvgExcess += se.excess
+			if se.excess > pt.WorstExcess {
+				pt.WorstExcess = se.excess
 			}
-			pt.AvgTuningLength += float64(settled)
+			pt.AvgTuningLength += float64(se.settled)
 		}
 		pt.AvgExcess /= float64(len(streams))
 		pt.AvgTuningLength /= float64(len(streams))

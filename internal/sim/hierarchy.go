@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"selftune/internal/cache"
 	"selftune/internal/energy"
@@ -96,12 +97,17 @@ func LineParams() []tuner.LevelParam {
 
 // HierarchyEvaluator returns the evaluation closure MultilevelSearch and
 // MultilevelBruteForce consume: it replays accs through a fresh hierarchy
-// with the given line sizes and returns total energy. Results are memoised.
+// with the given line sizes and returns total energy. Results are memoised
+// behind a mutex, so the closure is safe to call from concurrent searches.
 func HierarchyEvaluator(accs []trace.Access, p *energy.Params) func(values []int) float64 {
+	var mu sync.Mutex
 	memo := map[[3]int]float64{}
 	return func(values []int) float64 {
 		key := [3]int{values[0], values[1], values[2]}
-		if e, ok := memo[key]; ok {
+		mu.Lock()
+		e, ok := memo[key]
+		mu.Unlock()
+		if ok {
 			return e
 		}
 		h, err := NewHierarchy(values[0], values[1], values[2])
@@ -109,8 +115,10 @@ func HierarchyEvaluator(accs []trace.Access, p *energy.Params) func(values []int
 			panic(err)
 		}
 		h.Run(trace.NewSliceSource(accs))
-		e := h.Energy(p)
+		e = h.Energy(p)
+		mu.Lock()
 		memo[key] = e
+		mu.Unlock()
 		return e
 	}
 }

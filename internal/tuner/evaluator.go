@@ -11,61 +11,56 @@ package tuner
 import (
 	"selftune/internal/cache"
 	"selftune/internal/energy"
+	"selftune/internal/engine"
 	"selftune/internal/trace"
 )
 
-// EvalResult is the outcome of measuring one configuration.
-type EvalResult struct {
-	// Cfg is the configuration measured.
-	Cfg cache.Config
-	// Energy is the Equation 1 total the tuner minimises.
-	Energy float64
-	// Breakdown decomposes Energy.
-	Breakdown energy.Breakdown
-	// Stats are the interval counters.
-	Stats cache.Stats
-}
+// EvalResult is the outcome of measuring one configuration: the replay
+// engine's result keyed by the four-bank Config (Cfg, Energy, Breakdown,
+// Stats).
+type EvalResult = engine.Result[cache.Config]
 
 // Evaluator measures the energy of one cache configuration.
 type Evaluator interface {
 	Evaluate(cfg cache.Config) EvalResult
 }
 
+// BatchEvaluator is an Evaluator that can fan a configuration list out
+// across the replay engine's worker pool. Both trace-replay evaluators
+// implement it; the exhaustive sweeps use it when available.
+type BatchEvaluator interface {
+	Evaluator
+	// EvaluateAll measures every configuration on up to workers
+	// goroutines (non-positive means GOMAXPROCS), returning results in
+	// input order, bit-identical to serial evaluation.
+	EvaluateAll(cfgs []cache.Config, workers int) []EvalResult
+}
+
 // TraceEvaluator replays a recorded reference stream through a fresh cache
 // per configuration — the paper's Table 1 methodology (full-benchmark
-// simulation per configuration). Results are memoised.
+// simulation per configuration). It is a thin adapter over the replay
+// engine: results are memoised there, including the end-of-interval
+// dirty-line drain, and Evaluate is safe for concurrent use.
 type TraceEvaluator struct {
-	accs   []trace.Access
+	eng    *engine.Engine[cache.Config]
 	params *energy.Params
-	memo   map[cache.Config]EvalResult
 }
 
 // NewTraceEvaluator builds an evaluator over a recorded stream. The stream
 // should be a single cache's view: instruction fetches for an I-cache study
 // or data references for a D-cache study (use trace.Split).
 func NewTraceEvaluator(accs []trace.Access, p *energy.Params) *TraceEvaluator {
-	return &TraceEvaluator{accs: accs, params: p, memo: map[cache.Config]EvalResult{}}
+	return &TraceEvaluator{eng: engine.New(accs, engine.Configurable(p)), params: p}
 }
 
 // Evaluate implements Evaluator.
 func (e *TraceEvaluator) Evaluate(cfg cache.Config) EvalResult {
-	if r, ok := e.memo[cfg]; ok {
-		return r
-	}
-	c := cache.MustConfigurable(cfg)
-	for _, a := range e.accs {
-		c.Access(a.Addr, a.IsWrite())
-	}
-	st := c.Stats()
-	// Drain: charge the dirty lines still resident at interval end as
-	// writebacks. Without this a larger cache gets credit for merely
-	// postponing write traffic past the measurement horizon, which would
-	// bias every size comparison upward.
-	st.Writebacks += uint64(c.DirtyLines())
-	b := e.params.Evaluate(cfg, st)
-	r := EvalResult{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}
-	e.memo[cfg] = r
-	return r
+	return e.eng.Evaluate(cfg)
+}
+
+// EvaluateAll implements BatchEvaluator.
+func (e *TraceEvaluator) EvaluateAll(cfgs []cache.Config, workers int) []EvalResult {
+	return e.eng.EvaluateAll(cfgs, workers)
 }
 
 // Params exposes the energy model used.

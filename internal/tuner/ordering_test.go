@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"selftune/internal/energy"
+	"selftune/internal/engine"
 	"selftune/internal/trace"
 	"selftune/internal/workload"
 )
@@ -42,14 +43,20 @@ func TestOrderingTournament(t *testing.T) {
 		ev  *TraceEvaluator
 		opt float64
 	}
-	var streams []stream
-	for _, prof := range workload.Profiles() {
-		accs := prof.Generate(100_000)
+	profiles := workload.Profiles()
+	perProfile := engine.Parallel(len(profiles), 0, func(i int) []stream {
+		accs := profiles[i].Generate(100_000)
 		inst, data := trace.Split(trace.NewSliceSource(accs))
+		var out []stream
 		for _, s := range [][]trace.Access{inst, data} {
 			ev := NewTraceEvaluator(s, p)
-			streams = append(streams, stream{ev, Exhaustive(ev).Best.Energy})
+			out = append(out, stream{ev, Exhaustive(ev).Best.Energy})
 		}
+		return out
+	})
+	var streams []stream
+	for _, ss := range perProfile {
+		streams = append(streams, ss...)
 	}
 
 	type entry struct {
@@ -57,8 +64,11 @@ func TestOrderingTournament(t *testing.T) {
 		excess float64 // summed heuristic/optimal - 1
 		misses int
 	}
-	var table []entry
-	for _, order := range AllOrders() {
+	// Each ordering's searches share the streams' memoised evaluators, so
+	// the orderings fan out safely and every config replays at most once.
+	orders := AllOrders()
+	table := engine.Parallel(len(orders), 0, func(oi int) entry {
+		order := orders[oi]
 		e := entry{name: OrderName(order)}
 		for _, s := range streams {
 			res := Search(s.ev, order)
@@ -67,8 +77,8 @@ func TestOrderingTournament(t *testing.T) {
 				e.misses++
 			}
 		}
-		table = append(table, e)
-	}
+		return e
+	})
 	sort.Slice(table, func(i, j int) bool { return table[i].excess < table[j].excess })
 
 	rankPaper := -1

@@ -3,44 +3,33 @@ package tuner
 import (
 	"selftune/internal/cache"
 	"selftune/internal/energy"
+	"selftune/internal/engine"
 	"selftune/internal/trace"
 )
 
 // ScalableEvaluator replays a recorded stream through a fresh scalable
 // cache per configuration, pricing it with the geometry-aware energy model.
-// It is the §3.4 larger-cache study's counterpart of TraceEvaluator.
+// It is the §3.4 larger-cache study's counterpart of TraceEvaluator and,
+// like it, a thin adapter over the replay engine (memoised, drained,
+// concurrency-safe).
 type ScalableEvaluator struct {
-	geo   cache.Geometry
-	accs  []trace.Access
-	model energy.ScalableModel
-	memo  map[cache.Config]EvalResult
+	geo cache.Geometry
+	eng *engine.Engine[cache.Config]
 }
 
 // NewScalableEvaluator builds an evaluator for the geometry.
 func NewScalableEvaluator(geo cache.Geometry, accs []trace.Access, p *energy.Params) *ScalableEvaluator {
-	return &ScalableEvaluator{
-		geo:   geo,
-		accs:  accs,
-		model: energy.ScalableModel{P: p, Geo: geo},
-		memo:  map[cache.Config]EvalResult{},
-	}
+	return &ScalableEvaluator{geo: geo, eng: engine.New(accs, engine.Scalable(geo, p))}
 }
 
 // Evaluate implements Evaluator.
 func (e *ScalableEvaluator) Evaluate(cfg cache.Config) EvalResult {
-	if r, ok := e.memo[cfg]; ok {
-		return r
-	}
-	c := cache.MustScalable(e.geo, cfg)
-	for _, a := range e.accs {
-		c.Access(a.Addr, a.IsWrite())
-	}
-	st := c.Stats()
-	st.Writebacks += uint64(c.DirtyLines()) // end-of-interval drain
-	b := e.model.Evaluate(cfg, st)
-	r := EvalResult{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}
-	e.memo[cfg] = r
-	return r
+	return e.eng.Evaluate(cfg)
+}
+
+// EvaluateAll implements BatchEvaluator.
+func (e *ScalableEvaluator) EvaluateAll(cfgs []cache.Config, workers int) []EvalResult {
+	return e.eng.EvaluateAll(cfgs, workers)
 }
 
 // SearchScalable runs the paper-ordered heuristic over a geometry's space.

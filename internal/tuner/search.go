@@ -209,12 +209,28 @@ func Exhaustive(eval Evaluator) SearchResult {
 }
 
 // ExhaustiveConfigs measures an explicit configuration list (e.g. a
-// scalable geometry's Configs).
+// scalable geometry's Configs), fanning out across the replay engine's
+// worker pool when the evaluator supports it.
 func ExhaustiveConfigs(eval Evaluator, configs []cache.Config) SearchResult {
-	var res SearchResult
-	for _, cfg := range configs {
-		r := eval.Evaluate(cfg)
-		res.Examined = append(res.Examined, r)
+	return ExhaustiveWorkers(eval, configs, 0)
+}
+
+// ExhaustiveWorkers is ExhaustiveConfigs with an explicit worker count
+// (non-positive means GOMAXPROCS). Each configuration's replay is
+// independent and deterministic and the results are reduced in input order,
+// so the outcome is bit-identical to a serial sweep at any worker count.
+func ExhaustiveWorkers(eval Evaluator, configs []cache.Config, workers int) SearchResult {
+	var results []EvalResult
+	if be, ok := eval.(BatchEvaluator); ok {
+		results = be.EvaluateAll(configs, workers)
+	} else {
+		results = make([]EvalResult, len(configs))
+		for i, cfg := range configs {
+			results[i] = eval.Evaluate(cfg)
+		}
+	}
+	res := SearchResult{Examined: results}
+	for _, r := range results {
 		if res.Best.Cfg == (cache.Config{}) || r.Energy < res.Best.Energy {
 			res.Best = r
 		}
