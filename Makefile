@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench check fuzz
 
 build:
 	$(GO) build ./...
@@ -16,5 +17,10 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$'
+
+# go test runs one -fuzz pattern per invocation, so each target gets its own.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadDinero -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/trace/
 
 check: build vet test

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,22 +18,37 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	n := flag.Int("n", 150_000, "accesses to simulate per benchmark")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
 
-	r := experiments.Table1Workers(*n, energy.DefaultParams(), *workers)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	r, err := experiments.Table1Ctx(ctx, *n, energy.DefaultParams(), *workers)
+	if err != nil {
+		return fmt.Errorf("table 1 run aborted: %w", err)
+	}
 	tb := r.Table()
 	if *csv {
-		if err := tb.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
-		}
-		return
+		return tb.WriteCSV(os.Stdout)
 	}
 	fmt.Println("Table 1: search heuristic results (paper's selections alongside; '=' means heuristic found the optimum)")
 	fmt.Print(tb.String())
 	fmt.Printf("\n%d of %d selections match the paper; heuristic missed the exhaustive optimum on %d streams (worst +%.0f%%)\n",
 		r.PaperMatches, 2*len(r.Rows), r.OptimumMisses, 100*r.WorstOptimumExcess)
+	return nil
 }

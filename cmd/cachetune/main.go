@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachetune:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	wl := flag.String("workload", "", "synthetic benchmark profile to run (see -list)")
 	kernel := flag.String("kernel", "", "mini-VM kernel to run instead (see -list)")
 	traceFile := flag.String("trace", "", "recorded trace file to replay instead")
@@ -31,6 +39,8 @@ func main() {
 	mode := flag.String("mode", "once", "tuning mode: once, periodic or phase")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers for the -compare sweep")
 	compare := flag.Bool("compare", false, "after the run, sweep all 27 configurations offline and compare the tuner's choices against the exhaustive optimum")
+	lenient := flag.Bool("lenient", false, "skip malformed lines in -trace din files instead of failing")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
 
 	if *list {
@@ -42,13 +52,12 @@ func main() {
 		for _, k := range programs.All() {
 			fmt.Printf("  %-10s %s\n", k.Name, k.Description)
 		}
-		return
+		return nil
 	}
 
-	src, limit, err := pickSource(*wl, *kernel, *traceFile, *n)
+	src, limit, err := pickSource(*wl, *kernel, *traceFile, *n, *lenient)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cachetune:", err)
-		os.Exit(1)
+		return err
 	}
 
 	opts := core.Options{Window: *window}
@@ -64,11 +73,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		src = &deadlineSource{src: src, ctx: ctx}
+	}
 	if *compare {
 		src = &recordingSource{src: src}
 	}
 	sys := core.New(opts)
 	ran := sys.Run(src, limit)
+	if ds := findDeadline(src); ds != nil && ds.tripped {
+		return fmt.Errorf("timed out after %v (%d accesses replayed)", *timeout, ran)
+	}
 	fmt.Printf("ran %d accesses, mode=%s\n", ran, *mode)
 
 	tb := report.NewTable("cache", "at", "chosen", "examined", "settle WB", "tuner nJ")
@@ -95,6 +114,7 @@ func main() {
 	if rec, ok := src.(*recordingSource); ok {
 		compareOffline(rec.accs, sys, p, *workers)
 	}
+	return nil
 }
 
 // recordingSource passes a stream through while keeping a copy, so the run
@@ -110,6 +130,42 @@ func (r *recordingSource) Next() (trace.Access, bool) {
 		r.accs = append(r.accs, a)
 	}
 	return a, ok
+}
+
+// deadlineSource ends the stream when the context expires, checking every
+// 4096 accesses so the replay loop stays cheap. The tuner then sees a
+// normal end of stream — no goroutine teardown, no partial state.
+type deadlineSource struct {
+	src     trace.Source
+	ctx     context.Context
+	n       int
+	tripped bool
+}
+
+func (d *deadlineSource) Next() (trace.Access, bool) {
+	if d.tripped {
+		return trace.Access{}, false
+	}
+	d.n++
+	if d.n&0xfff == 0 && d.ctx.Err() != nil {
+		d.tripped = true
+		return trace.Access{}, false
+	}
+	return d.src.Next()
+}
+
+// findDeadline unwraps the source chain back to the deadline wrapper.
+func findDeadline(src trace.Source) *deadlineSource {
+	for {
+		switch s := src.(type) {
+		case *deadlineSource:
+			return s
+		case *recordingSource:
+			src = s.src
+		default:
+			return nil
+		}
+	}
 }
 
 // compareOffline sweeps all 27 configurations over the recorded instruction
@@ -140,7 +196,7 @@ func compareOffline(accs []trace.Access, sys *core.System, p *energy.Params, wor
 	}
 }
 
-func pickSource(wl, kernel, traceFile string, n int) (trace.Source, int, error) {
+func pickSource(wl, kernel, traceFile string, n int, lenient bool) (trace.Source, int, error) {
 	picked := 0
 	for _, s := range []string{wl, kernel, traceFile} {
 		if s != "" {
@@ -168,7 +224,19 @@ func pickSource(wl, kernel, traceFile string, n int) (trace.Source, int, error) 
 		}
 		return trace.NewSliceSource(accs), 0, nil
 	default:
-		accs, err := trace.Open(traceFile) // native binary or Dinero din
+		// Native binary or Dinero din; -lenient skips malformed din
+		// lines (recorded over unreliable links) instead of failing.
+		if lenient {
+			accs, skipped, err := trace.OpenLenient(traceFile)
+			if err != nil {
+				return nil, 0, err
+			}
+			if skipped > 0 {
+				fmt.Fprintf(os.Stderr, "cachetune: skipped %d malformed trace lines\n", skipped)
+			}
+			return trace.NewSliceSource(accs), 0, nil
+		}
+		accs, err := trace.Open(traceFile)
 		if err != nil {
 			return nil, 0, err
 		}

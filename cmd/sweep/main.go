@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,15 +20,33 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	fig := flag.Int("fig", 2, "figure to regenerate (2, 3 or 4)")
 	n := flag.Int("n", 200_000, "accesses to simulate per data point")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	p := energy.DefaultParams()
 	switch *fig {
 	case 2:
-		pts := experiments.Figure2Workers(*n, p, *workers)
+		pts, err := experiments.Figure2Ctx(ctx, *n, p, *workers)
+		if err != nil {
+			return fmt.Errorf("figure 2 sweep aborted: %w", err)
+		}
 		var sizes []string
 		var onChip, offChip, total []float64
 		for _, pt := range pts {
@@ -43,7 +62,10 @@ func main() {
 		fmt.Printf("minimum total energy at %dKB\n", experiments.Knee(pts).SizeBytes/1024)
 	case 3, 4:
 		inst := *fig == 3
-		rows := experiments.Figure34Workers(*n, inst, p, *workers)
+		rows, err := experiments.Figure34Ctx(ctx, *n, inst, p, *workers)
+		if err != nil {
+			return fmt.Errorf("figure %d sweep aborted: %w", *fig, err)
+		}
 		name := "data"
 		if inst {
 			name = "instruction"
@@ -58,4 +80,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep: -fig must be 2, 3 or 4")
 		os.Exit(2)
 	}
+	return nil
 }

@@ -11,7 +11,10 @@
 package engine
 
 import (
+	"context"
+	"fmt"
 	"sync"
+	"time"
 
 	"selftune/internal/cache"
 	"selftune/internal/energy"
@@ -60,6 +63,31 @@ type Result[C comparable] struct {
 	// Stats are the interval counters (drain writebacks included unless
 	// the model sets NoDrain).
 	Stats cache.Stats
+	// Err is non-nil when the replay could not produce a measurement: the
+	// simulator panicked on every retry attempt. Energy and Stats are
+	// meaningless then; consumers (tuner plausibility checks, sweep
+	// reductions) must treat such a result as an unusable reading, not a
+	// measurement of zero energy.
+	Err error
+}
+
+// RetryPolicy bounds how the engine retries a replay whose simulator
+// panicked — the transient-fault path (a faulty way, a wedged counter read)
+// of an in-situ tuner. The zero value means a single attempt, no retry.
+type RetryPolicy struct {
+	// Attempts is the maximum number of replay attempts per configuration
+	// (minimum 1; the zero value behaves as 1).
+	Attempts int
+	// Backoff is the wait before the second attempt; it doubles on each
+	// further attempt. Zero means retry immediately.
+	Backoff time.Duration
+}
+
+func (rp RetryPolicy) attempts() int {
+	if rp.Attempts < 1 {
+		return 1
+	}
+	return rp.Attempts
 }
 
 // Engine replays one shared immutable reference stream through
@@ -69,6 +97,11 @@ type Result[C comparable] struct {
 type Engine[C comparable] struct {
 	accs  []trace.Access
 	model Model[C]
+
+	// Retry bounds how replays whose simulator panicked are retried.
+	// Set it before the first Evaluate; it must not change concurrently
+	// with evaluation. The zero value runs each replay once.
+	Retry RetryPolicy
 
 	mu       sync.Mutex
 	memo     map[C]Result[C]
@@ -92,13 +125,27 @@ func New[C comparable](accs []trace.Access, m Model[C]) *Engine[C] {
 func (e *Engine[C]) Len() int { return len(e.accs) }
 
 // Evaluate measures one configuration, memoised. Concurrent calls for the
-// same configuration replay it once; the others wait for the result.
+// same configuration replay it once; the others wait for the result. A
+// simulator that panics (after the Retry policy is exhausted) yields a
+// result with Err set instead of crashing the process.
 func (e *Engine[C]) Evaluate(cfg C) Result[C] {
+	r, _ := e.EvaluateCtx(context.Background(), cfg)
+	return r
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation or a deadline stops
+// the replay mid-stream and returns ctx's error. Only successful (or
+// deterministically failed) replays are memoised; a cancelled replay is not,
+// so a later call can complete it.
+func (e *Engine[C]) EvaluateCtx(ctx context.Context, cfg C) (Result[C], error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return Result[C]{Cfg: cfg}, err
+		}
 		e.mu.Lock()
 		if r, ok := e.memo[cfg]; ok {
 			e.mu.Unlock()
-			return r
+			return r, nil
 		}
 		wg, running := e.inflight[cfg]
 		if !running {
@@ -111,30 +158,91 @@ func (e *Engine[C]) Evaluate(cfg C) Result[C] {
 			wg.Wait()
 			continue
 		}
-		return e.lead(cfg, wg)
+		return e.lead(ctx, cfg, wg)
 	}
 }
 
+// Reevaluate drops cfg's memoised result and replays it afresh — the
+// tuner's re-measure path after an implausible reading. For a fault-free
+// model the fresh replay is bit-identical to the dropped one; under an
+// injected measurement fault each replay is a new attempt, so a transient
+// fault can clear on the second reading.
+func (e *Engine[C]) Reevaluate(cfg C) Result[C] {
+	e.mu.Lock()
+	delete(e.memo, cfg)
+	e.mu.Unlock()
+	return e.Evaluate(cfg)
+}
+
 // lead replays cfg on behalf of every waiter and publishes the result.
-func (e *Engine[C]) lead(cfg C, wg *sync.WaitGroup) Result[C] {
+func (e *Engine[C]) lead(ctx context.Context, cfg C, wg *sync.WaitGroup) (Result[C], error) {
 	defer func() {
 		e.mu.Lock()
 		delete(e.inflight, cfg)
 		e.mu.Unlock()
 		wg.Done()
 	}()
-	r := e.replay(cfg)
+	r, err := e.replay(ctx, cfg)
+	if err != nil {
+		// Cancelled mid-replay: nothing to publish. Waiters loop and
+		// observe their own context.
+		return r, err
+	}
 	e.mu.Lock()
 	e.memo[cfg] = r
 	e.mu.Unlock()
-	return r
+	return r, nil
 }
 
-// replay is the one replay loop in the repository: fresh cache, full stream,
-// drain, price.
-func (e *Engine[C]) replay(cfg C) Result[C] {
+// replay runs replayOnce under the retry policy. The returned error is
+// reserved for context cancellation; a replay that panicked on every
+// attempt comes back as a Result with Err set (and is memoised, keeping
+// deterministic fault plans deterministic).
+func (e *Engine[C]) replay(ctx context.Context, cfg C) (Result[C], error) {
+	backoff := e.Retry.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= e.Retry.attempts(); attempt++ {
+		if attempt > 1 && backoff > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return Result[C]{Cfg: cfg}, ctx.Err()
+			}
+			backoff *= 2
+		}
+		r, err := e.replayOnce(ctx, cfg)
+		if err == nil {
+			return r, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return Result[C]{Cfg: cfg}, cerr
+		}
+		lastErr = err
+	}
+	return Result[C]{Cfg: cfg, Err: lastErr}, nil
+}
+
+// ctxCheckInterval is how many accesses the replay loop runs between
+// context checks, so a deadline can interrupt a long replay mid-stream
+// without measurably slowing the hot loop.
+const ctxCheckInterval = 1 << 16
+
+// replayOnce is the one replay loop in the repository: fresh cache, full
+// stream, drain, price. A panic anywhere in the simulator is recovered into
+// an error instead of killing the process.
+func (e *Engine[C]) replayOnce(ctx context.Context, cfg C) (r Result[C], err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: replay of %v panicked: %v", cfg, p)
+		}
+	}()
 	s := e.model.Build(cfg)
-	for _, a := range e.accs {
+	for i, a := range e.accs {
+		if i&(ctxCheckInterval-1) == 0 && i > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return Result[C]{Cfg: cfg}, cerr
+			}
+		}
 		s.Access(a.Addr, a.IsWrite())
 	}
 	st := s.Stats()
@@ -146,7 +254,7 @@ func (e *Engine[C]) replay(cfg C) Result[C] {
 		st.Writebacks += uint64(s.DirtyLines())
 	}
 	b := e.model.Price(cfg, st)
-	return Result[C]{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}
+	return Result[C]{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}, nil
 }
 
 // EvaluateAll measures every configuration, fanned out across workers
@@ -160,8 +268,24 @@ func (e *Engine[C]) EvaluateAll(cfgs []C, workers int) []Result[C] {
 	})
 }
 
+// EvaluateAllCtx is EvaluateAll under a context: a deadline or cancellation
+// aborts the sweep (stopping mid-replay) and returns ctx's error with the
+// partial results. A configuration whose simulator crashed does NOT abort
+// the sweep — its failure is carried in that result's Err field — so one
+// bad way or one wedged counter costs one data point, not the whole sweep.
+func (e *Engine[C]) EvaluateAllCtx(ctx context.Context, cfgs []C, workers int) ([]Result[C], error) {
+	return ParallelErr(ctx, len(cfgs), workers, func(i int) (Result[C], error) {
+		return e.EvaluateCtx(ctx, cfgs[i])
+	})
+}
+
 // Sweep replays one stream through every configuration in parallel — the
 // one-shot form of New(...).EvaluateAll(...).
 func Sweep[C comparable](accs []trace.Access, m Model[C], cfgs []C, workers int) []Result[C] {
 	return New(accs, m).EvaluateAll(cfgs, workers)
+}
+
+// SweepCtx is Sweep under a context (see EvaluateAllCtx for the semantics).
+func SweepCtx[C comparable](ctx context.Context, accs []trace.Access, m Model[C], cfgs []C, workers int) ([]Result[C], error) {
+	return New(accs, m).EvaluateAllCtx(ctx, cfgs, workers)
 }

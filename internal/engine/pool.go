@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -54,4 +56,63 @@ func Parallel[T any](n, workers int, fn func(int) T) []T {
 	}
 	wg.Wait()
 	return out
+}
+
+// ParallelErr is the resilient form of Parallel: fn may fail, a panicking fn
+// is recovered into an error instead of killing the process, and ctx cancels
+// the sweep between items. Results land in input order; a failed item leaves
+// its zero value. The returned error is the lowest-index failure (ctx errors
+// included), so the outcome — values and error alike — is deterministic at
+// any worker count. Items already running when ctx is cancelled finish;
+// cancellation stops new items from being dispatched.
+func ParallelErr[T any](ctx context.Context, n, workers int, fn func(int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	run := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				errs[i] = fmt.Errorf("engine: worker panicked on item %d: %v", i, p)
+			}
+		}()
+		out[i], errs[i] = fn(i)
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"selftune/internal/cache"
@@ -49,6 +50,19 @@ func Table1(n int, p *energy.Params) Table1Result { return Table1Workers(n, p, 0
 // Table1Workers regenerates Table 1 fanning the benchmarks (and each
 // benchmark's exhaustive baseline) out across workers goroutines.
 func Table1Workers(n int, p *energy.Params, workers int) Table1Result {
+	res, err := Table1Ctx(context.Background(), n, p, workers)
+	if err != nil {
+		// Unreachable for a background context short of a worker crash,
+		// which the context-free API has no way to report.
+		panic(err)
+	}
+	return res
+}
+
+// Table1Ctx is Table1Workers under a context: a deadline or cancellation
+// aborts the run between benchmarks and returns the context's error. This
+// is what the cmd tools' -timeout flags call.
+func Table1Ctx(ctx context.Context, n int, p *energy.Params, workers int) (Table1Result, error) {
 	base := cache.BaseConfig()
 	profiles := workload.Profiles()
 
@@ -58,7 +72,7 @@ func Table1Workers(n int, p *energy.Params, workers int) Table1Result {
 		row              Table1Row
 		iExcess, dExcess float64
 	}
-	outcomes := engine.Parallel(len(profiles), workers, func(i int) benchOutcome {
+	outcomes, err := engine.ParallelErr(ctx, len(profiles), workers, func(i int) (benchOutcome, error) {
 		prof := profiles[i]
 		inst, data := trace.Split(trace.NewSliceSource(prof.Generate(n)))
 		iev := tuner.NewTraceEvaluator(inst, p)
@@ -82,8 +96,11 @@ func Table1Workers(n int, p *energy.Params, workers int) Table1Result {
 			},
 			iExcess: ih.Best.Energy/iOpt.Energy - 1,
 			dExcess: dh.Best.Energy/dOpt.Energy - 1,
-		}
+		}, nil
 	})
+	if err != nil {
+		return Table1Result{}, err
+	}
 
 	res := Table1Result{AccessesPerBenchmark: n}
 	for _, o := range outcomes {
@@ -116,7 +133,7 @@ func Table1Workers(n int, p *energy.Params, workers int) Table1Result {
 	res.AvgDNum /= k
 	res.AvgISave /= k
 	res.AvgDSave /= k
-	return res
+	return res, nil
 }
 
 // Table renders the result in the paper's layout.
@@ -154,6 +171,16 @@ func Figure2(n int, p *energy.Params) []Fig2Point { return Figure2Workers(n, p, 
 
 // Figure2Workers runs the Figure 2 size sweep fanned out across workers.
 func Figure2Workers(n int, p *energy.Params, workers int) []Fig2Point {
+	out, err := Figure2Ctx(context.Background(), n, p, workers)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Figure2Ctx is Figure2Workers under a context: a deadline or cancellation
+// aborts the sweep (including mid-replay) and returns the context's error.
+func Figure2Ctx(ctx context.Context, n int, p *energy.Params, workers int) ([]Fig2Point, error) {
 	_, data := trace.Split(trace.NewSliceSource(workload.ParserLike().Generate(n)))
 	var cfgs []cache.GenericConfig
 	for size := 1 << 10; size <= 1<<20; size *= 2 {
@@ -163,12 +190,15 @@ func Figure2Workers(n int, p *energy.Params, workers int) []Fig2Point {
 	// The figure reproduces the paper's raw per-size comparison, which
 	// does not charge an end-of-interval drain.
 	m.NoDrain = true
-	results := engine.Sweep(data, m, cfgs, workers)
+	results, err := engine.SweepCtx(ctx, data, m, cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Fig2Point, len(results))
 	for i, r := range results {
 		out[i] = Fig2Point{r.Cfg.SizeBytes, r.Breakdown.OnChip(), r.Breakdown.OffChip(), r.Breakdown.Total()}
 	}
-	return out
+	return out, nil
 }
 
 // Knee returns the size with the minimum total energy.
@@ -200,20 +230,33 @@ func Figure34(n int, inst bool, p *energy.Params) []Fig34Row {
 // Figure34Workers runs the Figure 3/4 sweep fanning the benchmarks (and
 // each benchmark's 18-configuration sweep) out across workers.
 func Figure34Workers(n int, inst bool, p *energy.Params, workers int) []Fig34Row {
+	rows, err := Figure34Ctx(context.Background(), n, inst, p, workers)
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+// Figure34Ctx is Figure34Workers under a context: a deadline or cancellation
+// aborts the sweep (including mid-replay) and returns the context's error.
+func Figure34Ctx(ctx context.Context, n int, inst bool, p *energy.Params, workers int) ([]Fig34Row, error) {
 	configs := cache.BaseConfigs()
 	profiles := workload.Profiles()
 	m := engine.Configurable(p)
 	// Like Figure 2, the figure compares raw per-configuration energy
 	// without the end-of-interval drain.
 	m.NoDrain = true
-	perProfile := engine.Parallel(len(profiles), workers, func(pi int) []engine.Result[cache.Config] {
+	perProfile, err := engine.ParallelErr(ctx, len(profiles), workers, func(pi int) ([]engine.Result[cache.Config], error) {
 		i, d := trace.Split(trace.NewSliceSource(profiles[pi].Generate(n)))
 		stream := d
 		if inst {
 			stream = i
 		}
-		return engine.Sweep(stream, m, configs, workers)
+		return engine.SweepCtx(ctx, stream, m, configs, workers)
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	rows := make([]Fig34Row, len(configs))
 	for _, results := range perProfile {
@@ -233,7 +276,7 @@ func Figure34Workers(n int, inst bool, p *energy.Params, workers int) []Fig34Row
 	for i := range rows {
 		rows[i].Normalised = rows[i].Energy / maxE
 	}
-	return rows
+	return rows, nil
 }
 
 // WindowPoint is one measurement-window length's outcome in the window

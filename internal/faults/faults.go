@@ -1,0 +1,66 @@
+// Package faults is a deterministic, seedable fault-injection layer for the
+// self-tuning cache reproduction. The paper's tuner runs in situ on real
+// hardware, where reference streams arrive corrupted, hit/miss/energy
+// counters saturate or wedge, and a cache way can be stuck on or off — none
+// of which the paper's (simulated) evaluation exercises. This package
+// injects exactly those three fault families so the rest of the repository
+// can be measured, and hardened, against them:
+//
+//   - Trace faults (trace.go): bit-flipped addresses, dropped and
+//     duplicated accesses, corrupt Dinero din records.
+//   - Measurement faults (measure.go): noisy, saturating, stuck or
+//     crashing counters, wrapped around any engine model's simulators.
+//   - Structural faults (structural.go): a bank stuck off (the
+//     configuration silently runs degraded) or stuck on (way shutdown
+//     silently keeps leaking).
+//
+// Every injector draws from a splitmix64 stream seeded by Derive, so a run
+// is a pure function of its root seed: the same seed reproduces the same
+// faults bit for bit, independent of worker count or evaluation order, and
+// any injector at rate zero is bit-identical to no injector at all (both
+// properties are pinned by tests). cmd/faultsweep sweeps fault rates over
+// this package to measure how far the paper's Figure 6 heuristic degrades —
+// a robustness curve the paper does not report.
+package faults
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Rand is a small deterministic PRNG (splitmix64). It is not safe for
+// concurrent use; derive one per injection site with Derive.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next value of the splitmix64 sequence.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int { return int(r.Uint64() % uint64(n)) }
+
+// Derive hashes a root seed and a path of labels into a subseed, so every
+// injection site (a trial, a configuration, a replay attempt) gets an
+// independent, order-free random stream from one root seed.
+func Derive(seed uint64, parts ...string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"selftune/internal/cache"
+	"selftune/internal/engine"
+)
+
+// Measurement injects counter-readout faults into every simulator an engine
+// model builds — the hardware tuner's view of a cache whose hit/miss
+// counters are noisy, too narrow, wedged, or whose datapath crashes mid
+// measurement. Rates are per-reading (one reading = one built simulator /
+// one replay attempt); a zero-value Measurement is a pass-through.
+//
+// Fault decisions are drawn per (configuration, attempt) from seeds derived
+// with Derive, never from shared global state, so a faulted sweep is
+// bit-identical across runs and worker counts, and a re-measure of the same
+// configuration is a genuinely fresh attempt that can come back clean —
+// which is what makes the tuner's re-measure-then-degrade policy testable.
+type Measurement struct {
+	// Seed roots the injector's random streams.
+	Seed uint64
+	// NoiseRate is the probability a reading's miss counter is scaled by
+	// a uniform factor in [1-NoiseMag, 1+NoiseMag], with hits adjusted to
+	// keep hits+misses == accesses. The reading stays self-consistent —
+	// plausible but wrong — so it sails past integrity checks and shows
+	// up only as heuristic quality loss.
+	NoiseRate float64
+	// NoiseMag is the fractional noise magnitude (default 0.25).
+	NoiseMag float64
+	// SaturateBits models narrow hardware counters: when positive, every
+	// counter in a reading clamps at 2^SaturateBits-1. Once the window
+	// outgrows the counter width the reading becomes arithmetically
+	// impossible (hits+misses < accesses) and plausibility checks fire.
+	SaturateBits int
+	// StuckRate is the probability the counter latch never captures the
+	// window: the reading comes back all zeros (an implausible
+	// zero-access reading).
+	StuckRate float64
+	// CrashRate is the probability a replay attempt wedges: the simulator
+	// panics partway through the stream. The engine's panic recovery and
+	// RetryPolicy absorb these.
+	CrashRate float64
+}
+
+// Wrap returns m with every built simulator wrapped in the injector.
+// Passing a nil or zero-value receiver returns m unchanged.
+func Wrap[C comparable](m engine.Model[C], f *Measurement) engine.Model[C] {
+	if f == nil || *f == (Measurement{}) {
+		return m
+	}
+	// attempts tracks replay attempts per configuration so a re-measure
+	// draws fresh faults. Keyed per configuration (not globally), the
+	// attempt sequence is private to each configuration and therefore
+	// independent of sweep scheduling.
+	var attempts sync.Map // config key -> *atomic.Int64
+	inner := m.Build
+	m.Build = func(cfg C) engine.Simulator {
+		key := fmt.Sprintf("%v", cfg)
+		c, _ := attempts.LoadOrStore(key, new(atomic.Int64))
+		attempt := c.(*atomic.Int64).Add(1)
+		r := NewRand(Derive(f.Seed, "measure", key, strconv.FormatInt(attempt, 10)))
+		s := &faultySim{inner: inner(cfg), saturateBits: f.SaturateBits}
+		if f.CrashRate > 0 && r.Float64() < f.CrashRate {
+			s.crashAfter = 1 + r.Intn(4096)
+		}
+		if f.StuckRate > 0 && r.Float64() < f.StuckRate {
+			s.stuck = true
+		}
+		if f.NoiseRate > 0 && r.Float64() < f.NoiseRate {
+			mag := f.NoiseMag
+			if mag == 0 {
+				mag = 0.25
+			}
+			s.noise = 1 + (2*r.Float64()-1)*mag
+		}
+		return s
+	}
+	return m
+}
+
+// faultySim perturbs a simulator's counter readout (and optionally crashes
+// its replay) while leaving the underlying cache behaviour untouched.
+type faultySim struct {
+	inner        engine.Simulator
+	crashAfter   int // panic on the n-th access; 0 = never
+	seen         int
+	stuck        bool
+	noise        float64 // miss-counter scale; 0 = clean
+	saturateBits int
+}
+
+func (s *faultySim) Access(addr uint32, write bool) cache.AccessResult {
+	if s.crashAfter > 0 {
+		s.seen++
+		if s.seen >= s.crashAfter {
+			panic("faults: injected simulator crash")
+		}
+	}
+	return s.inner.Access(addr, write)
+}
+
+func (s *faultySim) Stats() cache.Stats {
+	st := s.inner.Stats()
+	if s.stuck {
+		return cache.Stats{}
+	}
+	if s.noise != 0 {
+		m := uint64(float64(st.Misses)*s.noise + 0.5)
+		if m > st.Accesses {
+			m = st.Accesses
+		}
+		st.Misses = m
+		st.Hits = st.Accesses - m
+	}
+	if s.saturateBits > 0 && s.saturateBits < 64 {
+		max := uint64(1)<<s.saturateBits - 1
+		for _, v := range []*uint64{
+			&st.Accesses, &st.Hits, &st.Misses, &st.Writes,
+			&st.Writebacks, &st.SettleWritebacks, &st.SublinesFilled,
+			&st.PredHits, &st.PredMisses, &st.ExtraCycles,
+		} {
+			if *v > max {
+				*v = max
+			}
+		}
+	}
+	return st
+}
+
+func (s *faultySim) ResetStats()     { s.inner.ResetStats() }
+func (s *faultySim) DirtyLines() int { return s.inner.DirtyLines() }
+
+var _ engine.Simulator = (*faultySim)(nil)

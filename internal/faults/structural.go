@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+	"selftune/internal/engine"
+)
+
+// Structural describes manufacturing or wear-out defects in the four-bank
+// configurable cache itself: a bank whose enable line is stuck. Rates are
+// per cache instance (one trial = one die), not per access.
+type Structural struct {
+	// Seed roots the defect draw.
+	Seed uint64
+	// StuckOffRate is the probability one bank is stuck off: any
+	// configuration that maps to it silently runs with the bank's
+	// capacity missing.
+	StuckOffRate float64
+	// StuckOnRate is the probability one bank is stuck on: way shutdown
+	// cannot power it down, so small configurations silently keep paying
+	// its leakage.
+	StuckOnRate float64
+}
+
+// Plan resolves the rates into the concrete defect of one cache instance.
+func (f Structural) Plan() StructuralPlan {
+	r := NewRand(Derive(f.Seed, "structural"))
+	p := StructuralPlan{StuckOff: -1, StuckOn: -1}
+	if f.StuckOffRate > 0 && r.Float64() < f.StuckOffRate {
+		p.StuckOff = r.Intn(cache.NumBanks)
+	}
+	if f.StuckOnRate > 0 && r.Float64() < f.StuckOnRate {
+		p.StuckOn = r.Intn(cache.NumBanks)
+	}
+	return p
+}
+
+// StructuralPlan is one cache instance's defect: bank indices stuck off/on,
+// or -1 for none. The zero plan is NOT healthy — use Healthy or
+// Structural.Plan.
+type StructuralPlan struct {
+	StuckOff int
+	StuckOn  int
+}
+
+// Healthy is the defect-free plan.
+func Healthy() StructuralPlan { return StructuralPlan{StuckOff: -1, StuckOn: -1} }
+
+// Degrade returns the configuration the cache actually realises under the
+// plan's stuck-off bank. Losing a bank halves the usable power-of-two
+// capacity (way shutdown only realises power-of-two sizes), clamping
+// associativity to what the smaller size supports and dropping way
+// prediction if the cache collapses to direct-mapped. A configuration that
+// never maps to the dead bank is unaffected — small configurations are
+// naturally immune, which is part of what the robustness sweep measures.
+func (p StructuralPlan) Degrade(cfg cache.Config) cache.Config {
+	if p.StuckOff < 0 || p.StuckOff >= cfg.ActiveBanks() {
+		return cfg
+	}
+	if cfg.SizeBytes > cache.BankBytes {
+		cfg.SizeBytes /= 2
+	}
+	if maxWays := cfg.SizeBytes / cache.BankBytes; cfg.Ways > maxWays {
+		cfg.Ways = maxWays
+	}
+	if cfg.Ways == 1 {
+		cfg.WayPredict = false
+	}
+	return cfg
+}
+
+// Wrap applies the plan to a four-bank model: stuck-off builds the degraded
+// configuration's simulator while the stats are still priced as the
+// requested configuration (the tuner believes it configured cfg; the array
+// misbehaves), and stuck-on charges the leakage of the bank that should
+// have powered down. params prices the stuck-on leakage.
+func (p StructuralPlan) Wrap(m engine.Model[cache.Config], params *energy.Params) engine.Model[cache.Config] {
+	if p.StuckOff >= 0 {
+		inner := m.Build
+		m.Build = func(cfg cache.Config) engine.Simulator {
+			return inner(p.Degrade(cfg))
+		}
+	}
+	if p.StuckOn >= 0 {
+		price := m.Price
+		m.Price = func(cfg cache.Config, st cache.Stats) energy.Breakdown {
+			b := price(cfg, st)
+			if p.StuckOn >= cfg.ActiveBanks() {
+				// One extra bank's leakage over the interval.
+				extra := params.StaticEnergyPerCycle(cfg.SizeBytes+cache.BankBytes) -
+					params.StaticEnergyPerCycle(cfg.SizeBytes)
+				b.Static += float64(b.Cycles) * extra
+			}
+			return b
+		}
+	}
+	return m
+}

@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"selftune/internal/trace"
+)
+
+// Trace injects reference-stream faults: the bus glitches, DMA drops and
+// logic-analyser artifacts an in-situ trace capture suffers. Rates are
+// per-access probabilities; a zero-value Trace is a pass-through.
+type Trace struct {
+	// Seed roots the injector's random stream.
+	Seed uint64
+	// BitFlipRate is the probability an access's address has one
+	// uniformly chosen bit flipped.
+	BitFlipRate float64
+	// DropRate is the probability an access is silently lost.
+	DropRate float64
+	// DupRate is the probability an access is delivered twice.
+	DupRate float64
+}
+
+// Apply returns a faulted copy of accs. The input is never mutated. At all
+// rates zero the copy is element-for-element identical to accs, and for a
+// given (Seed, accs) the output is always the same.
+func (f Trace) Apply(accs []trace.Access) []trace.Access {
+	out := make([]trace.Access, 0, len(accs))
+	r := NewRand(Derive(f.Seed, "trace"))
+	for _, a := range accs {
+		if f.DropRate > 0 && r.Float64() < f.DropRate {
+			continue
+		}
+		if f.BitFlipRate > 0 && r.Float64() < f.BitFlipRate {
+			a.Addr ^= 1 << uint(r.Intn(32))
+		}
+		out = append(out, a)
+		if f.DupRate > 0 && r.Float64() < f.DupRate {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// CorruptDinero writes accs in Dinero din format, corrupting each record
+// with probability rate: unknown labels, non-hex addresses, truncated
+// records, free-form garbage, and oversized lines (well past bufio.Scanner's
+// default 64 KB token limit, the failure that used to abort ReadDinero).
+// It returns the number of corrupted records. Feed the output to
+// trace.ReadDineroLenient to exercise the skip-and-count recovery path.
+func CorruptDinero(w io.Writer, accs []trace.Access, rate float64, seed uint64) (corrupted int, err error) {
+	r := NewRand(Derive(seed, "din"))
+	for _, a := range accs {
+		if rate > 0 && r.Float64() < rate {
+			corrupted++
+			var line string
+			switch r.Intn(5) {
+			case 0:
+				line = fmt.Sprintf("9 %x", a.Addr) // unknown label
+			case 1:
+				line = fmt.Sprintf("0 zz%x", a.Addr) // non-hex address
+			case 2:
+				line = "1" // truncated record
+			case 3:
+				line = "\x00\xff garbage \x7f" // free-form garbage
+			case 4:
+				// One token longer than bufio.Scanner's default buffer.
+				line = "0 " + strings.Repeat("f", 70_000)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return corrupted, err
+			}
+			continue
+		}
+		label := 0
+		switch a.Kind {
+		case trace.DataWrite:
+			label = 1
+		case trace.InstFetch:
+			label = 2
+		}
+		if _, err := fmt.Fprintf(w, "%d %x\n", label, a.Addr); err != nil {
+			return corrupted, err
+		}
+	}
+	return corrupted, nil
+}

@@ -32,63 +32,141 @@ func WriteDinero(w io.Writer, accs []Access) error {
 	return bw.Flush()
 }
 
+// MaxDinLine caps a single din line. Real din lines are under 20 bytes; the
+// cap only bounds memory against corrupt or hostile input. (The previous
+// reader used bufio.Scanner, whose default 64 KB token limit failed whole
+// files over one long line; lines up to MaxDinLine now parse normally.)
+const MaxDinLine = 1 << 20
+
 // ReadDinero parses a din-format stream. Blank lines and lines starting
-// with '#' are ignored.
+// with '#' are ignored; any malformed line is an error.
 func ReadDinero(r io.Reader) ([]Access, error) {
+	out, _, err := readDinero(r, false)
+	return out, err
+}
+
+// ReadDineroLenient parses a din-format stream, skipping malformed lines
+// (bad labels, unparsable addresses, binary garbage, overlong lines)
+// instead of failing, and reports how many were skipped. This is the entry
+// point for traces recorded over unreliable links: one corrupt record costs
+// one access, not the file.
+func ReadDineroLenient(r io.Reader) ([]Access, int, error) {
+	return readDinero(r, true)
+}
+
+func readDinero(r io.Reader, lenient bool) ([]Access, int, error) {
+	br := bufio.NewReader(r)
 	var out []Access
-	sc := bufio.NewScanner(r)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+	skipped, lineNo := 0, 0
+	for {
+		raw, tooLong, err := readDinLine(br, MaxDinLine)
+		if err != nil && err != io.EOF {
+			return nil, skipped, err
+		}
+		atEOF := err == io.EOF
+		if !atEOF || len(raw) > 0 || tooLong {
+			lineNo++
+			a, ok, perr := parseDinLine(raw, lineNo, tooLong)
+			switch {
+			case perr != nil && !lenient:
+				return nil, skipped, perr
+			case perr != nil:
+				skipped++
+			case ok:
+				out = append(out, a)
+			}
+		}
+		if atEOF {
+			return out, skipped, nil
+		}
+	}
+}
+
+// readDinLine reads one newline-terminated line of at most max bytes.
+// A longer line is consumed whole but reported tooLong with no content.
+func readDinLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	for {
+		frag, ferr := br.ReadSlice('\n')
+		if !tooLong {
+			line = append(line, frag...)
+			if len(line) > max {
+				tooLong, line = true, nil
+			}
+		}
+		if ferr == bufio.ErrBufferFull {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("trace: din line %d: want \"<label> <addr>\", got %q", lineNo, line)
-		}
-		var kind Kind
-		switch fields[0] {
-		case "0":
-			kind = DataRead
-		case "1":
-			kind = DataWrite
-		case "2":
-			kind = InstFetch
-		default:
-			return nil, fmt.Errorf("trace: din line %d: unknown label %q", lineNo, fields[0])
-		}
-		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 32)
-		if err != nil {
-			return nil, fmt.Errorf("trace: din line %d: bad address %q: %v", lineNo, fields[1], err)
-		}
-		out = append(out, Access{Addr: uint32(addr), Kind: kind})
+		return line, tooLong, ferr
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+}
+
+// parseDinLine parses one line; ok is false for blank and comment lines.
+func parseDinLine(raw []byte, lineNo int, tooLong bool) (a Access, ok bool, err error) {
+	if tooLong {
+		return Access{}, false, fmt.Errorf("trace: din line %d longer than %d bytes", lineNo, MaxDinLine)
 	}
-	return out, nil
+	line := strings.TrimSpace(string(raw))
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Access{}, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Access{}, false, fmt.Errorf("trace: din line %d: want \"<label> <addr>\", got %q", lineNo, line)
+	}
+	var kind Kind
+	switch fields[0] {
+	case "0":
+		kind = DataRead
+	case "1":
+		kind = DataWrite
+	case "2":
+		kind = InstFetch
+	default:
+		return Access{}, false, fmt.Errorf("trace: din line %d: unknown label %q", lineNo, fields[0])
+	}
+	addr, perr := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 32)
+	if perr != nil {
+		return Access{}, false, fmt.Errorf("trace: din line %d: bad address %q: %v", lineNo, fields[1], perr)
+	}
+	return Access{Addr: uint32(addr), Kind: kind}, true, nil
 }
 
 // Open loads a trace file, sniffing the format: the native binary codec
 // (STRC magic) or din text.
 func Open(path string) ([]Access, error) {
+	accs, _, err := open(path, false)
+	return accs, err
+}
+
+// OpenLenient is Open with lenient din parsing (see ReadDineroLenient).
+// Binary traces are decoded strictly either way — a corrupt delta record
+// poisons every address after it, so skipping would silently shift the
+// whole stream — and report zero skipped lines.
+func OpenLenient(path string) ([]Access, int, error) {
+	return open(path, true)
+}
+
+func open(path string, lenient bool) ([]Access, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	var hdr [4]byte
 	n, err := io.ReadFull(f, hdr[:])
 	if err != nil && n == 0 {
-		return nil, fmt.Errorf("trace: %s is empty", path)
+		return nil, 0, fmt.Errorf("trace: %s is empty", path)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if n == 4 && hdr == magic {
-		return Decode(f)
+		accs, err := Decode(f)
+		return accs, 0, err
 	}
-	return ReadDinero(f)
+	if lenient {
+		return ReadDineroLenient(f)
+	}
+	accs, err := ReadDinero(f)
+	return accs, 0, err
 }

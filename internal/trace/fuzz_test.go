@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadDinero pins two properties over arbitrary bytes: the din reader
+// never panics, and whenever the strict reader accepts an input the lenient
+// reader returns the identical stream with zero skipped lines (lenience is
+// a strict superset, never a different parse).
+func FuzzReadDinero(f *testing.F) {
+	f.Add([]byte("0 1000\n1 2000\n2 ffff0000\n"))
+	f.Add([]byte("# comment\n\n0 0xdeadbeef\n"))
+	f.Add([]byte("9 zz\n1\n\x00\x01\x02\n"))
+	f.Add([]byte("0 " + string(make([]byte, 200)) + "\n"))
+	f.Add(bytes.Repeat([]byte("2 80000000\n"), 50))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict, serr := ReadDinero(bytes.NewReader(data))
+		lenient, skipped, lerr := ReadDineroLenient(bytes.NewReader(data))
+		if lerr != nil {
+			t.Fatalf("lenient reader failed on in-memory input: %v", lerr)
+		}
+		if serr == nil {
+			if skipped != 0 {
+				t.Fatalf("strict accepted the input but lenient skipped %d lines", skipped)
+			}
+			if !reflect.DeepEqual(strict, lenient) {
+				t.Fatal("strict and lenient parses of a valid input differ")
+			}
+		}
+	})
+}
+
+// FuzzDecode pins that the binary codec never panics on arbitrary bytes and
+// that any stream it accepts survives an encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, []Access{
+		{Addr: 0x8000_1000, Kind: InstFetch},
+		{Addr: 0x8000_1004, Kind: InstFetch},
+		{Addr: 0x4000_0000, Kind: DataRead},
+		{Addr: 0x4000_0040, Kind: DataWrite},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("STRC\x01\x00\x00"))
+	f.Add([]byte("STRC\x01\x03\x00"))                             // invalid kind byte
+	f.Add([]byte("STRC\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff")) // truncated varint
+	f.Add([]byte("STRC"))
+	f.Add([]byte("not a trace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var rt bytes.Buffer
+		if err := Encode(&rt, accs); err != nil {
+			t.Fatalf("re-encoding a decoded stream failed: %v", err)
+		}
+		back, err := Decode(&rt)
+		if err != nil {
+			t.Fatalf("round-tripped stream failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, accs) {
+			t.Fatal("encode/decode round trip altered the stream")
+		}
+	})
+}

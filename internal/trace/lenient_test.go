@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestReadDineroHandlesLongLines pins the fix for the old reader's 64 KB
+// scanner-token limit: a line longer than 64 KB (here a 100 KB comment)
+// must not fail the whole file.
+func TestReadDineroHandlesLongLines(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("0 1000\n")
+	b.WriteString("# " + strings.Repeat("x", 100_000) + "\n")
+	b.WriteString("1 2000\n")
+	got, err := ReadDinero(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("100 KB line failed the file: %v", err)
+	}
+	want := []Access{{Addr: 0x1000, Kind: DataRead}, {Addr: 0x2000, Kind: DataWrite}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// TestReadDineroCapsRunawayLines pins the MaxDinLine bound: a line over the
+// cap is an error in strict mode and one skipped line in lenient mode, and
+// memory use stays bounded either way.
+func TestReadDineroCapsRunawayLines(t *testing.T) {
+	input := "0 1000\n" + strings.Repeat("y", MaxDinLine+100) + "\n1 2000\n"
+	if _, err := ReadDinero(strings.NewReader(input)); err == nil {
+		t.Error("strict reader accepted a line over MaxDinLine")
+	}
+	got, skipped, err := ReadDineroLenient(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("lenient reader failed: %v", err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	want := []Access{{Addr: 0x1000, Kind: DataRead}, {Addr: 0x2000, Kind: DataWrite}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// TestReadDineroLenientSkipsMalformed walks every malformation class the
+// fault injector produces — unknown label, non-hex address, missing field,
+// binary garbage — and checks each costs exactly one line.
+func TestReadDineroLenientSkipsMalformed(t *testing.T) {
+	input := strings.Join([]string{
+		"0 1000",
+		"9 2000",       // unknown label
+		"0 zz",         // non-hex address
+		"1",            // missing address
+		"\x00\x7f\x01", // binary garbage
+		"0 100000000",  // address over 32 bits
+		"2 3000",
+		"",
+		"# trailing comment",
+	}, "\n")
+
+	if _, err := ReadDinero(strings.NewReader(input)); err == nil {
+		t.Error("strict reader accepted malformed input")
+	}
+	got, skipped, err := ReadDineroLenient(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if skipped != 5 {
+		t.Errorf("skipped = %d, want 5", skipped)
+	}
+	want := []Access{{Addr: 0x1000, Kind: DataRead}, {Addr: 0x3000, Kind: InstFetch}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// TestReadDineroNoFinalNewline pins that the last line parses with or
+// without a trailing newline.
+func TestReadDineroNoFinalNewline(t *testing.T) {
+	for _, input := range []string{"0 1000\n1 2000", "0 1000\n1 2000\n"} {
+		got, err := ReadDinero(bytes.NewReader([]byte(input)))
+		if err != nil {
+			t.Fatalf("%q: %v", input, err)
+		}
+		if len(got) != 2 {
+			t.Errorf("%q: parsed %d accesses, want 2", input, len(got))
+		}
+	}
+}

@@ -63,8 +63,34 @@ func (e *TraceEvaluator) EvaluateAll(cfgs []cache.Config, workers int) []EvalRes
 	return e.eng.EvaluateAll(cfgs, workers)
 }
 
+// Remeasure implements Remeasurer: it drops the engine's memoised result and
+// replays cfg afresh, so a transient measurement fault gets a second chance
+// to clear instead of being served back from the memo.
+func (e *TraceEvaluator) Remeasure(cfg cache.Config) EvalResult {
+	return e.eng.Reevaluate(cfg)
+}
+
 // Params exposes the energy model used.
 func (e *TraceEvaluator) Params() *energy.Params { return e.params }
+
+// EngineEvaluator adapts an arbitrary four-bank replay engine — typically
+// one whose model is wrapped with fault injectors — to the Evaluator,
+// BatchEvaluator and Remeasurer interfaces. TraceEvaluator is the clean
+// special case of this.
+type EngineEvaluator struct {
+	Eng *engine.Engine[cache.Config]
+}
+
+// Evaluate implements Evaluator.
+func (e EngineEvaluator) Evaluate(cfg cache.Config) EvalResult { return e.Eng.Evaluate(cfg) }
+
+// EvaluateAll implements BatchEvaluator.
+func (e EngineEvaluator) EvaluateAll(cfgs []cache.Config, workers int) []EvalResult {
+	return e.Eng.EvaluateAll(cfgs, workers)
+}
+
+// Remeasure implements Remeasurer.
+func (e EngineEvaluator) Remeasure(cfg cache.Config) EvalResult { return e.Eng.Reevaluate(cfg) }
 
 // EvaluatorFunc adapts a function to the Evaluator interface.
 type EvaluatorFunc func(cfg cache.Config) EvalResult

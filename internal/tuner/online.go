@@ -17,6 +17,7 @@ type Online struct {
 	params *energy.Params
 	window uint64
 	warmup uint64
+	meter  Meter
 
 	req  chan cache.Config
 	resp chan EvalResult
@@ -32,14 +33,31 @@ type Online struct {
 	settleWB   uint64
 }
 
+// Meter transforms a window's raw counters before they are priced — the
+// seam through which counter-readout faults (internal/faults.Measurement
+// semantics) reach the online tuner, and where real hardware would clip its
+// counter widths. nil is a perfect readout.
+type Meter func(cfg cache.Config, st cache.Stats) cache.Stats
+
 // NewOnline starts a tuning session on c. window is the number of accesses
 // each configuration is measured over (the hardware's measurement
 // interval). The search begins at the smallest configuration.
 func NewOnline(c *cache.Configurable, p *energy.Params, window uint64) *Online {
+	return NewOnlineMetered(c, p, window, nil)
+}
+
+// NewOnlineMetered is NewOnline with a counter-readout meter. Implausible
+// window readings (by Plausible) are re-measured over the next window; if
+// the second window is implausible too the session abandons tuning and
+// settles the cache on SafeConfig, with the session's Result marked
+// Degraded. Accesses keep being served normally throughout — a broken
+// counter never takes the cache down.
+func NewOnlineMetered(c *cache.Configurable, p *energy.Params, window uint64, meter Meter) *Online {
 	o := &Online{
 		cache:  c,
 		params: p,
 		window: window,
+		meter:  meter,
 		// A quarter-window warmup after each reconfiguration keeps the
 		// transition transient (blocks stranded by the remapping
 		// re-missing once) out of the measurement, which would
@@ -162,6 +180,9 @@ func (o *Online) Access(addr uint32, write bool) cache.AccessResult {
 			o.pending = false
 			cfg := o.cache.Config()
 			st := o.cache.Stats()
+			if o.meter != nil {
+				st = o.meter(cfg, st)
+			}
 			b := o.params.Evaluate(cfg, st)
 			o.resp <- EvalResult{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}
 			o.advance()
@@ -172,6 +193,10 @@ func (o *Online) Access(addr uint32, write bool) cache.AccessResult {
 
 // Done reports whether the search has settled.
 func (o *Online) Done() bool { return o.finished }
+
+// Degraded reports that the session abandoned tuning after persistently
+// implausible window readings and settled on SafeConfig instead.
+func (o *Online) Degraded() bool { return o.finished && o.result.Degraded }
 
 // Result returns the completed search (zero until Done).
 func (o *Online) Result() SearchResult { return o.result }

@@ -32,6 +32,11 @@ func (e *ScalableEvaluator) EvaluateAll(cfgs []cache.Config, workers int) []Eval
 	return e.eng.EvaluateAll(cfgs, workers)
 }
 
+// Remeasure implements Remeasurer (see TraceEvaluator.Remeasure).
+func (e *ScalableEvaluator) Remeasure(cfg cache.Config) EvalResult {
+	return e.eng.Reevaluate(cfg)
+}
+
 // SearchScalable runs the paper-ordered heuristic over a geometry's space.
 func SearchScalable(geo cache.Geometry, accs []trace.Access, p *energy.Params) SearchResult {
 	return SearchInSpace(NewScalableEvaluator(geo, accs, p), PaperOrder, GeometrySpace(geo))

@@ -46,6 +46,12 @@ type SearchResult struct {
 	// Examined lists every configuration measured, in order. Its length
 	// is the paper's "No." column (configurations examined).
 	Examined []EvalResult
+	// Degraded reports that tuning was abandoned because a reading stayed
+	// implausible after a re-measure; Best is then SafeConfig, the
+	// graceful-degradation fallback.
+	Degraded bool
+	// Fault is the reading failure that caused the degradation.
+	Fault error
 }
 
 // NumExamined is the number of configurations the search measured.
@@ -97,8 +103,18 @@ type search struct {
 }
 
 // measure evaluates cfg (once), records it, and updates the incumbent.
+// A reading that fails the plausibility check is re-measured once; if the
+// second reading is implausible too, the search unwinds into graceful
+// degradation (see SearchInSpace). Only plausible readings are recorded and
+// may steer the search.
 func (s *search) measure(cfg cache.Config) EvalResult {
 	r := s.eval.Evaluate(cfg)
+	if err := Plausible(r); err != nil {
+		r = remeasure(s.eval, cfg)
+		if err = Plausible(r); err != nil {
+			panic(searchFault{err})
+		}
+	}
 	if !s.seen[cfg] {
 		s.seen[cfg] = true
 		s.res.Examined = append(s.res.Examined, r)
@@ -121,8 +137,33 @@ func Search(eval Evaluator, order []Param) SearchResult {
 // SearchInSpace runs the heuristic over an arbitrary configuration space —
 // the §3.4 scalability path: with n parameters of m values each it examines
 // at most m*n configurations instead of the space's full product.
-func SearchInSpace(eval Evaluator, order []Param, space Space) SearchResult {
+//
+// If a reading stays implausible after a re-measure (a wedged counter, a
+// crashed replay), the search degrades gracefully instead of trusting
+// garbage: it returns SafeConfig as Best with Degraded set and the fault
+// recorded, keeping whatever plausible measurements it had already made in
+// Examined.
+func SearchInSpace(eval Evaluator, order []Param, space Space) (res SearchResult) {
 	s := &search{eval: eval, space: space, cur: space.Start, seen: map[cache.Config]bool{}}
+	defer func() {
+		if p := recover(); p != nil {
+			f, ok := p.(searchFault)
+			if !ok {
+				panic(p)
+			}
+			res = s.res
+			res.Degraded = true
+			res.Fault = f.err
+			res.Best = EvalResult{Cfg: SafeConfig()}
+			for _, r := range res.Examined {
+				// Reuse a plausible measurement of the fallback if the
+				// search happened to make one.
+				if r.Cfg == res.Best.Cfg {
+					res.Best = r
+				}
+			}
+		}
+	}()
 	prev := s.measure(s.cur)
 	for _, p := range order {
 		prev = s.sweep(p, prev)
@@ -219,6 +260,11 @@ func ExhaustiveConfigs(eval Evaluator, configs []cache.Config) SearchResult {
 // (non-positive means GOMAXPROCS). Each configuration's replay is
 // independent and deterministic and the results are reduced in input order,
 // so the outcome is bit-identical to a serial sweep at any worker count.
+//
+// Implausible readings (failed replays, impossible counters) are excluded
+// from the optimum reduction — one crashed configuration costs one data
+// point, not the sweep. If no reading at all is plausible, the result
+// degrades to SafeConfig with Degraded set.
 func ExhaustiveWorkers(eval Evaluator, configs []cache.Config, workers int) SearchResult {
 	var results []EvalResult
 	if be, ok := eval.(BatchEvaluator); ok {
@@ -230,10 +276,24 @@ func ExhaustiveWorkers(eval Evaluator, configs []cache.Config, workers int) Sear
 		}
 	}
 	res := SearchResult{Examined: results}
+	var fault error
+	picked := false
 	for _, r := range results {
-		if res.Best.Cfg == (cache.Config{}) || r.Energy < res.Best.Energy {
-			res.Best = r
+		if err := Plausible(r); err != nil {
+			if fault == nil {
+				fault = err
+			}
+			continue
 		}
+		if !picked || r.Energy < res.Best.Energy {
+			res.Best = r
+			picked = true
+		}
+	}
+	if !picked {
+		res.Degraded = true
+		res.Fault = fault
+		res.Best = EvalResult{Cfg: SafeConfig()}
 	}
 	return res
 }
