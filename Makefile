@@ -22,5 +22,9 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadDinero -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 
+# check is the tier-1 gate: build, vet, and the full test suite — which
+# includes the checkpoint round-trip/corruption-recovery tests and the
+# chaos kill/restart soak.
 check: build vet test

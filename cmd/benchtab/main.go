@@ -11,10 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"selftune/internal/energy"
 	"selftune/internal/experiments"
+	"selftune/internal/trace"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 
 func run() error {
 	n := flag.Int("n", 150_000, "accesses to simulate per benchmark")
+	tracePath := flag.String("trace", "", "tune a recorded dineroIV-format trace instead of the synthetic benchmarks")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
@@ -38,13 +41,33 @@ func run() error {
 		defer cancel()
 	}
 
-	r, err := experiments.Table1Ctx(ctx, *n, energy.DefaultParams(), *workers)
+	var r experiments.Table1Result
+	var err error
+	if *tracePath != "" {
+		// A recorded trace yields a one-row table with no paper reference
+		// columns. An empty or comment-only file is an error, not a
+		// zero-row table.
+		accs, oerr := trace.OpenNonEmpty(*tracePath)
+		if oerr != nil {
+			return oerr
+		}
+		r, err = experiments.Table1TraceCtx(ctx, filepath.Base(*tracePath), accs, energy.DefaultParams(), *workers)
+	} else {
+		r, err = experiments.Table1Ctx(ctx, *n, energy.DefaultParams(), *workers)
+	}
 	if err != nil {
 		return fmt.Errorf("table 1 run aborted: %w", err)
 	}
 	tb := r.Table()
 	if *csv {
 		return tb.WriteCSV(os.Stdout)
+	}
+	if *tracePath != "" {
+		fmt.Println("Table 1 (recorded trace): search heuristic results ('=' means heuristic found the optimum)")
+		fmt.Print(tb.String())
+		fmt.Printf("\nheuristic missed the exhaustive optimum on %d of %d streams (worst +%.0f%%)\n",
+			r.OptimumMisses, 2*len(r.Rows), 100*r.WorstOptimumExcess)
+		return nil
 	}
 	fmt.Println("Table 1: search heuristic results (paper's selections alongside; '=' means heuristic found the optimum)")
 	fmt.Print(tb.String())

@@ -12,11 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"selftune/internal/energy"
 	"selftune/internal/experiments"
 	"selftune/internal/report"
+	"selftune/internal/trace"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 func run() error {
 	fig := flag.Int("fig", 2, "figure to regenerate (2, 3 or 4)")
 	n := flag.Int("n", 200_000, "accesses to simulate per data point")
+	tracePath := flag.String("trace", "", "sweep a recorded dineroIV-format trace instead of the synthetic workloads")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
@@ -40,10 +43,29 @@ func run() error {
 		defer cancel()
 	}
 
+	// A recorded trace replaces the synthetic workloads wholesale: the
+	// whole file is swept, so -n does not apply. An empty or comment-only
+	// file is an error, not a zero-row figure.
+	var accs []trace.Access
+	var traceName string
+	if *tracePath != "" {
+		var err error
+		if accs, err = trace.OpenNonEmpty(*tracePath); err != nil {
+			return err
+		}
+		traceName = filepath.Base(*tracePath)
+	}
+
 	p := energy.DefaultParams()
 	switch *fig {
 	case 2:
-		pts, err := experiments.Figure2Ctx(ctx, *n, p, *workers)
+		var pts []experiments.Fig2Point
+		var err error
+		if accs != nil {
+			pts, err = experiments.Figure2TraceCtx(ctx, traceName, accs, p, *workers)
+		} else {
+			pts, err = experiments.Figure2Ctx(ctx, *n, p, *workers)
+		}
 		if err != nil {
 			return fmt.Errorf("figure 2 sweep aborted: %w", err)
 		}
@@ -55,14 +77,24 @@ func run() error {
 			offChip = append(offChip, pt.OffChip*1e3)
 			total = append(total, pt.Total*1e3)
 		}
-		fmt.Println("Figure 2: energy (mJ) vs cache size, parser-like workload")
+		src := "parser-like workload"
+		if traceName != "" {
+			src = "trace " + traceName
+		}
+		fmt.Printf("Figure 2: energy (mJ) vs cache size, %s\n", src)
 		fmt.Println(report.Series("Cache", sizes, onChip))
 		fmt.Println(report.Series("Off-chip Memory", sizes, offChip))
 		fmt.Println(report.Series("Total", sizes, total))
 		fmt.Printf("minimum total energy at %dKB\n", experiments.Knee(pts).SizeBytes/1024)
 	case 3, 4:
 		inst := *fig == 3
-		rows, err := experiments.Figure34Ctx(ctx, *n, inst, p, *workers)
+		var rows []experiments.Fig34Row
+		var err error
+		if accs != nil {
+			rows, err = experiments.Figure34TraceCtx(ctx, traceName, accs, inst, p, *workers)
+		} else {
+			rows, err = experiments.Figure34Ctx(ctx, *n, inst, p, *workers)
+		}
 		if err != nil {
 			return fmt.Errorf("figure %d sweep aborted: %w", *fig, err)
 		}
@@ -70,7 +102,11 @@ func run() error {
 		if inst {
 			name = "instruction"
 		}
-		fmt.Printf("Figure %d: average %s-cache miss rate and normalised energy over 19 benchmarks\n", *fig, name)
+		src := "over 19 benchmarks"
+		if traceName != "" {
+			src = "for trace " + traceName
+		}
+		fmt.Printf("Figure %d: average %s-cache miss rate and normalised energy %s\n", *fig, name, src)
 		tb := report.NewTable("config", "avg miss rate", "normalised energy")
 		for _, r := range rows {
 			tb.Add(r.Cfg.String(), report.Pct(r.AvgMissRate), fmt.Sprintf("%.3f", r.Normalised))

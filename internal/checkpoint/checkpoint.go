@@ -1,0 +1,76 @@
+// Package checkpoint persists the self-tuning daemon's state across process
+// death. A checkpoint is a single self-validating file: a fixed header
+// (magic, format version, payload length, CRC-32C of the payload) followed by
+// a JSON payload. Writes are atomic — tmp file, fsync, rename, directory
+// fsync — so a crash mid-write can at worst leave a stale tmp file, never a
+// half-written checkpoint under the real name. The Store keeps the last N
+// generations and Load falls back past a corrupt or torn head to the newest
+// generation that still validates, so one bad write (or one flipped bit at
+// rest) costs a little progress, not the daemon's ability to start.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic identifies a checkpoint file ("STCK": self-tuning checkpoint).
+const Magic = "STCK"
+
+// Version is the current wire format version. Decode rejects other versions
+// rather than guessing at a foreign layout.
+const Version = 1
+
+// headerLen is magic (4) + version (4) + payload length (8) + CRC-32C (4).
+const headerLen = 20
+
+// castagnoli is the CRC-32C table; Castagnoli detects burst errors better
+// than IEEE and is what filesystems that checksum at all tend to use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode frames st into the self-validating wire form.
+func Encode(st *State) ([]byte, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf[0:4], Magic)
+	binary.LittleEndian.PutUint32(buf[4:8], Version)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[16:20], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerLen:], payload)
+	return buf, nil
+}
+
+// Decode validates and parses a checkpoint file image. Every failure mode —
+// truncation, bad magic, unknown version, length mismatch, checksum mismatch,
+// malformed JSON — is an error; Decode never returns a partially trusted
+// state.
+func Decode(b []byte) (*State, error) {
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("checkpoint: %d bytes is shorter than the %d-byte header", len(b), headerLen)
+	}
+	if string(b[0:4]) != Magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", b[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != Version {
+		return nil, fmt.Errorf("checkpoint: format version %d, want %d", v, Version)
+	}
+	n := binary.LittleEndian.Uint64(b[8:16])
+	if n != uint64(len(b)-headerLen) {
+		return nil, fmt.Errorf("checkpoint: header claims %d payload bytes, file carries %d", n, len(b)-headerLen)
+	}
+	payload := b[headerLen:]
+	want := binary.LittleEndian.Uint32(b[16:20])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("checkpoint: CRC mismatch: payload sums to %08x, header says %08x", got, want)
+	}
+	st := new(State)
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, fmt.Errorf("checkpoint: payload: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,131 @@
+package checkpoint
+
+import (
+	"errors"
+
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+	"selftune/internal/tuner"
+)
+
+// State is everything the daemon needs to continue after process death: how
+// far into the access stream it was, the cache's complete contents, the
+// tuning session's transcript (if one is running), the settled outcome (if
+// one is not), and the phase-detection counters. It is plain data; anything
+// with goroutines or function values lives outside the checkpoint and is
+// rebuilt on recovery.
+type State struct {
+	// Consumed is the number of accesses taken from the trace source. On
+	// recovery the daemon skips this many and continues; determinism of
+	// the cache image plus the transcript makes the continuation
+	// bit-identical to a run that never died.
+	Consumed uint64
+	// Windows counts completed measurement windows over the daemon's
+	// lifetime (across re-tunes).
+	Windows uint64
+	// Retunes counts tuning sessions started after the first.
+	Retunes uint64
+	// Cache is the full image of the live cache at the boundary.
+	Cache cache.Image
+	// Session is the in-flight tuning session, nil when settled.
+	Session *Session
+	// Settled is the outcome the daemon is currently running with, nil
+	// while the first session is still searching.
+	Settled *Outcome
+	// Baselined/Baseline and WinAcc/WinMiss are the phase detector: the
+	// miss rate measured just after settling, and the current
+	// observation window's counters.
+	Baselined bool
+	Baseline  float64
+	WinAcc    uint64
+	WinMiss   uint64
+	// SessionWindows counts windows completed by the current session,
+	// used by the watchdog; reset when a session settles.
+	SessionWindows uint64
+	// Events is the daemon's decision log (session starts, settles,
+	// re-tunes, watchdog aborts). The chaos harness compares event
+	// sequences between killed and unkilled runs.
+	Events []Event
+}
+
+// Session mirrors tuner.SessionState in a JSON-safe form (EvalResult carries
+// an error interface; the wire form carries its message).
+type Session struct {
+	Window   uint64
+	Applied  cache.Config
+	History  []Eval
+	SettleWB uint64
+	Finished bool
+	Aborted  bool
+}
+
+// Eval is one window measurement on the wire.
+type Eval struct {
+	Cfg       cache.Config
+	Energy    float64
+	Breakdown energy.Breakdown
+	Stats     cache.Stats
+	// Err is the replay error message, "" for a clean measurement.
+	Err string `json:",omitempty"`
+}
+
+// Outcome records a settled search: what the daemon applied and why.
+type Outcome struct {
+	Cfg      cache.Config
+	Energy   float64
+	Degraded bool
+	// SettleWB is the session's total settle-writeback cost.
+	SettleWB uint64
+	// At is the access count at which the session settled.
+	At uint64
+}
+
+// Event is one entry in the daemon's decision log.
+type Event struct {
+	// At is the access count when the event happened.
+	At uint64
+	// Kind is one of "settle", "retune", "watchdog", "degraded".
+	Kind string
+	// Cfg is the configuration in force after the event.
+	Cfg cache.Config
+	// Energy is the settled window energy (settle events; zero otherwise).
+	Energy float64
+}
+
+// WireSession converts a tuner snapshot to the wire form.
+func WireSession(st tuner.SessionState) *Session {
+	s := &Session{
+		Window:   st.Window,
+		Applied:  st.Applied,
+		SettleWB: st.SettleWB,
+		Finished: st.Finished,
+		Aborted:  st.Aborted,
+		History:  make([]Eval, len(st.History)),
+	}
+	for i, r := range st.History {
+		s.History[i] = Eval{Cfg: r.Cfg, Energy: r.Energy, Breakdown: r.Breakdown, Stats: r.Stats}
+		if r.Err != nil {
+			s.History[i].Err = r.Err.Error()
+		}
+	}
+	return s
+}
+
+// TunerState converts the wire form back to a tuner snapshot.
+func (s *Session) TunerState() tuner.SessionState {
+	st := tuner.SessionState{
+		Window:   s.Window,
+		Applied:  s.Applied,
+		SettleWB: s.SettleWB,
+		Finished: s.Finished,
+		Aborted:  s.Aborted,
+		History:  make([]tuner.EvalResult, len(s.History)),
+	}
+	for i, e := range s.History {
+		st.History[i] = tuner.EvalResult{Cfg: e.Cfg, Energy: e.Energy, Breakdown: e.Breakdown, Stats: e.Stats}
+		if e.Err != "" {
+			st.History[i].Err = errors.New(e.Err)
+		}
+	}
+	return st
+}

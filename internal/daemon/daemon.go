@@ -1,0 +1,393 @@
+// Package daemon is the crash-safe, long-running face of the self-tuning
+// cache: it streams accesses from a trace source into a single configurable
+// cache, runs the paper's tuning heuristic over measurement windows,
+// re-tunes when the settled configuration's miss rate drifts (a phase
+// change), aborts a runaway session to the safe configuration, and — the
+// point of the package — checkpoints its complete state durably so that
+// being killed at any instant costs nothing but a little redone work.
+//
+// The recovery model is replay from the last boundary: a checkpoint captures
+// the daemon at a measurement-window boundary (cache image, tuning-session
+// transcript, consumed-access count, phase counters). On restart the daemon
+// skips the consumed prefix of the stream and continues; because the cache
+// and the heuristic are deterministic, the continuation is bit-identical to
+// a run that never died. internal/experiments' chaos harness pins exactly
+// that property.
+package daemon
+
+import (
+	"context"
+	"fmt"
+
+	"selftune/internal/cache"
+	"selftune/internal/checkpoint"
+	"selftune/internal/energy"
+	"selftune/internal/trace"
+	"selftune/internal/tuner"
+)
+
+// Options configures a Daemon.
+type Options struct {
+	// Params is the energy model; nil uses DefaultParams.
+	Params *energy.Params
+	// Window is the accesses per tuner measurement window (and per phase
+	// observation window once settled). Default 10000.
+	Window uint64
+	// Dir is the checkpoint directory; "" disables persistence (the
+	// daemon still builds boundary snapshots, it just never writes them).
+	Dir string
+	// CheckpointEvery persists a snapshot every this many window
+	// boundaries. Default 8. Kills between persists lose at most that
+	// much progress, never correctness.
+	CheckpointEvery uint64
+	// Keep is how many checkpoint generations to retain. Default 4.
+	Keep int
+	// PhaseThreshold is the absolute miss-rate drift from the
+	// post-settle baseline that triggers a re-tune. Default 0.02.
+	PhaseThreshold float64
+	// WatchdogWindows aborts a tuning session that has consumed this
+	// many measurement windows without settling, falling back to
+	// SafeConfig; 0 means the default 64 (the full search needs ~30 even
+	// with every window re-measured).
+	WatchdogWindows uint64
+	// Meter is the counter-readout seam (fault injection); nil is a
+	// perfect readout.
+	Meter tuner.Meter
+}
+
+func (o *Options) fill() {
+	if o.Params == nil {
+		o.Params = energy.DefaultParams()
+	}
+	if o.Window == 0 {
+		o.Window = 10_000
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 8
+	}
+	if o.Keep == 0 {
+		o.Keep = 4
+	}
+	if o.PhaseThreshold == 0 {
+		o.PhaseThreshold = 0.02
+	}
+	if o.WatchdogWindows == 0 {
+		o.WatchdogWindows = 64
+	}
+}
+
+// Daemon is one self-tuning cache with durable state.
+type Daemon struct {
+	opts  Options
+	store *checkpoint.Store // nil when persistence is disabled
+
+	cache   *cache.Configurable
+	session *tuner.Online       // nil once settled
+	settled *checkpoint.Outcome // nil while the first session runs
+
+	consumed       uint64 // accesses taken from the stream
+	windows        uint64 // lifetime measurement windows
+	retunes        uint64
+	sessionWindows uint64 // windows in the current session (watchdog)
+
+	// Phase detector, active only while settled.
+	baselined       bool
+	baseline        float64
+	winAcc, winMiss uint64
+
+	events []checkpoint.Event
+
+	// pending is the snapshot built at the most recent boundary; Close
+	// persists it so a graceful shutdown loses nothing. boundaries
+	// counts boundary snapshots since the last persist.
+	pending    *checkpoint.State
+	boundaries uint64
+	recovered  bool
+}
+
+// New builds a daemon, recovering from the newest valid checkpoint in
+// opts.Dir when one exists (falling back past corrupt generations) and
+// starting fresh otherwise.
+func New(opts Options) (*Daemon, error) {
+	opts.fill()
+	d := &Daemon{opts: opts}
+	if opts.Dir != "" {
+		st, err := checkpoint.OpenStore(opts.Dir, opts.Keep)
+		if err != nil {
+			return nil, err
+		}
+		d.store = st
+		snap, _, err := st.Load()
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			if err := d.restore(snap); err != nil {
+				return nil, err
+			}
+			return d, nil
+		}
+	}
+	d.cache = cache.MustConfigurable(cache.MinConfig())
+	d.session = tuner.NewOnlineMetered(d.cache, opts.Params, opts.Window, opts.Meter)
+	return d, nil
+}
+
+// restore rebuilds the live state from a checkpoint.
+func (d *Daemon) restore(st *checkpoint.State) error {
+	c, err := cache.RestoreConfigurable(st.Cache)
+	if err != nil {
+		return fmt.Errorf("daemon: recover: %w", err)
+	}
+	d.cache = c
+	if st.Session != nil {
+		s, err := tuner.ResumeOnline(c, d.opts.Params, st.Session.TunerState(), d.opts.Meter)
+		if err != nil {
+			return fmt.Errorf("daemon: recover: %w", err)
+		}
+		d.session = s
+	}
+	d.settled = st.Settled
+	d.consumed = st.Consumed
+	d.windows = st.Windows
+	d.retunes = st.Retunes
+	d.sessionWindows = st.SessionWindows
+	d.baselined = st.Baselined
+	d.baseline = st.Baseline
+	d.winAcc, d.winMiss = st.WinAcc, st.WinMiss
+	d.events = append([]checkpoint.Event(nil), st.Events...)
+	d.pending = st
+	d.recovered = true
+	return nil
+}
+
+// Recovered reports whether this daemon resumed from a checkpoint.
+func (d *Daemon) Recovered() bool { return d.recovered }
+
+// Step feeds one access. The error is a persistence failure (snapshots that
+// cannot be written must not pass silently); the access itself always
+// completes.
+func (d *Daemon) Step(addr uint32, write bool) error {
+	d.consumed++
+	if d.session != nil {
+		before := d.session.CompletedWindows()
+		d.session.Access(addr, write)
+		if w := d.session.CompletedWindows(); w != before {
+			d.windows++
+			d.sessionWindows++
+		}
+		if d.session.Done() {
+			d.settle()
+			return d.boundary()
+		}
+		if d.session.CompletedWindows() != before {
+			if d.sessionWindows >= d.opts.WatchdogWindows {
+				d.watchdog()
+			}
+			return d.boundary()
+		}
+		return nil
+	}
+
+	// Settled: serve the access and watch for a phase change.
+	r := d.cache.Access(addr, write)
+	d.winAcc++
+	if !r.Hit {
+		d.winMiss++
+	}
+	if d.winAcc < d.opts.Window {
+		return nil
+	}
+	mr := float64(d.winMiss) / float64(d.winAcc)
+	d.winAcc, d.winMiss = 0, 0
+	if !d.baselined {
+		// First full window after settling fixes the baseline the drift
+		// is measured against.
+		d.baselined = true
+		d.baseline = mr
+		return d.boundary()
+	}
+	drift := mr - d.baseline
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift > d.opts.PhaseThreshold {
+		d.retune()
+	}
+	return d.boundary()
+}
+
+// settle records a finished session's outcome and switches to observing.
+func (d *Daemon) settle() {
+	res := d.session.Result()
+	d.settled = &checkpoint.Outcome{
+		Cfg:      res.Best.Cfg,
+		Energy:   res.Best.Energy,
+		Degraded: res.Degraded,
+		SettleWB: d.session.SettleWritebacks(),
+		At:       d.consumed,
+	}
+	kind := "settle"
+	if res.Degraded {
+		kind = "degraded"
+	}
+	d.events = append(d.events, checkpoint.Event{At: d.consumed, Kind: kind, Cfg: res.Best.Cfg, Energy: res.Best.Energy})
+	d.session.Close()
+	d.session = nil
+	d.sessionWindows = 0
+	d.baselined = false
+	d.winAcc, d.winMiss = 0, 0
+}
+
+// retune starts a fresh session on the live cache (the search restarts from
+// the smallest configuration, as the on-chip tuner would).
+func (d *Daemon) retune() {
+	d.retunes++
+	d.events = append(d.events, checkpoint.Event{At: d.consumed, Kind: "retune", Cfg: d.cache.Config()})
+	d.settled = nil
+	d.sessionWindows = 0
+	d.session = tuner.NewOnlineMetered(d.cache, d.opts.Params, d.opts.Window, d.opts.Meter)
+}
+
+// watchdog aborts a session that failed to settle within the window budget
+// and parks the cache on SafeConfig — a wedged search must not hold the
+// cache at whatever half-swept configuration it was probing.
+func (d *Daemon) watchdog() {
+	d.session.Close()
+	d.session = nil
+	safe := tuner.SafeConfig()
+	d.cache.AllowShrink = true
+	if err := d.cache.SetConfig(safe); err != nil {
+		panic("daemon: safe-config transition rejected: " + err.Error())
+	}
+	d.cache.AllowShrink = false
+	d.settled = &checkpoint.Outcome{Cfg: safe, Degraded: true, At: d.consumed}
+	d.events = append(d.events, checkpoint.Event{At: d.consumed, Kind: "watchdog", Cfg: safe})
+	d.sessionWindows = 0
+	d.baselined = false
+	d.winAcc, d.winMiss = 0, 0
+}
+
+// boundary builds the snapshot for the boundary just reached and persists it
+// every CheckpointEvery boundaries.
+func (d *Daemon) boundary() error {
+	img, err := d.cache.Image()
+	if err != nil {
+		return fmt.Errorf("daemon: %w", err)
+	}
+	st := &checkpoint.State{
+		Consumed:       d.consumed,
+		Windows:        d.windows,
+		Retunes:        d.retunes,
+		Cache:          img,
+		Settled:        d.settled,
+		Baselined:      d.baselined,
+		Baseline:       d.baseline,
+		WinAcc:         d.winAcc,
+		WinMiss:        d.winMiss,
+		SessionWindows: d.sessionWindows,
+		Events:         append([]checkpoint.Event(nil), d.events...),
+	}
+	if d.session != nil {
+		ss, err := d.session.Snapshot()
+		if err != nil {
+			return fmt.Errorf("daemon: %w", err)
+		}
+		st.Session = checkpoint.WireSession(ss)
+	}
+	d.pending = st
+	d.boundaries++
+	if d.store != nil && d.boundaries >= d.opts.CheckpointEvery {
+		if _, err := d.store.Save(st); err != nil {
+			return err
+		}
+		d.boundaries = 0
+	}
+	return nil
+}
+
+// Run streams src into the daemon until the stream ends or ctx is
+// cancelled. src must yield the trace from its beginning: Run discards the
+// prefix a previous life already consumed, which is what makes a restarted
+// daemon continue rather than start over. On cancellation it returns
+// ctx.Err() after Close has persisted the final snapshot.
+func (d *Daemon) Run(ctx context.Context, src trace.Source) error {
+	for skip := d.consumed; skip > 0; skip-- {
+		if _, ok := src.Next(); !ok {
+			return fmt.Errorf("daemon: stream ends at %d accesses but the checkpoint consumed %d", d.consumed-skip, d.consumed)
+		}
+	}
+	n := 0
+	for {
+		if n&0xfff == 0 && ctx.Err() != nil {
+			if err := d.Close(); err != nil {
+				return err
+			}
+			return ctx.Err()
+		}
+		a, ok := src.Next()
+		if !ok {
+			return d.Close()
+		}
+		if err := d.Step(a.Addr, a.IsWrite()); err != nil {
+			return err
+		}
+		n++
+	}
+}
+
+// Close persists the most recent boundary snapshot (so a graceful shutdown
+// resumes exactly where it stopped, losing at most the partial window after
+// the boundary) and releases the session goroutine. Safe to call more than
+// once.
+func (d *Daemon) Close() error {
+	var err error
+	if d.store != nil && d.pending != nil && d.boundaries > 0 {
+		if _, serr := d.store.Save(d.pending); serr != nil {
+			err = serr
+		} else {
+			d.boundaries = 0
+		}
+	}
+	if d.session != nil {
+		d.session.Close()
+	}
+	return err
+}
+
+// Kill abandons the daemon without persisting anything — the chaos
+// harness's stand-in for SIGKILL. Durable state stays whatever the periodic
+// checkpoints already wrote; only the in-process search goroutine is
+// released (a real kill would take it down with the process).
+func (d *Daemon) Kill() {
+	if d.session != nil {
+		d.session.Close()
+		d.session = nil
+	}
+}
+
+// Consumed is the number of accesses taken from the stream.
+func (d *Daemon) Consumed() uint64 { return d.consumed }
+
+// Windows is the lifetime count of completed measurement windows.
+func (d *Daemon) Windows() uint64 { return d.windows }
+
+// Retunes counts tuning sessions started after the first.
+func (d *Daemon) Retunes() uint64 { return d.retunes }
+
+// Tuning reports whether a search is currently running.
+func (d *Daemon) Tuning() bool { return d.session != nil }
+
+// Config is the cache's current configuration.
+func (d *Daemon) Config() cache.Config { return d.cache.Config() }
+
+// Settled is the outcome in force, nil while searching.
+func (d *Daemon) Settled() *checkpoint.Outcome { return d.settled }
+
+// Events returns the decision log so far.
+func (d *Daemon) Events() []checkpoint.Event {
+	return append([]checkpoint.Event(nil), d.events...)
+}
+
+// Stats exposes the cache's counters (for status reporting).
+func (d *Daemon) Stats() cache.Stats { return d.cache.Stats() }

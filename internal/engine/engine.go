@@ -203,10 +203,8 @@ func (e *Engine[C]) replay(ctx context.Context, cfg C) (Result[C], error) {
 	var lastErr error
 	for attempt := 1; attempt <= e.Retry.attempts(); attempt++ {
 		if attempt > 1 && backoff > 0 {
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return Result[C]{Cfg: cfg}, ctx.Err()
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return Result[C]{Cfg: cfg}, err
 			}
 			backoff *= 2
 		}
@@ -220,6 +218,22 @@ func (e *Engine[C]) replay(ctx context.Context, cfg C) (Result[C], error) {
 		lastErr = err
 	}
 	return Result[C]{Cfg: cfg, Err: lastErr}, nil
+}
+
+// sleepCtx waits out a retry backoff or returns ctx.Err() the moment the
+// context is cancelled, whichever comes first. The explicit timer (rather
+// than time.After) is stopped on the cancellation path, so an aborted sweep
+// releases its timers immediately instead of leaving one ticking per
+// backed-off replay until the full backoff elapses.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // ctxCheckInterval is how many accesses the replay loop runs between

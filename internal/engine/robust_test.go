@@ -209,3 +209,42 @@ func TestReevaluateDropsMemo(t *testing.T) {
 		t.Error("deterministic model diverged across Reevaluate")
 	}
 }
+
+// TestBackoffCancellation pins that cancelling a sweep mid-backoff returns
+// promptly: a retry policy with a long backoff must not delay SweepCtx
+// cancellation until the sleep elapses.
+func TestBackoffCancellation(t *testing.T) {
+	p := energy.DefaultParams()
+	data := dataStream(t, "crc", 10_000)
+	m := Configurable(p)
+	inner := m.Build
+	m.Build = func(cfg cache.Config) Simulator {
+		// Crash immediately on every attempt so the engine is always
+		// either replaying briefly or backing off.
+		return &crashSim{inner: inner(cfg), after: 1}
+	}
+	e := New(data, m)
+	e.Retry = RetryPolicy{Attempts: 5, Backoff: time.Hour}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := e.EvaluateCtx(ctx, cache.BaseConfig())
+		done <- err
+	}()
+	// Give the first attempt time to crash and the backoff to start.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("backed-off evaluate returned %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cancellation took %v; the hour-long backoff leaked into it", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation never interrupted the retry backoff")
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestChaosCrashEquivalence is the pinned crash-safety property: for several
+// seeds, a daemon killed at three random points mid-run (with trace and
+// counter-readout faults armed) and restarted from its checkpoints each time
+// produces the bit-identical decision history and final configuration as a
+// daemon that was never killed.
+func TestChaosCrashEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		out, err := ChaosSoak(ChaosOptions{
+			Bench:           "crc",
+			N:               1_200_000,
+			Window:          2_000,
+			Seed:            seed,
+			Kills:           3,
+			Dir:             t.TempDir(),
+			CheckpointEvery: 1,
+			TraceFaultRate:  0.0005,
+			MeterNoiseRate:  0.1,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !out.Equivalent {
+			t.Errorf("seed %d: kill+resume diverged from the uninterrupted run: %s\nkills at %v, resumed at %v",
+				seed, out.Mismatch, out.KillsAt, out.ResumePoints)
+		}
+		if out.Recovered == 0 {
+			t.Errorf("seed %d: no restart ever recovered from a checkpoint (kills at %v) — the soak is not exercising recovery", seed, out.KillsAt)
+		}
+		if len(out.BaselineEvents) == 0 {
+			t.Errorf("seed %d: baseline made no tuning decisions — the soak is vacuous", seed)
+		}
+	}
+}
+
+// TestChaosSurvivesCorruptCheckpointHead repeats the soak while flipping a
+// byte in the newest checkpoint generation before every restart: recovery
+// must fall back to the previous generation (resume, not restart from
+// scratch) and still converge on the identical history.
+func TestChaosSurvivesCorruptCheckpointHead(t *testing.T) {
+	out, err := ChaosSoak(ChaosOptions{
+		Bench:           "crc",
+		N:               1_200_000,
+		Window:          2_000,
+		Seed:            99,
+		Kills:           3,
+		Dir:             t.TempDir(),
+		CheckpointEvery: 1,
+		CorruptHead:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equivalent {
+		t.Errorf("corrupt-head run diverged: %s\nkills at %v, resumed at %v", out.Mismatch, out.KillsAt, out.ResumePoints)
+	}
+	if out.HeadCorruptions == 0 {
+		t.Fatal("no checkpoint was ever corrupted — the test is vacuous")
+	}
+	if out.Recovered != len(out.KillsAt) {
+		t.Errorf("only %d of %d restarts recovered from a checkpoint; a corrupt head must fall back to the previous generation, not restart from scratch (resumed at %v)",
+			out.Recovered, len(out.KillsAt), out.ResumePoints)
+	}
+	for i, rp := range out.ResumePoints {
+		if rp == 0 {
+			t.Errorf("restart %d resumed from scratch (kills at %v)", i, out.KillsAt)
+		}
+	}
+}

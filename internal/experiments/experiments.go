@@ -63,7 +63,6 @@ func Table1Workers(n int, p *energy.Params, workers int) Table1Result {
 // aborts the run between benchmarks and returns the context's error. This
 // is what the cmd tools' -timeout flags call.
 func Table1Ctx(ctx context.Context, n int, p *energy.Params, workers int) (Table1Result, error) {
-	base := cache.BaseConfig()
 	profiles := workload.Profiles()
 
 	// benchOutcome carries what one benchmark contributes to the table:
@@ -75,28 +74,9 @@ func Table1Ctx(ctx context.Context, n int, p *energy.Params, workers int) (Table
 	outcomes, err := engine.ParallelErr(ctx, len(profiles), workers, func(i int) (benchOutcome, error) {
 		prof := profiles[i]
 		inst, data := trace.Split(trace.NewSliceSource(prof.Generate(n)))
-		iev := tuner.NewTraceEvaluator(inst, p)
-		dev := tuner.NewTraceEvaluator(data, p)
-		ih, dh := tuner.SearchPaper(iev), tuner.SearchPaper(dev)
-		iOpt := tuner.ExhaustiveWorkers(iev, cache.AllConfigs(), workers).Best
-		dOpt := tuner.ExhaustiveWorkers(dev, cache.AllConfigs(), workers).Best
-		return benchOutcome{
-			row: Table1Row{
-				Name:   prof.Name,
-				ICfg:   ih.Best.Cfg,
-				DCfg:   dh.Best.Cfg,
-				INum:   ih.NumExamined(),
-				DNum:   dh.NumExamined(),
-				ISave:  1 - ih.Best.Energy/iev.Evaluate(base).Energy,
-				DSave:  1 - dh.Best.Energy/dev.Evaluate(base).Energy,
-				IOpt:   iOpt.Cfg,
-				DOpt:   dOpt.Cfg,
-				PaperI: prof.Paper.ICfg,
-				PaperD: prof.Paper.DCfg,
-			},
-			iExcess: ih.Best.Energy/iOpt.Energy - 1,
-			dExcess: dh.Best.Energy/dOpt.Energy - 1,
-		}, nil
+		row, iExcess, dExcess := table1Row(prof.Name, inst, data, p, workers)
+		row.PaperI, row.PaperD = prof.Paper.ICfg, prof.Paper.DCfg
+		return benchOutcome{row: row, iExcess: iExcess, dExcess: dExcess}, nil
 	})
 	if err != nil {
 		return Table1Result{}, err
@@ -182,6 +162,11 @@ func Figure2Workers(n int, p *energy.Params, workers int) []Fig2Point {
 // aborts the sweep (including mid-replay) and returns the context's error.
 func Figure2Ctx(ctx context.Context, n int, p *energy.Params, workers int) ([]Fig2Point, error) {
 	_, data := trace.Split(trace.NewSliceSource(workload.ParserLike().Generate(n)))
+	return figure2Sweep(ctx, data, p, workers)
+}
+
+// figure2Sweep is the Figure 2 size sweep over an arbitrary data stream.
+func figure2Sweep(ctx context.Context, data []trace.Access, p *energy.Params, workers int) ([]Fig2Point, error) {
 	var cfgs []cache.GenericConfig
 	for size := 1 << 10; size <= 1<<20; size *= 2 {
 		cfgs = append(cfgs, cache.GenericConfig{SizeBytes: size, Ways: 1, LineBytes: 32})
@@ -257,9 +242,13 @@ func Figure34Ctx(ctx context.Context, n int, inst bool, p *energy.Params, worker
 	if err != nil {
 		return nil, err
 	}
+	return reduceFig34(len(configs), perProfile), nil
+}
 
-	rows := make([]Fig34Row, len(configs))
-	for _, results := range perProfile {
+// reduceFig34 averages per-stream sweeps into the figure's rows.
+func reduceFig34(nConfigs int, perStream [][]engine.Result[cache.Config]) []Fig34Row {
+	rows := make([]Fig34Row, nConfigs)
+	for _, results := range perStream {
 		for ci, r := range results {
 			rows[ci].Cfg = r.Cfg
 			rows[ci].AvgMissRate += r.Stats.MissRate()
@@ -268,7 +257,7 @@ func Figure34Ctx(ctx context.Context, n int, inst bool, p *energy.Params, worker
 	}
 	maxE := 0.0
 	for i := range rows {
-		rows[i].AvgMissRate /= float64(len(profiles))
+		rows[i].AvgMissRate /= float64(len(perStream))
 		if rows[i].Energy > maxE {
 			maxE = rows[i].Energy
 		}
@@ -276,7 +265,7 @@ func Figure34Ctx(ctx context.Context, n int, inst bool, p *energy.Params, worker
 	for i := range rows {
 		rows[i].Normalised = rows[i].Energy / maxE
 	}
-	return rows, nil
+	return rows
 }
 
 // WindowPoint is one measurement-window length's outcome in the window

@@ -83,6 +83,44 @@ func Wrap[C comparable](m engine.Model[C], f *Measurement) engine.Model[C] {
 	return m
 }
 
+// StatsMeter builds a counter-readout fault model shaped for the online
+// tuner's Meter seam: a function from a window's (configuration, counters)
+// to the counters the tuner actually sees. With probability stuckRate the
+// latch never captures the window (all zeros — implausible, triggering the
+// re-measure/degrade policy); with probability noiseRate the miss counter is
+// scaled by a uniform factor in [1-noiseMag, 1+noiseMag] with hits adjusted
+// so the reading stays self-consistent (plausible but wrong).
+//
+// Unlike Measurement (which draws per replay attempt), every decision here
+// is a pure function of (seed, cfg, counters): the same window measured
+// after a process restart glitches identically. That is what keeps a
+// kill+resume tuning run bit-identical to an uninterrupted one even with
+// readout faults armed — the crash-equivalence property the chaos soak
+// harness pins.
+func StatsMeter(seed uint64, noiseRate, noiseMag, stuckRate float64) func(cfg cache.Config, st cache.Stats) cache.Stats {
+	return func(cfg cache.Config, st cache.Stats) cache.Stats {
+		r := NewRand(Derive(seed, "meter", cfg.String(),
+			strconv.FormatUint(st.Accesses, 10),
+			strconv.FormatUint(st.Hits, 10),
+			strconv.FormatUint(st.Misses, 10)))
+		if stuckRate > 0 && r.Float64() < stuckRate {
+			return cache.Stats{}
+		}
+		if noiseRate > 0 && r.Float64() < noiseRate {
+			if noiseMag == 0 {
+				noiseMag = 0.25
+			}
+			m := uint64(float64(st.Misses)*(1+(2*r.Float64()-1)*noiseMag) + 0.5)
+			if m > st.Accesses {
+				m = st.Accesses
+			}
+			st.Misses = m
+			st.Hits = st.Accesses - m
+		}
+		return st
+	}
+}
+
 // faultySim perturbs a simulator's counter readout (and optionally crashes
 // its replay) while leaving the underlying cache behaviour untouched.
 type faultySim struct {

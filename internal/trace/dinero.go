@@ -138,6 +138,22 @@ func Open(path string) ([]Access, error) {
 	return accs, err
 }
 
+// OpenNonEmpty is Open, but a file that parses to zero accesses — empty,
+// comments only, or a headerless export that din parsing reads as nothing —
+// is an error rather than a silently empty stream. Tools that feed a whole
+// run from one file (sweep tables, the tuning daemon) use this so a bad
+// trace argument fails loudly instead of producing a zero-row result.
+func OpenNonEmpty(path string) ([]Access, error) {
+	accs, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("trace: %s contains no accesses (empty or comment-only trace)", path)
+	}
+	return accs, nil
+}
+
 // OpenLenient is Open with lenient din parsing (see ReadDineroLenient).
 // Binary traces are decoded strictly either way — a corrupt delta record
 // poisons every address after it, so skipping would silently shift the

@@ -31,6 +31,13 @@ type Online struct {
 	aborted    bool
 	result     SearchResult
 	settleWB   uint64
+
+	// history records every window measurement handed to the search, in
+	// order — the externally visible transcript of the search's state
+	// machine. Because the heuristic is a deterministic function of its
+	// measurement sequence, replaying history reconstructs the search
+	// exactly; Snapshot/ResumeOnline (session.go) build on this.
+	history []EvalResult
 }
 
 // Meter transforms a window's raw counters before they are priced — the
@@ -71,6 +78,13 @@ func NewOnlineMetered(c *cache.Configurable, p *energy.Params, window uint64, me
 	// The search logic runs in its own goroutine; Evaluate blocks until
 	// the measurement window completes. This reuses the exact heuristic
 	// implementation for the online hardware behaviour.
+	o.startSearch(EvaluatorFunc(o.liveEvaluate))
+	o.advance()
+	return o
+}
+
+// startSearch launches the search goroutine over eval.
+func (o *Online) startSearch(eval Evaluator) {
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -80,24 +94,26 @@ func NewOnlineMetered(c *cache.Configurable, p *energy.Params, window uint64, me
 				panic(r)
 			}
 		}()
-		res := Search(EvaluatorFunc(func(cfg cache.Config) EvalResult {
-			select {
-			case o.req <- cfg:
-			case <-o.quit:
-				panic(abortSession{})
-			}
-			select {
-			case r := <-o.resp:
-				return r
-			case <-o.quit:
-				panic(abortSession{})
-			}
-		}), PaperOrder)
+		res := Search(eval, PaperOrder)
 		o.done <- res
 		close(o.req)
 	}()
-	o.advance()
-	return o
+}
+
+// liveEvaluate is the search side of the window rendezvous: request a
+// configuration, block until Access completes a measurement window over it.
+func (o *Online) liveEvaluate(cfg cache.Config) EvalResult {
+	select {
+	case o.req <- cfg:
+	case <-o.quit:
+		panic(abortSession{})
+	}
+	select {
+	case r := <-o.resp:
+		return r
+	case <-o.quit:
+		panic(abortSession{})
+	}
 }
 
 // advance applies the search's next requested configuration, or completes.
@@ -158,6 +174,20 @@ func (o *Online) Abort() {
 // Aborted reports whether the session was cancelled.
 func (o *Online) Aborted() bool { return o.aborted }
 
+// Close ends the session (see Abort) and releases the search goroutine. It
+// is safe to call any number of times, before or after the search settles,
+// and never returns an error; it exists so daemons can manage a session with
+// the usual io.Closer discipline.
+func (o *Online) Close() error {
+	o.Abort()
+	return nil
+}
+
+// CompletedWindows is the number of measurement windows fed to the search so
+// far (each examined configuration costs one window; re-measures after an
+// implausible reading cost one more).
+func (o *Online) CompletedWindows() uint64 { return uint64(len(o.history)) }
+
 // SettleWritebacks returns the dirty lines written back by shrinking
 // transitions over the whole session (zero for instruction caches; small
 // for data caches — compare FlushAblation for the largest-first ordering).
@@ -184,7 +214,9 @@ func (o *Online) Access(addr uint32, write bool) cache.AccessResult {
 				st = o.meter(cfg, st)
 			}
 			b := o.params.Evaluate(cfg, st)
-			o.resp <- EvalResult{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}
+			r := EvalResult{Cfg: cfg, Energy: b.Total(), Breakdown: b, Stats: st}
+			o.history = append(o.history, r)
+			o.resp <- r
 			o.advance()
 		}
 	}
