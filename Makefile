@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench check fuzz
+.PHONY: build test race vet bench check fuzz obs-smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,11 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$'
+
+# End-to-end observability smoke: daemon up with telemetry, endpoints
+# scraped, event log explained (see scripts/obs_smoke.sh).
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # go test runs one -fuzz pattern per invocation, so each target gets its own.
 fuzz:

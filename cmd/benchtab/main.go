@@ -16,6 +16,7 @@ import (
 
 	"selftune/internal/energy"
 	"selftune/internal/experiments"
+	"selftune/internal/obs"
 	"selftune/internal/trace"
 )
 
@@ -32,9 +33,12 @@ func run() error {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	ctx := context.Background()
+	// -v streams per-replay engine events to stderr; the recorder rides
+	// the context into the experiment sweeps.
+	ctx := obs.IntoContext(context.Background(), ofl.Recorder(os.Stderr))
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

@@ -15,6 +15,7 @@ import (
 	"selftune/internal/cache"
 	"selftune/internal/core"
 	"selftune/internal/energy"
+	"selftune/internal/obs"
 	"selftune/internal/programs"
 	"selftune/internal/report"
 	"selftune/internal/trace"
@@ -41,6 +42,7 @@ func run() error {
 	compare := flag.Bool("compare", false, "after the run, sweep all 27 configurations offline and compare the tuner's choices against the exhaustive optimum")
 	lenient := flag.Bool("lenient", false, "skip malformed lines in -trace din files instead of failing")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -55,12 +57,12 @@ func run() error {
 		return nil
 	}
 
-	src, limit, err := pickSource(*wl, *kernel, *traceFile, *n, *lenient)
+	src, limit, err := pickSource(ofl, *wl, *kernel, *traceFile, *n, *lenient)
 	if err != nil {
 		return err
 	}
 
-	opts := core.Options{Window: *window}
+	opts := core.Options{Window: *window, Rec: ofl.Recorder(os.Stderr)}
 	switch *mode {
 	case "once":
 		opts.Mode = core.TuneOnce
@@ -196,7 +198,7 @@ func compareOffline(accs []trace.Access, sys *core.System, p *energy.Params, wor
 	}
 }
 
-func pickSource(wl, kernel, traceFile string, n int, lenient bool) (trace.Source, int, error) {
+func pickSource(ofl *obs.Flags, wl, kernel, traceFile string, n int, lenient bool) (trace.Source, int, error) {
 	picked := 0
 	for _, s := range []string{wl, kernel, traceFile} {
 		if s != "" {
@@ -232,7 +234,7 @@ func pickSource(wl, kernel, traceFile string, n int, lenient bool) (trace.Source
 				return nil, 0, err
 			}
 			if skipped > 0 {
-				fmt.Fprintf(os.Stderr, "cachetune: skipped %d malformed trace lines\n", skipped)
+				ofl.Notef(os.Stderr, "cachetune: skipped %d malformed trace lines\n", skipped)
 			}
 			return trace.NewSliceSource(accs), 0, nil
 		}

@@ -11,12 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 
 	"selftune/internal/experiments"
+	"selftune/internal/obs"
 	"selftune/internal/workload"
 )
 
@@ -36,6 +38,7 @@ func run() error {
 	bench := flag.String("bench", "", "comma-separated benchmark names (empty = all profiles)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	opt := experiments.FaultSweepOptions{
@@ -65,10 +68,29 @@ func run() error {
 	}
 
 	res := experiments.FaultSweepWorkers(opt, *workers)
+
+	// -v emits one structured event per sweep cell — the machine-readable
+	// twin of the table, keyed by (benchmark, rate) rather than wall-clock.
+	if rec := ofl.Recorder(os.Stderr); rec.Enabled() {
+		for _, c := range res.Cells {
+			rec.Record(obs.Event{
+				Name: "faultsweep.cell",
+				Fields: []slog.Attr{
+					slog.String("bench", c.Bench),
+					slog.Float64("rate", c.Rate),
+					slog.Int("trials", c.Trials),
+					slog.Int("within_tol", c.WithinTol),
+					slog.Int("degraded", c.Degraded),
+					slog.Float64("avg_excess", c.AvgExcess),
+					slog.Float64("worst_excess", c.WorstExcess),
+				},
+			})
+		}
+	}
 	if *csv {
 		return res.Table().WriteCSV(os.Stdout)
 	}
-	fmt.Printf("fault sweep: %d trials per cell, seed %d, %d accesses per benchmark\n",
+	ofl.Notef(os.Stdout, "fault sweep: %d trials per cell, seed %d, %d accesses per benchmark\n",
 		*trials, *seed, *n)
 	fmt.Print(res.Table().String())
 	return nil

@@ -1,0 +1,67 @@
+// Command stcexplain renders a tuned/daemon telemetry log (the JSONL stream
+// written by -obs-log or -v) into the human-readable search story: per
+// tuning session, every configuration the heuristic examined, what it
+// measured, and why it kept going or stopped — Figure 6 reconstructed from
+// production telemetry. Duplicate events from kill/resume re-execution are
+// deduplicated by their deterministic coordinates, so the story of a crashed
+// daemon reads identically to an uninterrupted one.
+//
+// Usage: stcexplain [-max-examined N] [events.jsonl]
+//
+// With no file argument the log is read from stdin. The exit status is
+// non-zero when the log contains no search trajectory at all, or when
+// -max-examined is set and any session examined more configurations than
+// that — a regression gate for the paper's "examines ~5-7 of 27
+// configurations" property.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"selftune/internal/obs"
+	"selftune/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stcexplain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	maxExamined := flag.Int("max-examined", 0, "fail if any session examined more than this many configurations (0 disables)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("at most one log file argument (got %d)", flag.NArg())
+	}
+
+	evs, err := obs.ReadEvents(in)
+	if err != nil {
+		return err
+	}
+	story := report.Explain(evs)
+	fmt.Print(story.String())
+	if story.Steps() == 0 {
+		return fmt.Errorf("the log contains no search trajectory (no tuner.step events)")
+	}
+	if *maxExamined > 0 && story.MaxExamined() > *maxExamined {
+		return fmt.Errorf("a session examined %d configurations, above the -max-examined gate of %d",
+			story.MaxExamined(), *maxExamined)
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 
 	"selftune/internal/energy"
 	"selftune/internal/experiments"
+	"selftune/internal/obs"
 	"selftune/internal/report"
 	"selftune/internal/trace"
 )
@@ -34,9 +35,12 @@ func run() error {
 	tracePath := flag.String("trace", "", "sweep a recorded dineroIV-format trace instead of the synthetic workloads")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replay workers")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	ctx := context.Background()
+	// -v streams per-replay engine events to stderr; the recorder rides
+	// the context into the experiment sweeps.
+	ctx := obs.IntoContext(context.Background(), ofl.Recorder(os.Stderr))
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

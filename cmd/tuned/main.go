@@ -16,8 +16,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"selftune/internal/daemon"
+	"selftune/internal/obs"
 	"selftune/internal/programs"
 	"selftune/internal/report"
 	"selftune/internal/trace"
@@ -44,6 +46,10 @@ func run() error {
 	keep := flag.Int("keep", 4, "checkpoint generations to retain")
 	phase := flag.Float64("phase-threshold", 0.02, "absolute miss-rate drift that triggers a re-tune")
 	watchdog := flag.Uint64("watchdog", 64, "abort a session that has not settled after this many windows")
+	obsAddr := flag.String("obs-addr", "", "serve /healthz, /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
+	obsLog := flag.String("obs-log", "", "append JSONL telemetry events to this file (feed it to stcexplain)")
+	obsWait := flag.Duration("obs-wait", 0, "keep the -obs-addr endpoints up this long after the stream ends")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -63,6 +69,20 @@ func run() error {
 		return err
 	}
 
+	// Assemble the telemetry sinks: -v streams events to stderr, -obs-log
+	// appends them to a file, and either (or both) feed the same recorder.
+	recs := []obs.Recorder{ofl.Recorder(os.Stderr)}
+	if *obsLog != "" {
+		f, err := os.OpenFile(*obsLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		recs = append(recs, obs.NewJSONL(f))
+	}
+	rec := obs.Tee(recs...)
+	reg := obs.NewRegistry()
+
 	d, err := daemon.New(daemon.Options{
 		Window:          *window,
 		Dir:             *dir,
@@ -70,17 +90,41 @@ func run() error {
 		Keep:            *keep,
 		PhaseThreshold:  *phase,
 		WatchdogWindows: *watchdog,
+		Rec:             rec,
+		Reg:             reg,
 	})
 	if err != nil {
 		return err
 	}
 	if d.Recovered() {
-		fmt.Printf("recovered from checkpoint: %d accesses consumed, %d windows, config %v, tuning=%v\n",
+		ofl.Notef(os.Stdout, "recovered from checkpoint: %d accesses consumed, %d windows, config %v, tuning=%v\n",
 			d.Consumed(), d.Windows(), d.Config(), d.Tuning())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *obsAddr != "" {
+		srv, laddr, errc, err := obs.Serve(*obsAddr, obs.NewMux(reg, func() obs.Health {
+			return obs.Health{Status: "ok", Values: map[string]float64{
+				"consumed": reg.Gauge("daemon_consumed_accesses").Value(),
+				"windows":  reg.Gauge("daemon_windows_total").Value(),
+				"retunes":  reg.Gauge("daemon_retunes_total").Value(),
+				"tuning":   reg.Gauge("daemon_tuning").Value(),
+			}}
+		}))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ofl.Notef(os.Stdout, "observability endpoints on http://%s/ (healthz, metrics, debug/pprof)\n", laddr)
+		go func() {
+			if serr := <-errc; serr != nil {
+				fmt.Fprintln(os.Stderr, "tuned: obs server:", serr)
+			}
+		}()
+	}
+
 	err = d.Run(ctx, trace.NewSliceSource(accs))
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
@@ -88,7 +132,16 @@ func run() error {
 	}
 
 	if interrupted {
-		fmt.Printf("\ninterrupted; state persisted at %d accesses\n", d.Consumed())
+		ofl.Notef(os.Stdout, "\ninterrupted; state persisted at %d accesses\n", d.Consumed())
+	}
+	if *obsAddr != "" && *obsWait > 0 && !interrupted {
+		// Hold the endpoints up so a scraper (or the CI smoke test) can
+		// read the final state; SIGINT/SIGTERM ends the wait early.
+		ofl.Notef(os.Stdout, "stream done; serving observability endpoints for %v (interrupt to stop)\n", *obsWait)
+		select {
+		case <-time.After(*obsWait):
+		case <-ctx.Done():
+		}
 	}
 	fmt.Printf("consumed %d accesses, %d windows, %d re-tunes\n", d.Consumed(), d.Windows(), d.Retunes())
 	tb := report.NewTable("at", "event", "config", "window nJ")

@@ -44,8 +44,13 @@ type State struct {
 	SessionWindows uint64
 	// Events is the daemon's decision log (session starts, settles,
 	// re-tunes, watchdog aborts). The chaos harness compares event
-	// sequences between killed and unkilled runs.
-	Events []Event
+	// sequences between killed and unkilled runs. The daemon caps the
+	// log's length; EventsDropped counts entries discarded from the
+	// front, so the cap survives kill/resume deterministically. The
+	// field is JSON-optional: checkpoints written before it existed
+	// decode with zero dropped.
+	Events        []Event
+	EventsDropped uint64 `json:",omitempty"`
 }
 
 // Session mirrors tuner.SessionState in a JSON-safe form (EvalResult carries

@@ -7,9 +7,11 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 
 	"selftune/internal/cache"
 	"selftune/internal/energy"
+	"selftune/internal/obs"
 	"selftune/internal/trace"
 	"selftune/internal/tuner"
 )
@@ -62,6 +64,10 @@ type Options struct {
 	// buffer of that many 16 B entries to each cache (the companion
 	// victim-buffer study).
 	VictimEntries int
+	// Rec receives each tuning session's telemetry, stamped with which
+	// cache ("I" or "D") it belongs to. nil records nothing; recording
+	// never changes a tuning decision.
+	Rec obs.Recorder
 }
 
 func (o *Options) fill() {
@@ -102,6 +108,8 @@ type side struct {
 	cache   *cache.Configurable
 	session *tuner.Online
 	opts    *Options
+	rec     obs.Recorder // stamped with this side's cache name
+	started uint64       // sessions started; the next session's ordinal
 
 	accesses   uint64
 	cumulative cache.Stats
@@ -126,8 +134,10 @@ type System struct {
 func New(opts Options) *System {
 	opts.fill()
 	s := &System{opts: opts, hw: tuner.NewHardwareModel(), fsmd: tuner.NewFSMD(opts.Params)}
-	s.i = side{name: "I", cache: cache.MustConfigurable(cache.MinConfig()), opts: &s.opts}
-	s.d = side{name: "D", cache: cache.MustConfigurable(cache.MinConfig()), opts: &s.opts}
+	s.i = side{name: "I", cache: cache.MustConfigurable(cache.MinConfig()), opts: &s.opts,
+		rec: obs.With(obs.OrNop(opts.Rec), slog.String("cache", "I"))}
+	s.d = side{name: "D", cache: cache.MustConfigurable(cache.MinConfig()), opts: &s.opts,
+		rec: obs.With(obs.OrNop(opts.Rec), slog.String("cache", "D"))}
 	if opts.VictimEntries > 0 {
 		s.i.cache.Victim = cache.NewVictimBuffer(opts.VictimEntries)
 		s.d.cache.Victim = cache.NewVictimBuffer(opts.VictimEntries)
@@ -138,7 +148,8 @@ func New(opts Options) *System {
 }
 
 func (c *side) startSession(p *energy.Params, window uint64) {
-	c.session = tuner.NewOnline(c.cache, p, window)
+	c.session = tuner.NewOnlineObserved(c.cache, p, window, nil, c.rec, c.started)
+	c.started++
 	c.nextPeriodic = c.accesses + c.opts.Period
 }
 

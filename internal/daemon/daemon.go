@@ -18,10 +18,12 @@ package daemon
 import (
 	"context"
 	"fmt"
+	"log/slog"
 
 	"selftune/internal/cache"
 	"selftune/internal/checkpoint"
 	"selftune/internal/energy"
+	"selftune/internal/obs"
 	"selftune/internal/trace"
 	"selftune/internal/tuner"
 )
@@ -53,6 +55,21 @@ type Options struct {
 	// Meter is the counter-readout seam (fault injection); nil is a
 	// perfect readout.
 	Meter tuner.Meter
+	// MaxEvents caps the in-memory decision log (and therefore its
+	// checkpointed copy): when the log exceeds the cap the oldest
+	// entries are dropped and counted in EventsDropped. Default 1024;
+	// negative disables the cap.
+	MaxEvents int
+	// Rec receives daemon telemetry (window observations, drift
+	// detections, settles, watchdog aborts, checkpoint persists and
+	// recoveries) and is threaded into each tuning session for per-step
+	// events. nil records nothing; recording is strictly observational
+	// and changes no tuning decision.
+	Rec obs.Recorder
+	// Reg, when non-nil, receives the daemon's gauges (consumed,
+	// windows, retunes, checkpoints, dropped events, tuning flag,
+	// settled miss rate), refreshed at every window boundary.
+	Reg *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -73,6 +90,9 @@ func (o *Options) fill() {
 	}
 	if o.WatchdogWindows == 0 {
 		o.WatchdogWindows = 64
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 1024
 	}
 }
 
@@ -95,7 +115,15 @@ type Daemon struct {
 	baseline        float64
 	winAcc, winMiss uint64
 
-	events []checkpoint.Event
+	// events is the decision log, capped at opts.MaxEvents by dropping
+	// from the front; eventsDropped counts what the cap discarded and is
+	// checkpointed alongside, so a resumed daemon's log and drop count
+	// match an unkilled one's exactly.
+	events        []checkpoint.Event
+	eventsDropped uint64
+
+	rec         obs.Recorder
+	checkpoints uint64 // snapshots persisted this process lifetime
 
 	// pending is the snapshot built at the most recent boundary; Close
 	// persists it so a graceful shutdown loses nothing. boundaries
@@ -110,14 +138,14 @@ type Daemon struct {
 // starting fresh otherwise.
 func New(opts Options) (*Daemon, error) {
 	opts.fill()
-	d := &Daemon{opts: opts}
+	d := &Daemon{opts: opts, rec: obs.OrNop(opts.Rec)}
 	if opts.Dir != "" {
 		st, err := checkpoint.OpenStore(opts.Dir, opts.Keep)
 		if err != nil {
 			return nil, err
 		}
 		d.store = st
-		snap, _, err := st.Load()
+		snap, gen, err := st.Load()
 		if err != nil {
 			return nil, err
 		}
@@ -125,12 +153,76 @@ func New(opts Options) (*Daemon, error) {
 			if err := d.restore(snap); err != nil {
 				return nil, err
 			}
+			d.emit("daemon.recover", d.cache.Config().String(),
+				slog.Uint64("generation", gen),
+				slog.Bool("tuning", d.session != nil))
+			d.gauges()
 			return d, nil
 		}
 	}
 	d.cache = cache.MustConfigurable(cache.MinConfig())
-	d.session = tuner.NewOnlineMetered(d.cache, opts.Params, opts.Window, opts.Meter)
+	d.session = d.newSession()
+	d.gauges()
 	return d, nil
+}
+
+// newSession starts a tuning session on the live cache, threading the
+// telemetry seam through: the session ordinal is the re-tune count, so a
+// resumed daemon's sessions keep their coordinates.
+func (d *Daemon) newSession() *tuner.Online {
+	return tuner.NewOnlineObserved(d.cache, d.opts.Params, d.opts.Window, d.opts.Meter, d.opts.Rec, d.retunes)
+}
+
+// emit records one daemon event. Coordinates are deterministic stream
+// positions (session = re-tune ordinal, window = lifetime measurement-window
+// count, step = consumed-access position), never wall-clock, so a
+// killed-and-resumed daemon re-emits identical events for the windows it
+// re-executes and deduplication by coordinates reconstructs the
+// uninterrupted log.
+func (d *Daemon) emit(name, cfg string, fields ...slog.Attr) {
+	if !d.rec.Enabled() {
+		return
+	}
+	d.rec.Record(obs.Event{
+		Name:    name,
+		Session: d.retunes,
+		Window:  d.windows,
+		Step:    d.consumed,
+		Config:  cfg,
+		Fields:  append([]slog.Attr{slog.Uint64("at", d.consumed)}, fields...),
+	})
+}
+
+// appendEvent adds one entry to the decision log and enforces the cap.
+func (d *Daemon) appendEvent(ev checkpoint.Event) {
+	d.events = append(d.events, ev)
+	if max := d.opts.MaxEvents; max > 0 && len(d.events) > max {
+		drop := len(d.events) - max
+		d.eventsDropped += uint64(drop)
+		d.events = append(d.events[:0], d.events[drop:]...)
+	}
+}
+
+// gauges refreshes the registry's view of the daemon. Gauge stores are
+// atomic, so a concurrent /metrics scrape reads a coherent value.
+func (d *Daemon) gauges() {
+	reg := d.opts.Reg
+	if reg == nil {
+		return
+	}
+	reg.Gauge("daemon_consumed_accesses").Set(float64(d.consumed))
+	reg.Gauge("daemon_windows_total").Set(float64(d.windows))
+	reg.Gauge("daemon_retunes_total").Set(float64(d.retunes))
+	reg.Gauge("daemon_checkpoints_total").Set(float64(d.checkpoints))
+	reg.Gauge("daemon_events_dropped_total").Set(float64(d.eventsDropped))
+	tuning := 0.0
+	if d.session != nil {
+		tuning = 1
+	}
+	reg.Gauge("daemon_tuning").Set(tuning)
+	if d.baselined {
+		reg.Gauge("daemon_baseline_miss_rate").Set(d.baseline)
+	}
 }
 
 // restore rebuilds the live state from a checkpoint.
@@ -141,7 +233,7 @@ func (d *Daemon) restore(st *checkpoint.State) error {
 	}
 	d.cache = c
 	if st.Session != nil {
-		s, err := tuner.ResumeOnline(c, d.opts.Params, st.Session.TunerState(), d.opts.Meter)
+		s, err := tuner.ResumeOnlineObserved(c, d.opts.Params, st.Session.TunerState(), d.opts.Meter, d.opts.Rec, st.Retunes)
 		if err != nil {
 			return fmt.Errorf("daemon: recover: %w", err)
 		}
@@ -156,6 +248,7 @@ func (d *Daemon) restore(st *checkpoint.State) error {
 	d.baseline = st.Baseline
 	d.winAcc, d.winMiss = st.WinAcc, st.WinMiss
 	d.events = append([]checkpoint.Event(nil), st.Events...)
+	d.eventsDropped = st.EventsDropped
 	d.pending = st
 	d.recovered = true
 	return nil
@@ -205,13 +298,24 @@ func (d *Daemon) Step(addr uint32, write bool) error {
 		// is measured against.
 		d.baselined = true
 		d.baseline = mr
+		d.emit("daemon.window", d.cache.Config().String(),
+			slog.Float64("miss_rate", mr), slog.Bool("baseline", true))
 		return d.boundary()
 	}
 	drift := mr - d.baseline
 	if drift < 0 {
 		drift = -drift
 	}
+	d.emit("daemon.window", d.cache.Config().String(),
+		slog.Float64("miss_rate", mr),
+		slog.Float64("baseline_rate", d.baseline),
+		slog.Float64("drift", drift))
 	if drift > d.opts.PhaseThreshold {
+		d.emit("daemon.drift", d.cache.Config().String(),
+			slog.Float64("miss_rate", mr),
+			slog.Float64("baseline_rate", d.baseline),
+			slog.Float64("drift", drift),
+			slog.Float64("threshold", d.opts.PhaseThreshold))
 		d.retune()
 	}
 	return d.boundary()
@@ -231,7 +335,11 @@ func (d *Daemon) settle() {
 	if res.Degraded {
 		kind = "degraded"
 	}
-	d.events = append(d.events, checkpoint.Event{At: d.consumed, Kind: kind, Cfg: res.Best.Cfg, Energy: res.Best.Energy})
+	d.appendEvent(checkpoint.Event{At: d.consumed, Kind: kind, Cfg: res.Best.Cfg, Energy: res.Best.Energy})
+	d.emit("daemon."+kind, res.Best.Cfg.String(),
+		slog.Float64("energy", res.Best.Energy),
+		slog.Int("examined", res.NumExamined()),
+		slog.Uint64("settle_writebacks", d.session.SettleWritebacks()))
 	d.session.Close()
 	d.session = nil
 	d.sessionWindows = 0
@@ -243,10 +351,11 @@ func (d *Daemon) settle() {
 // the smallest configuration, as the on-chip tuner would).
 func (d *Daemon) retune() {
 	d.retunes++
-	d.events = append(d.events, checkpoint.Event{At: d.consumed, Kind: "retune", Cfg: d.cache.Config()})
+	d.appendEvent(checkpoint.Event{At: d.consumed, Kind: "retune", Cfg: d.cache.Config()})
+	d.emit("daemon.retune", d.cache.Config().String())
 	d.settled = nil
 	d.sessionWindows = 0
-	d.session = tuner.NewOnlineMetered(d.cache, d.opts.Params, d.opts.Window, d.opts.Meter)
+	d.session = d.newSession()
 }
 
 // watchdog aborts a session that failed to settle within the window budget
@@ -262,7 +371,10 @@ func (d *Daemon) watchdog() {
 	}
 	d.cache.AllowShrink = false
 	d.settled = &checkpoint.Outcome{Cfg: safe, Degraded: true, At: d.consumed}
-	d.events = append(d.events, checkpoint.Event{At: d.consumed, Kind: "watchdog", Cfg: safe})
+	d.appendEvent(checkpoint.Event{At: d.consumed, Kind: "watchdog", Cfg: safe})
+	d.emit("daemon.watchdog", safe.String(),
+		slog.Uint64("session_windows", d.sessionWindows),
+		slog.Uint64("budget", d.opts.WatchdogWindows))
 	d.sessionWindows = 0
 	d.baselined = false
 	d.winAcc, d.winMiss = 0, 0
@@ -287,6 +399,7 @@ func (d *Daemon) boundary() error {
 		WinMiss:        d.winMiss,
 		SessionWindows: d.sessionWindows,
 		Events:         append([]checkpoint.Event(nil), d.events...),
+		EventsDropped:  d.eventsDropped,
 	}
 	if d.session != nil {
 		ss, err := d.session.Snapshot()
@@ -298,11 +411,26 @@ func (d *Daemon) boundary() error {
 	d.pending = st
 	d.boundaries++
 	if d.store != nil && d.boundaries >= d.opts.CheckpointEvery {
-		if _, err := d.store.Save(st); err != nil {
+		if err := d.persist(st); err != nil {
 			return err
 		}
-		d.boundaries = 0
 	}
+	d.gauges()
+	return nil
+}
+
+// persist writes one snapshot and records the act (a lifecycle event, not a
+// decision: its generation number depends on how often this process has
+// saved, so it is excluded from the crash-equivalence comparison).
+func (d *Daemon) persist(st *checkpoint.State) error {
+	gen, err := d.store.Save(st)
+	if err != nil {
+		return err
+	}
+	d.boundaries = 0
+	d.checkpoints++
+	d.emit("daemon.checkpoint", d.cache.Config().String(),
+		slog.Uint64("generation", gen))
 	return nil
 }
 
@@ -343,11 +471,7 @@ func (d *Daemon) Run(ctx context.Context, src trace.Source) error {
 func (d *Daemon) Close() error {
 	var err error
 	if d.store != nil && d.pending != nil && d.boundaries > 0 {
-		if _, serr := d.store.Save(d.pending); serr != nil {
-			err = serr
-		} else {
-			d.boundaries = 0
-		}
+		err = d.persist(d.pending)
 	}
 	if d.session != nil {
 		d.session.Close()
@@ -384,10 +508,15 @@ func (d *Daemon) Config() cache.Config { return d.cache.Config() }
 // Settled is the outcome in force, nil while searching.
 func (d *Daemon) Settled() *checkpoint.Outcome { return d.settled }
 
-// Events returns the decision log so far.
+// Events returns the decision log so far (the newest MaxEvents entries;
+// see EventsDropped for what the cap discarded).
 func (d *Daemon) Events() []checkpoint.Event {
 	return append([]checkpoint.Event(nil), d.events...)
 }
+
+// EventsDropped counts decision-log entries discarded by the MaxEvents cap
+// over the daemon's lifetime (surviving kill/resume via the checkpoint).
+func (d *Daemon) EventsDropped() uint64 { return d.eventsDropped }
 
 // Stats exposes the cache's counters (for status reporting).
 func (d *Daemon) Stats() cache.Stats { return d.cache.Stats() }

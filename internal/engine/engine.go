@@ -13,11 +13,14 @@ package engine
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"selftune/internal/cache"
 	"selftune/internal/energy"
+	"selftune/internal/obs"
 	"selftune/internal/trace"
 )
 
@@ -103,9 +106,53 @@ type Engine[C comparable] struct {
 	// with evaluation. The zero value runs each replay once.
 	Retry RetryPolicy
 
+	// Rec receives replay telemetry (per-configuration replay start and
+	// finish). Like Retry, set it before the first Evaluate. nil means
+	// no events; the memoiser counters below are maintained regardless.
+	Rec obs.Recorder
+
+	met Counters
+
 	mu       sync.Mutex
 	memo     map[C]Result[C]
 	inflight map[C]*sync.WaitGroup
+}
+
+// Counters are the engine's lifetime memoiser and resilience counters.
+// Every Evaluate call lands exactly one MemoHits or MemoMisses increment
+// (misses are leads that actually replay), so hits+misses equals completed
+// Evaluate calls at any worker count — the worker-count-invariance property
+// pinned in the tests.
+type Counters struct {
+	// MemoHits counts evaluations served from the memo.
+	MemoHits atomic.Uint64
+	// MemoMisses counts evaluations that led a fresh replay.
+	MemoMisses atomic.Uint64
+	// Retries counts replay attempts after the first (the retry policy).
+	Retries atomic.Uint64
+	// Panics counts simulator panics recovered into errors.
+	Panics atomic.Uint64
+}
+
+// Counters exposes the engine's lifetime counters.
+func (e *Engine[C]) Counters() *Counters { return &e.met }
+
+// Publish registers the engine's counters on a metrics registry under the
+// given prefix (e.g. "selftune_engine_").
+func (e *Engine[C]) Publish(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+"memo_hits_total", func() float64 { return float64(e.met.MemoHits.Load()) })
+	reg.Func(prefix+"memo_misses_total", func() float64 { return float64(e.met.MemoMisses.Load()) })
+	reg.Func(prefix+"retries_total", func() float64 { return float64(e.met.Retries.Load()) })
+	reg.Func(prefix+"panics_total", func() float64 { return float64(e.met.Panics.Load()) })
+}
+
+// rec normalises the recorder for event emission; hot paths guard on
+// Enabled before building events.
+func (e *Engine[C]) rec() obs.Recorder {
+	if e.Rec == nil {
+		return obs.Nop
+	}
+	return e.Rec
 }
 
 // New builds an engine over a recorded stream. The stream should be a single
@@ -145,6 +192,7 @@ func (e *Engine[C]) EvaluateCtx(ctx context.Context, cfg C) (Result[C], error) {
 		e.mu.Lock()
 		if r, ok := e.memo[cfg]; ok {
 			e.mu.Unlock()
+			e.met.MemoHits.Add(1)
 			return r, nil
 		}
 		wg, running := e.inflight[cfg]
@@ -182,11 +230,23 @@ func (e *Engine[C]) lead(ctx context.Context, cfg C, wg *sync.WaitGroup) (Result
 		e.mu.Unlock()
 		wg.Done()
 	}()
+	e.met.MemoMisses.Add(1)
+	if rec := e.rec(); rec.Enabled() {
+		rec.Record(obs.Event{Name: "engine.replay.start", Config: fmt.Sprint(cfg),
+			Fields: []slog.Attr{slog.Int("accesses", len(e.accs))}})
+	}
 	r, err := e.replay(ctx, cfg)
 	if err != nil {
 		// Cancelled mid-replay: nothing to publish. Waiters loop and
 		// observe their own context.
 		return r, err
+	}
+	if rec := e.rec(); rec.Enabled() {
+		fields := []slog.Attr{slog.Float64("energy", r.Energy), slog.Float64("miss_rate", r.Stats.MissRate())}
+		if r.Err != nil {
+			fields = append(fields, slog.String("err", r.Err.Error()))
+		}
+		rec.Record(obs.Event{Name: "engine.replay.finish", Config: fmt.Sprint(cfg), Fields: fields})
 	}
 	e.mu.Lock()
 	e.memo[cfg] = r
@@ -202,11 +262,18 @@ func (e *Engine[C]) replay(ctx context.Context, cfg C) (Result[C], error) {
 	backoff := e.Retry.Backoff
 	var lastErr error
 	for attempt := 1; attempt <= e.Retry.attempts(); attempt++ {
-		if attempt > 1 && backoff > 0 {
-			if err := sleepCtx(ctx, backoff); err != nil {
-				return Result[C]{Cfg: cfg}, err
+		if attempt > 1 {
+			e.met.Retries.Add(1)
+			if rec := e.rec(); rec.Enabled() {
+				rec.Record(obs.Event{Name: "engine.retry", Config: fmt.Sprint(cfg),
+					Fields: []slog.Attr{slog.Int("attempt", attempt), slog.String("cause", lastErr.Error())}})
 			}
-			backoff *= 2
+			if backoff > 0 {
+				if err := sleepCtx(ctx, backoff); err != nil {
+					return Result[C]{Cfg: cfg}, err
+				}
+				backoff *= 2
+			}
 		}
 		r, err := e.replayOnce(ctx, cfg)
 		if err == nil {
@@ -247,6 +314,7 @@ const ctxCheckInterval = 1 << 16
 func (e *Engine[C]) replayOnce(ctx context.Context, cfg C) (r Result[C], err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			e.met.Panics.Add(1)
 			err = fmt.Errorf("engine: replay of %v panicked: %v", cfg, p)
 		}
 	}()
@@ -300,6 +368,11 @@ func Sweep[C comparable](accs []trace.Access, m Model[C], cfgs []C, workers int)
 }
 
 // SweepCtx is Sweep under a context (see EvaluateAllCtx for the semantics).
+// A recorder carried by the context (obs.IntoContext) receives the sweep's
+// per-replay events — how the CLIs' -v flag reaches one-shot sweeps without
+// threading a recorder through every experiment signature.
 func SweepCtx[C comparable](ctx context.Context, accs []trace.Access, m Model[C], cfgs []C, workers int) ([]Result[C], error) {
-	return New(accs, m).EvaluateAllCtx(ctx, cfgs, workers)
+	e := New(accs, m)
+	e.Rec = obs.FromContext(ctx)
+	return e.EvaluateAllCtx(ctx, cfgs, workers)
 }

@@ -10,6 +10,7 @@ import (
 	"selftune/internal/checkpoint"
 	"selftune/internal/daemon"
 	"selftune/internal/faults"
+	"selftune/internal/obs"
 	"selftune/internal/trace"
 	"selftune/internal/workload"
 )
@@ -57,6 +58,11 @@ type ChaosOptions struct {
 	// each restart (only when an older generation exists to fall back
 	// to), verifying recovery survives bit rot at the head.
 	CorruptHead bool
+	// Rec, when non-nil, receives the killed run's telemetry (the
+	// baseline stays silent). Recording must be inert: the trial's
+	// verdict is unchanged by arming it, which is exactly what the
+	// telemetry-inertness tests soak.
+	Rec obs.Recorder
 }
 
 // ChaosOutcome reports one soak trial.
@@ -116,7 +122,7 @@ func ChaosSoak(opt ChaosOptions) (*ChaosOutcome, error) {
 			opt.MeterNoiseRate, 0, opt.MeterStuckRate)
 	}
 	mkOpts := func(dir string) daemon.Options {
-		return daemon.Options{
+		o := daemon.Options{
 			Window:          opt.Window,
 			Dir:             dir,
 			CheckpointEvery: opt.CheckpointEvery,
@@ -125,6 +131,12 @@ func ChaosSoak(opt ChaosOptions) (*ChaosOutcome, error) {
 			WatchdogWindows: opt.WatchdogWindows,
 			Meter:           meter,
 		}
+		if dir != "" {
+			// Only the killed run is observed; the baseline stays silent
+			// so the comparison also pins that recording is inert.
+			o.Rec = opt.Rec
+		}
+		return o
 	}
 
 	// The uninterrupted baseline, no persistence.

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"bytes"
 	"testing"
+
+	"selftune/internal/obs"
 )
 
 // TestChaosCrashEquivalence is the pinned crash-safety property: for several
@@ -70,5 +73,72 @@ func TestChaosSurvivesCorruptCheckpointHead(t *testing.T) {
 		if rp == 0 {
 			t.Errorf("restart %d resumed from scratch (kills at %v)", i, out.KillsAt)
 		}
+	}
+}
+
+// TestChaosTelemetryInert arms a JSONL recorder on the killed run and checks
+// (a) the soak verdict is still Equivalent — recording changes no tuning
+// decision even across kill/resume — and (b) the armed run's outcome matches
+// an identical unarmed soak exactly, so telemetry cannot even shift a kill
+// point or resume position.
+func TestChaosTelemetryInert(t *testing.T) {
+	opt := ChaosOptions{
+		Bench:           "crc",
+		N:               1_200_000,
+		Window:          2_000,
+		Seed:            7,
+		Kills:           3,
+		CheckpointEvery: 1,
+		TraceFaultRate:  0.0005,
+		MeterNoiseRate:  0.1,
+	}
+
+	silent := opt
+	silent.Dir = t.TempDir()
+	base, err := ChaosSoak(silent)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	armed := opt
+	armed.Dir = t.TempDir()
+	armed.Rec = obs.NewJSONL(&log)
+	out, err := ChaosSoak(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !out.Equivalent {
+		t.Errorf("recorded soak diverged from its own baseline: %s", out.Mismatch)
+	}
+	if out.ChaosConfig != base.ChaosConfig || len(out.ChaosEvents) != len(base.ChaosEvents) {
+		t.Errorf("recording changed the soak outcome: %v/%d events vs %v/%d",
+			out.ChaosConfig, len(out.ChaosEvents), base.ChaosConfig, len(base.ChaosEvents))
+	}
+	for i := range base.ResumePoints {
+		if out.ResumePoints[i] != base.ResumePoints[i] {
+			t.Errorf("resume point %d moved: %d vs %d", i, out.ResumePoints[i], base.ResumePoints[i])
+		}
+	}
+
+	evs, err := obs.ReadEvents(&log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recovers, steps int
+	for _, e := range evs {
+		switch e.Name {
+		case "daemon.recover":
+			recovers++
+		case "tuner.step":
+			steps++
+		}
+	}
+	if recovers != out.Recovered {
+		t.Errorf("log has %d daemon.recover events, soak recovered %d times", recovers, out.Recovered)
+	}
+	if steps == 0 {
+		t.Error("log has no tuner.step events")
 	}
 }

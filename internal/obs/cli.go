@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Flags is the verbosity contract shared by every CLI in the repository:
+// -v streams structured JSONL telemetry to stderr, -quiet suppresses
+// informational notes. Register them with RegisterFlags and route all
+// telemetry through Recorder and all advisory chatter through Notef, so no
+// command grows ad-hoc stderr writes again.
+type Flags struct {
+	// Verbose enables the JSONL telemetry stream.
+	Verbose bool
+	// Quiet suppresses informational notes (never primary output).
+	Quiet bool
+}
+
+// RegisterFlags registers -v and -quiet on fs and returns the flag set's
+// verbosity state.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Verbose, "v", false, "stream structured JSONL telemetry to stderr")
+	fs.BoolVar(&f.Quiet, "quiet", false, "suppress informational notes on stderr")
+	return f
+}
+
+// Recorder returns the telemetry sink the flags call for: a JSONL stream to
+// w under -v, Nop otherwise.
+func (f *Flags) Recorder(w io.Writer) Recorder {
+	if f == nil || !f.Verbose {
+		return Nop
+	}
+	return NewJSONL(w)
+}
+
+// Notef prints an informational note to w unless -quiet is set. Notes are
+// advisory stderr chatter (progress, skipped-input warnings) — primary
+// results must not go through here.
+func (f *Flags) Notef(w io.Writer, format string, args ...any) {
+	if f != nil && f.Quiet {
+		return
+	}
+	fmt.Fprintf(w, format+"\n", args...)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Health is what /healthz reports. Values is filled from a snapshot callback
+// so the handler never touches single-threaded daemon state directly.
+type Health struct {
+	Status string             `json:"status"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// NewMux builds the operational endpoint mux:
+//
+//	/healthz      200 with a small JSON status (health() snapshot, nil ok)
+//	/metrics      the registry in Prometheus text format
+//	/debug/vars   expvar (Go runtime memstats etc.)
+//	/debug/pprof  the standard profiling handlers
+//
+// Everything served here reads atomics or scrape-time snapshots, so it is
+// safe alongside a running daemon.
+func NewMux(reg *Registry, health func() Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{Status: "ok"}
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for the mux on addr (":0" picks a free port)
+// and returns it together with the bound address. The server runs until
+// Close/Shutdown; its Serve error is reported through errc (buffered, at
+// most one send) so callers that care can watch it.
+func Serve(addr string, mux *http.ServeMux) (*http.Server, net.Addr, <-chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			errc <- err
+		}
+		close(errc)
+	}()
+	return srv, ln.Addr(), errc, nil
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// JSONL is a Recorder that writes one JSON object per event, via log/slog's
+// JSON handler. The handler is configured for determinism: slog's time and
+// level attributes are stripped, so an event's bytes are a pure function of
+// the event — the same run recorded twice produces byte-identical logs, and
+// logs compose with the chaos/crash-equivalence harness. Writes go through
+// slog's handler, which serialises concurrent Record calls on the writer.
+type JSONL struct {
+	l *slog.Logger
+}
+
+// NewJSONL builds a JSONL recorder over w. The caller owns w (and closes it,
+// for files); JSONL only writes complete lines to it.
+func NewJSONL(w io.Writer) *JSONL {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			// Drop wall-clock time (the determinism contract forbids it)
+			// and the constant level, which carries no information here.
+			if len(groups) == 0 && (a.Key == slog.TimeKey || a.Key == slog.LevelKey) {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	return &JSONL{l: slog.New(h)}
+}
+
+// Enabled implements Recorder.
+func (j *JSONL) Enabled() bool { return true }
+
+// Record implements Recorder: the event's coordinates become the leading
+// attributes (session, window, step, config), followed by its fields.
+func (j *JSONL) Record(e Event) {
+	attrs := make([]slog.Attr, 0, 4+len(e.Fields))
+	attrs = append(attrs,
+		slog.Uint64("session", e.Session),
+		slog.Uint64("window", e.Window),
+		slog.Uint64("step", e.Step))
+	if e.Config != "" {
+		attrs = append(attrs, slog.String("config", e.Config))
+	}
+	attrs = append(attrs, e.Fields...)
+	j.l.LogAttrs(context.Background(), slog.LevelInfo, e.Name, attrs...)
+}

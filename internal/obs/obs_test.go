@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleEvents(rec Recorder) {
+	rec.Record(Event{Name: "tuner.step", Session: 1, Window: 3, Step: 2,
+		Config: "4KB/1w/16B", Fields: []slog.Attr{slog.Float64("energy", 1.25), slog.Bool("improved", true)}})
+	rec.Record(Event{Name: "daemon.settle", Session: 1, Window: 4, Step: 3,
+		Config: "4KB/1w/32B", Fields: []slog.Attr{slog.String("kind", "settle")}})
+	rec.Record(Event{Name: "engine.replay", Fields: []slog.Attr{slog.Uint64("attempts", 1)}})
+}
+
+// The JSONL sink must be deterministic: no wall-clock, no level — recording
+// the same events twice yields byte-identical logs.
+func TestJSONLDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	sampleEvents(NewJSONL(&a))
+	sampleEvents(NewJSONL(&b))
+	if a.String() != b.String() {
+		t.Fatalf("two identical recordings differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if strings.Contains(a.String(), `"time"`) || strings.Contains(a.String(), `"level"`) {
+		t.Fatalf("log leaks wall-clock or level attributes:\n%s", a.String())
+	}
+}
+
+// Events written by the sink must read back with their coordinates intact.
+func TestReadEventsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sampleEvents(NewJSONL(&buf))
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	e := evs[0]
+	if e.Name != "tuner.step" || e.Session != 1 || e.Window != 3 || e.Step != 2 || e.Config != "4KB/1w/16B" {
+		t.Fatalf("coordinates did not round-trip: %+v", e)
+	}
+	if e.Float("energy") != 1.25 || !e.Bool("improved") {
+		t.Fatalf("payload did not round-trip: %+v", e.Fields)
+	}
+	if evs[2].Config != "" || evs[2].Float("attempts") != 1 {
+		t.Fatalf("config-free event mangled: %+v", evs[2])
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("{\"msg\":\"ok\"}\nnot json\n")); err == nil {
+		t.Fatal("malformed line did not error")
+	}
+}
+
+func TestNopAndOrNop(t *testing.T) {
+	if Nop.Enabled() {
+		t.Fatal("Nop is enabled")
+	}
+	Nop.Record(Event{Name: "x"}) // must not panic
+	if OrNop(nil) != Nop {
+		t.Fatal("OrNop(nil) != Nop")
+	}
+	j := NewJSONL(io.Discard)
+	if OrNop(j) != Recorder(j) {
+		t.Fatal("OrNop rewrote a live recorder")
+	}
+}
+
+func TestWithStampsFields(t *testing.T) {
+	var buf bytes.Buffer
+	rec := With(NewJSONL(&buf), slog.String("cache", "I"))
+	rec.Record(Event{Name: "tuner.step", Fields: []slog.Attr{slog.Uint64("n", 7)}})
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Str("cache") != "I" || evs[0].Float("n") != 7 {
+		t.Fatalf("scoped fields missing: %+v", evs[0])
+	}
+	// With over a disabled recorder stays disabled (and free).
+	if With(Nop, slog.String("cache", "D")).Enabled() {
+		t.Fatal("With(Nop) is enabled")
+	}
+}
+
+func TestTee(t *testing.T) {
+	var a, b bytes.Buffer
+	rec := Tee(NewJSONL(&a), nil, Nop, NewJSONL(&b))
+	rec.Record(Event{Name: "x"})
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Fatal("tee did not reach both sinks")
+	}
+	if Tee(nil, Nop).Enabled() {
+		t.Fatal("tee of dead recorders is enabled")
+	}
+}
+
+func TestRegistryPromOutput(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("selftune_windows_total")
+	c.Add(41)
+	c.Inc()
+	reg.Gauge("selftune_miss_rate").Set(0.125)
+	reg.Func("selftune_consumed_accesses", func() float64 { return 10000 })
+	// Same handle on re-lookup.
+	if reg.Counter("selftune_windows_total").Value() != 42 {
+		t.Fatal("counter lookup did not return the same handle")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE selftune_consumed_accesses gauge\nselftune_consumed_accesses 10000\n",
+		"# TYPE selftune_miss_rate gauge\nselftune_miss_rate 0.125\n",
+		"# TYPE selftune_windows_total counter\nselftune_windows_total 42\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// Names sorted → deterministic scrape.
+	var again bytes.Buffer
+	reg.WriteProm(&again)
+	if again.String() != out {
+		t.Fatal("two scrapes of an unchanged registry differ")
+	}
+}
+
+func TestRegistryTypeClash(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge over an existing counter name did not panic")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Counter("hits").Inc()
+				reg.Gauge("rate").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("lost increments: %d", got)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("selftune_windows_total").Add(7)
+	mux := NewMux(reg, func() Health {
+		return Health{Status: "ok", Values: map[string]float64{"consumed": 123}}
+	})
+	srv, addr, _, err := Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr.String()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "selftune_windows_total 7") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+	if code, _ := get("/debug/vars"); code != 200 {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+}
+
+func TestFromContextDefaultsToNop(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != Nop {
+		t.Fatal("bare context did not yield Nop")
+	}
+	j := NewJSONL(io.Discard)
+	if FromContext(IntoContext(ctx, j)) != Recorder(j) {
+		t.Fatal("recorder did not ride the context")
+	}
+	if FromContext(IntoContext(ctx, nil)) != Nop {
+		t.Fatal("nil recorder in context did not normalise to Nop")
+	}
+}
+
+// A guarded hot path over a disabled recorder must not allocate.
+func TestDisabledRecorderZeroAlloc(t *testing.T) {
+	rec := OrNop(nil)
+	n := testing.AllocsPerRun(1000, func() {
+		if rec.Enabled() {
+			rec.Record(Event{Name: "x", Fields: []slog.Attr{slog.Uint64("n", 1)}})
+		}
+	})
+	if n != 0 {
+		t.Fatalf("disabled recorder allocates %v per op", n)
+	}
+}

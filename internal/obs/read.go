@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RawEvent is one event read back from a JSONL log: the deterministic
+// coordinates plus the remaining payload fields. It is the parse-side mirror
+// of Event after the JSONL sink has flattened it.
+type RawEvent struct {
+	// Name is the event name (slog's "msg" key).
+	Name string
+	// Session, Window and Step are the deterministic coordinates.
+	Session, Window, Step uint64
+	// Config is the configuration string, "" when the event carried none.
+	Config string
+	// Fields holds every other key in the record.
+	Fields map[string]any
+}
+
+// Float reads a numeric payload field (JSON numbers decode as float64),
+// returning 0 when absent or non-numeric.
+func (e RawEvent) Float(key string) float64 {
+	v, _ := e.Fields[key].(float64)
+	return v
+}
+
+// Str reads a string payload field, "" when absent.
+func (e RawEvent) Str(key string) string {
+	v, _ := e.Fields[key].(string)
+	return v
+}
+
+// Bool reads a boolean payload field, false when absent.
+func (e RawEvent) Bool(key string) bool {
+	v, _ := e.Fields[key].(bool)
+	return v
+}
+
+// ReadEvents parses a JSONL event log written by the JSONL recorder back
+// into events, in file order. Blank lines are skipped; a malformed line is
+// an error carrying its line number — an event log is a machine artifact,
+// so corruption should be loud, not silently dropped.
+func ReadEvents(r io.Reader) ([]RawEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var out []RawEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(b, &m); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+		}
+		ev := RawEvent{Fields: m}
+		if v, ok := m["msg"].(string); ok {
+			ev.Name = v
+			delete(m, "msg")
+		}
+		ev.Session = takeUint(m, "session")
+		ev.Window = takeUint(m, "window")
+		ev.Step = takeUint(m, "step")
+		if v, ok := m["config"].(string); ok {
+			ev.Config = v
+			delete(m, "config")
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: event log: %w", err)
+	}
+	return out, nil
+}
+
+func takeUint(m map[string]any, key string) uint64 {
+	v, ok := m[key].(float64)
+	if !ok {
+		return 0
+	}
+	delete(m, key)
+	return uint64(v)
+}

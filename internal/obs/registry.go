@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a flat namespace of counters and gauges, rendered as
+// Prometheus text exposition format (cmd/tuned serves it at /metrics). All
+// operations are safe for concurrent use; reads (the /metrics scrape) never
+// block writers beyond an atomic load.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+type metric interface {
+	kind() string
+	value() float64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]metric{}}
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) kind() string   { return "counter" }
+func (c *Counter) value() float64 { return float64(c.v.Load()) }
+
+// Gauge is a float64 that can move both ways.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return bitsFloat(g.bits.Load()) }
+
+func (g *Gauge) kind() string   { return "gauge" }
+func (g *Gauge) value() float64 { return g.Value() }
+
+// funcGauge reads its value from a callback at scrape time. The callback
+// must be safe to call from any goroutine.
+type funcGauge func() float64
+
+func (f funcGauge) kind() string   { return "gauge" }
+func (f funcGauge) value() float64 { return f() }
+
+// Counter returns the counter registered under name, creating it on first
+// use. Registering a name that already holds a different metric type panics:
+// that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.lookup(name, func() metric { return new(Counter) }).(*Counter)
+	if !ok {
+		panic("obs: metric " + name + " already registered with a different type")
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.lookup(name, func() metric { return new(Gauge) }).(*Gauge)
+	if !ok {
+		panic("obs: metric " + name + " already registered with a different type")
+	}
+	return g
+}
+
+// Func registers a gauge whose value is read from fn at scrape time —
+// the bridge for counters a subsystem already maintains internally (e.g.
+// the replay engine's memoiser counters).
+func (r *Registry) Func(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = funcGauge(fn)
+}
+
+func (r *Registry) lookup(name string, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[name]
+	if !ok {
+		m = mk()
+		r.metrics[name] = m
+	}
+	return m
+}
+
+// WriteProm renders every metric in Prometheus text exposition format,
+// sorted by name so the output is deterministic.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	snap := make([]metric, len(names))
+	for i, n := range names {
+		snap[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		m := snap[i]
+		v := m.value()
+		var val string
+		if m.kind() == "counter" || v == float64(int64(v)) {
+			val = strconv.FormatInt(int64(v), 10)
+		} else {
+			val = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", n, m.kind(), n, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

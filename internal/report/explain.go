@@ -1,0 +1,200 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"selftune/internal/obs"
+)
+
+// This file turns a flight-recorder event log back into the story the paper
+// tells in Figure 6: which configurations each tuning session examined, in
+// what order, what each one measured, and why the sweep kept going or
+// stopped. Because events are keyed by deterministic coordinates
+// (session, window, step, config) rather than wall-clock, the log of a
+// killed-and-resumed daemon contains duplicate events for re-executed
+// windows; Explain deduplicates by coordinates first, so the reassembled
+// trajectory is identical to an uninterrupted run's.
+
+// StoryStep is one heuristic decision reassembled from a "tuner.step" event.
+type StoryStep struct {
+	Step       int
+	Window     uint64
+	Phase      string
+	Config     string
+	Energy     float64
+	Improved   bool
+	Stop       bool
+	Remeasured bool
+}
+
+// SessionStory is one tuning session's trajectory.
+type SessionStory struct {
+	Session uint64
+	Steps   []StoryStep
+	// Settled reports the log contains the session's "tuner.settle";
+	// Best/BestEnergy/Examined/Degraded come from it.
+	Settled    bool
+	Best       string
+	BestEnergy float64
+	Examined   int
+	Degraded   bool
+}
+
+// Story is a full event log explained: the per-session search trajectories
+// plus the daemon's lifecycle narration, in stream order.
+type Story struct {
+	Sessions []SessionStory
+	// Notes narrate daemon-level events (recoveries, drift detections,
+	// re-tunes, watchdog aborts) keyed by access position.
+	Notes []string
+	// Checkpoints and Recoveries count persistence lifecycle events.
+	Checkpoints, Recoveries int
+	// Duplicates counts events discarded by coordinate deduplication —
+	// nonzero exactly when the daemon was killed and resumed mid-window.
+	Duplicates int
+}
+
+// MaxExamined is the largest per-session examined count, 0 for an empty log.
+func (s *Story) MaxExamined() int {
+	max := 0
+	for _, ss := range s.Sessions {
+		n := ss.Examined
+		if !ss.Settled {
+			n = len(ss.Steps)
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Steps counts trajectory steps across all sessions.
+func (s *Story) Steps() int {
+	n := 0
+	for _, ss := range s.Sessions {
+		n += len(ss.Steps)
+	}
+	return n
+}
+
+// Explain reassembles a Story from raw events. Events with unknown names are
+// ignored, so logs may interleave telemetry from other subsystems.
+func Explain(evs []obs.RawEvent) *Story {
+	st := &Story{}
+	sessions := map[uint64]*SessionStory{}
+	order := []uint64{}
+	get := func(id uint64) *SessionStory {
+		ss, ok := sessions[id]
+		if !ok {
+			ss = &SessionStory{Session: id}
+			sessions[id] = ss
+			order = append(order, id)
+		}
+		return ss
+	}
+	seen := map[string]bool{}
+	for _, e := range evs {
+		key := fmt.Sprintf("%s/%d/%d/%d/%s", e.Name, e.Session, e.Window, e.Step, e.Config)
+		if seen[key] {
+			st.Duplicates++
+			continue
+		}
+		seen[key] = true
+		switch e.Name {
+		case "tuner.step":
+			get(e.Session).Steps = append(get(e.Session).Steps, StoryStep{
+				Step:       int(e.Step),
+				Window:     e.Window,
+				Phase:      e.Str("phase"),
+				Config:     e.Config,
+				Energy:     e.Float("energy"),
+				Improved:   e.Bool("improved"),
+				Stop:       e.Bool("stop"),
+				Remeasured: e.Bool("remeasured"),
+			})
+		case "tuner.settle":
+			ss := get(e.Session)
+			ss.Settled = true
+			ss.Best = e.Config
+			ss.BestEnergy = e.Float("energy")
+			ss.Examined = int(e.Float("examined"))
+			ss.Degraded = e.Bool("degraded")
+		case "daemon.drift":
+			st.Notes = append(st.Notes, fmt.Sprintf(
+				"access %.0f: miss rate %.4f drifted %.4f from baseline %.4f (threshold %.4f) on %s",
+				e.Float("at"), e.Float("miss_rate"), e.Float("drift"),
+				e.Float("baseline_rate"), e.Float("threshold"), e.Config))
+		case "daemon.retune":
+			st.Notes = append(st.Notes, fmt.Sprintf(
+				"access %.0f: re-tuning from %s (session %d begins)",
+				e.Float("at"), e.Config, e.Session))
+		case "daemon.watchdog":
+			st.Notes = append(st.Notes, fmt.Sprintf(
+				"access %.0f: watchdog abort after %.0f windows; parked on %s",
+				e.Float("at"), e.Float("session_windows"), e.Config))
+		case "daemon.recover":
+			st.Recoveries++
+			st.Notes = append(st.Notes, fmt.Sprintf(
+				"access %.0f: recovered from checkpoint generation %.0f (config %s)",
+				e.Float("at"), e.Float("generation"), e.Config))
+		case "daemon.checkpoint":
+			st.Checkpoints++
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		ss := sessions[id]
+		sort.Slice(ss.Steps, func(i, j int) bool { return ss.Steps[i].Step < ss.Steps[j].Step })
+		st.Sessions = append(st.Sessions, *ss)
+	}
+	return st
+}
+
+// String renders the story the way Figure 6 walks its example: one line per
+// examined configuration with the decision that followed it.
+func (s *Story) String() string {
+	var b strings.Builder
+	for _, ss := range s.Sessions {
+		fmt.Fprintf(&b, "session %d", ss.Session)
+		if ss.Settled {
+			status := "settled on"
+			if ss.Degraded {
+				status = "DEGRADED to"
+			}
+			fmt.Fprintf(&b, ": %s %s after examining %d configurations (%.2f nJ/window)\n",
+				status, ss.Best, ss.Examined, ss.BestEnergy*1e9)
+		} else {
+			fmt.Fprintf(&b, ": still searching after %d measurements\n", len(ss.Steps))
+		}
+		tb := NewTable("step", "window", "phase", "config", "nJ/window", "decision")
+		for _, st := range ss.Steps {
+			dec := "start"
+			switch {
+			case st.Stop:
+				dec = "stop: no improvement"
+			case st.Phase != "initial" && st.Improved:
+				dec = "keep: improved"
+			case st.Phase != "initial":
+				dec = "sweep exhausted"
+			}
+			if st.Remeasured {
+				dec += " (re-measured)"
+			}
+			tb.Addf(st.Step, st.Window, st.Phase, st.Config, st.Energy*1e9, dec)
+		}
+		for _, line := range strings.Split(strings.TrimRight(tb.String(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	for _, n := range s.Notes {
+		fmt.Fprintf(&b, "%s\n", n)
+	}
+	if s.Checkpoints > 0 || s.Recoveries > 0 || s.Duplicates > 0 {
+		fmt.Fprintf(&b, "%d checkpoints persisted, %d recoveries, %d duplicate events deduplicated\n",
+			s.Checkpoints, s.Recoveries, s.Duplicates)
+	}
+	return b.String()
+}

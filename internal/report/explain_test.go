@@ -1,0 +1,105 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+	"selftune/internal/obs"
+	"selftune/internal/trace"
+	"selftune/internal/tuner"
+	"selftune/internal/workload"
+)
+
+// record drives one online tuning session and returns its telemetry log.
+func record(t *testing.T) (*tuner.Online, []byte) {
+	t.Helper()
+	prof, ok := workload.ByName("jpeg")
+	if !ok {
+		t.Fatal("jpeg workload missing")
+	}
+	_, accs := trace.Split(trace.NewSliceSource(prof.Generate(400_000)))
+	var log bytes.Buffer
+	c := cache.MustConfigurable(cache.MinConfig())
+	o := tuner.NewOnlineObserved(c, energy.DefaultParams(), 2_000, nil, obs.NewJSONL(&log), 0)
+	defer o.Close()
+	for _, a := range accs {
+		o.Access(a.Addr, a.IsWrite())
+		if o.Done() {
+			break
+		}
+	}
+	if !o.Done() {
+		t.Fatal("session never settled")
+	}
+	return o, log.Bytes()
+}
+
+func TestExplainReassemblesTrajectory(t *testing.T) {
+	o, log := record(t)
+	evs, err := obs.ReadEvents(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	story := Explain(evs)
+
+	if len(story.Sessions) != 1 {
+		t.Fatalf("story has %d sessions, want 1", len(story.Sessions))
+	}
+	ss := story.Sessions[0]
+	if !ss.Settled || ss.Best != o.Result().Best.Cfg.String() {
+		t.Fatalf("story settled=%v on %q, session settled on %v", ss.Settled, ss.Best, o.Result().Best.Cfg)
+	}
+	if ss.Examined != o.Result().NumExamined() || len(ss.Steps) < ss.Examined {
+		t.Fatalf("story examined %d over %d steps, session examined %d",
+			ss.Examined, len(ss.Steps), o.Result().NumExamined())
+	}
+	if got := story.MaxExamined(); got > 8 {
+		t.Fatalf("MaxExamined = %d, the heuristic's structural maximum is 8", got)
+	}
+	if story.Steps() != len(ss.Steps) {
+		t.Fatalf("Steps() = %d, session has %d", story.Steps(), len(ss.Steps))
+	}
+	if ss.Steps[0].Phase != "initial" {
+		t.Fatalf("first step phase %q, want initial", ss.Steps[0].Phase)
+	}
+
+	out := story.String()
+	for _, want := range []string{"session 0", ss.Best, "initial", "stop: no improvement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered story lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// A log with every event recorded twice (the kill/resume shape) must explain
+// to the identical story, with the duplicates counted.
+func TestExplainDeduplicatesReplayedEvents(t *testing.T) {
+	_, log := record(t)
+	once, err := obs.ReadEvents(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := obs.ReadEvents(bytes.NewReader(append(append([]byte{}, log...), log...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := Explain(once), Explain(twice)
+	if b.Duplicates != len(once) {
+		t.Fatalf("Duplicates = %d, want %d", b.Duplicates, len(once))
+	}
+	b.Duplicates = a.Duplicates
+	if a.String() != b.String() {
+		t.Fatalf("duplicated log explains differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestExplainEmptyLog(t *testing.T) {
+	story := Explain(nil)
+	if story.Steps() != 0 || story.MaxExamined() != 0 || len(story.Sessions) != 0 {
+		t.Fatalf("empty log explained to %+v", story)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"selftune/internal/cache"
 	"selftune/internal/energy"
 	"selftune/internal/engine"
+	"selftune/internal/obs"
 	"selftune/internal/trace"
 )
 
@@ -69,6 +70,18 @@ func (e *TraceEvaluator) EvaluateAll(cfgs []cache.Config, workers int) []EvalRes
 func (e *TraceEvaluator) Remeasure(cfg cache.Config) EvalResult {
 	return e.eng.Reevaluate(cfg)
 }
+
+// Observe attaches a telemetry recorder to the underlying replay engine
+// (per-configuration replay events). Call it before the first Evaluate; it
+// returns the evaluator for chaining.
+func (e *TraceEvaluator) Observe(rec obs.Recorder) *TraceEvaluator {
+	e.eng.Rec = rec
+	return e
+}
+
+// Engine exposes the underlying replay engine (its memoiser counters feed
+// the metrics registry).
+func (e *TraceEvaluator) Engine() *engine.Engine[cache.Config] { return e.eng }
 
 // Params exposes the energy model used.
 func (e *TraceEvaluator) Params() *energy.Params { return e.params }

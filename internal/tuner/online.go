@@ -1,8 +1,11 @@
 package tuner
 
 import (
+	"log/slog"
+
 	"selftune/internal/cache"
 	"selftune/internal/energy"
+	"selftune/internal/obs"
 )
 
 // Online drives a live configurable cache through the heuristic without
@@ -32,6 +35,15 @@ type Online struct {
 	result     SearchResult
 	settleWB   uint64
 
+	// rec and sessionID are the telemetry seam: every heuristic step is
+	// recorded as one event keyed (session, window, step, config). fed
+	// counts measurements consumed by the search — it is touched only by
+	// the search goroutine, and on resume the transcript replay advances
+	// it identically, so re-executed windows re-emit identical events.
+	rec       obs.Recorder
+	sessionID uint64
+	fed       uint64
+
 	// history records every window measurement handed to the search, in
 	// order — the externally visible transcript of the search's state
 	// machine. Because the heuristic is a deterministic function of its
@@ -60,11 +72,22 @@ func NewOnline(c *cache.Configurable, p *energy.Params, window uint64) *Online {
 // Degraded. Accesses keep being served normally throughout — a broken
 // counter never takes the cache down.
 func NewOnlineMetered(c *cache.Configurable, p *energy.Params, window uint64, meter Meter) *Online {
+	return NewOnlineObserved(c, p, window, meter, nil, 0)
+}
+
+// NewOnlineObserved is NewOnlineMetered with telemetry: every heuristic step
+// is recorded on rec as a "tuner.step" event carrying the session ordinal,
+// the measurement-window ordinal, the step ordinal and the configuration —
+// the search trajectory as data. Recording is strictly observational; a nil
+// (or disabled) recorder session behaves bit-identically to an observed one.
+func NewOnlineObserved(c *cache.Configurable, p *energy.Params, window uint64, meter Meter, rec obs.Recorder, session uint64) *Online {
 	o := &Online{
-		cache:  c,
-		params: p,
-		window: window,
-		meter:  meter,
+		cache:     c,
+		params:    p,
+		window:    window,
+		meter:     meter,
+		rec:       obs.OrNop(rec),
+		sessionID: session,
 		// A quarter-window warmup after each reconfiguration keeps the
 		// transition transient (blocks stranded by the remapping
 		// re-missing once) out of the measurement, which would
@@ -83,8 +106,16 @@ func NewOnlineMetered(c *cache.Configurable, p *energy.Params, window uint64, me
 	return o
 }
 
-// startSearch launches the search goroutine over eval.
+// startSearch launches the search goroutine over eval. The evaluator is
+// wrapped to count measurements consumed (o.fed), which is the window
+// coordinate telemetry events carry; both the counter and the trace hook
+// run on the search goroutine only.
 func (o *Online) startSearch(eval Evaluator) {
+	counted := EvaluatorFunc(func(cfg cache.Config) EvalResult {
+		r := eval.Evaluate(cfg)
+		o.fed++
+		return r
+	})
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -94,10 +125,37 @@ func (o *Online) startSearch(eval Evaluator) {
 				panic(r)
 			}
 		}()
-		res := Search(eval, PaperOrder)
+		res := SearchTraced(counted, PaperOrder, DefaultSpace(), o.traceStep)
 		o.done <- res
 		close(o.req)
 	}()
+}
+
+// traceStep records one heuristic decision. It runs on the search goroutine,
+// strictly between receiving a measurement and requesting the next one, so
+// it is ordered with (and never races) the access loop.
+func (o *Online) traceStep(st SearchStep) {
+	if !o.rec.Enabled() {
+		return
+	}
+	win := o.fed
+	if win > 0 {
+		win-- // the window that produced this measurement
+	}
+	o.rec.Record(obs.Event{
+		Name:    "tuner.step",
+		Session: o.sessionID,
+		Window:  win,
+		Step:    uint64(st.Step),
+		Config:  st.Cfg.String(),
+		Fields: []slog.Attr{
+			slog.String("phase", st.Phase.String()),
+			slog.Float64("energy", st.Energy),
+			slog.Bool("improved", st.Improved),
+			slog.Bool("stop", st.Stop),
+			slog.Bool("remeasured", st.Remeasured),
+		},
+	})
 }
 
 // liveEvaluate is the search side of the window rendezvous: request a
@@ -140,6 +198,25 @@ func (o *Online) finish(res SearchResult) {
 	o.result = res
 	o.finished = true
 	o.apply(res.Best.Cfg)
+	if o.rec.Enabled() {
+		fields := []slog.Attr{
+			slog.Float64("energy", res.Best.Energy),
+			slog.Int("examined", res.NumExamined()),
+			slog.Bool("degraded", res.Degraded),
+			slog.Uint64("settle_writebacks", o.settleWB),
+		}
+		if res.Fault != nil {
+			fields = append(fields, slog.String("fault", res.Fault.Error()))
+		}
+		o.rec.Record(obs.Event{
+			Name:    "tuner.settle",
+			Session: o.sessionID,
+			Window:  o.fed,
+			Step:    uint64(res.NumExamined()),
+			Config:  res.Best.Cfg.String(),
+			Fields:  fields,
+		})
+	}
 }
 
 // apply reconfigures the live cache. Most transitions are flush-free

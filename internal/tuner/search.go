@@ -13,9 +13,15 @@ const (
 	ParamPred
 )
 
+// ParamInitial marks the heuristic's starting measurement (the smallest
+// configuration) in a SearchStep — it belongs to no parameter sweep.
+const ParamInitial Param = -1
+
 // String names the parameter.
 func (p Param) String() string {
 	switch p {
+	case ParamInitial:
+		return "initial"
 	case ParamSize:
 		return "size"
 	case ParamLine:
@@ -92,6 +98,33 @@ func GeometrySpace(geo cache.Geometry) Space {
 	}
 }
 
+// SearchStep describes one heuristic decision as it is made — the Figure 6
+// trajectory as data. The trace hook receives exactly one SearchStep per
+// measurement the search requests, in request order; because the heuristic
+// is a deterministic function of its measurement sequence, replaying a
+// recorded transcript through the search re-emits the identical steps.
+type SearchStep struct {
+	// Step is the measurement ordinal within the search, 0-based.
+	Step int
+	// Phase is the parameter under sweep, or ParamInitial for the
+	// starting measurement.
+	Phase Param
+	// Cfg and Energy are the configuration examined and its reading.
+	Cfg    cache.Config
+	Energy float64
+	// Remeasured reports that the first reading failed the plausibility
+	// check and this is the accepted second reading.
+	Remeasured bool
+	// Improved reports the reading strictly beat the sweep's incumbent —
+	// the keep/stop decision (the initial measurement is never a sweep
+	// decision and reports false).
+	Improved bool
+	// Stop reports the sweep stops after this measurement because the
+	// reading failed to improve. A sweep can also end by exhausting its
+	// candidates, in which case its last step has Stop false.
+	Stop bool
+}
+
 // search drives one sweep-per-parameter hill climb.
 type search struct {
 	eval  Evaluator
@@ -100,16 +133,29 @@ type search struct {
 	cur   cache.Config
 	best  EvalResult
 	seen  map[cache.Config]bool
+	trace func(SearchStep)
+	steps int
+}
+
+// emit hands one decision to the trace hook and advances the step ordinal.
+func (s *search) emit(st SearchStep) {
+	st.Step = s.steps
+	s.steps++
+	if s.trace != nil {
+		s.trace(st)
+	}
 }
 
 // measure evaluates cfg (once), records it, and updates the incumbent.
-// A reading that fails the plausibility check is re-measured once; if the
-// second reading is implausible too, the search unwinds into graceful
-// degradation (see SearchInSpace). Only plausible readings are recorded and
-// may steer the search.
-func (s *search) measure(cfg cache.Config) EvalResult {
+// A reading that fails the plausibility check is re-measured once (the
+// second return reports that happened); if the second reading is implausible
+// too, the search unwinds into graceful degradation (see SearchInSpace).
+// Only plausible readings are recorded and may steer the search.
+func (s *search) measure(cfg cache.Config) (EvalResult, bool) {
 	r := s.eval.Evaluate(cfg)
+	remeasured := false
 	if err := Plausible(r); err != nil {
+		remeasured = true
 		r = remeasure(s.eval, cfg)
 		if err = Plausible(r); err != nil {
 			panic(searchFault{err})
@@ -122,7 +168,7 @@ func (s *search) measure(cfg cache.Config) EvalResult {
 	if s.best.Cfg == (cache.Config{}) || r.Energy < s.best.Energy {
 		s.best = r
 	}
-	return r
+	return r, remeasured
 }
 
 // Search runs the heuristic with the given parameter order in the paper's
@@ -143,8 +189,16 @@ func Search(eval Evaluator, order []Param) SearchResult {
 // garbage: it returns SafeConfig as Best with Degraded set and the fault
 // recorded, keeping whatever plausible measurements it had already made in
 // Examined.
-func SearchInSpace(eval Evaluator, order []Param, space Space) (res SearchResult) {
-	s := &search{eval: eval, space: space, cur: space.Start, seen: map[cache.Config]bool{}}
+func SearchInSpace(eval Evaluator, order []Param, space Space) SearchResult {
+	return SearchTraced(eval, order, space, nil)
+}
+
+// SearchTraced is SearchInSpace with a step trace hook: trace (may be nil)
+// receives one SearchStep per measurement, as the heuristic makes each
+// decision. The hook observes only — it cannot steer the search — so a
+// traced search returns bit-identical results to an untraced one.
+func SearchTraced(eval Evaluator, order []Param, space Space, trace func(SearchStep)) (res SearchResult) {
+	s := &search{eval: eval, space: space, cur: space.Start, seen: map[cache.Config]bool{}, trace: trace}
 	defer func() {
 		if p := recover(); p != nil {
 			f, ok := p.(searchFault)
@@ -164,7 +218,8 @@ func SearchInSpace(eval Evaluator, order []Param, space Space) (res SearchResult
 			}
 		}
 	}()
-	prev := s.measure(s.cur)
+	prev, rm := s.measure(s.cur)
+	s.emit(SearchStep{Phase: ParamInitial, Cfg: prev.Cfg, Energy: prev.Energy, Remeasured: rm})
 	for _, p := range order {
 		prev = s.sweep(p, prev)
 	}
@@ -182,8 +237,11 @@ func SearchPaper(eval Evaluator) SearchResult { return Search(eval, PaperOrder) 
 func (s *search) sweep(p Param, prev EvalResult) EvalResult {
 	bestLocal := prev
 	for _, cfg := range s.candidates(p) {
-		r := s.measure(cfg)
-		if r.Energy < bestLocal.Energy {
+		r, rm := s.measure(cfg)
+		improved := r.Energy < bestLocal.Energy
+		s.emit(SearchStep{Phase: p, Cfg: r.Cfg, Energy: r.Energy,
+			Remeasured: rm, Improved: improved, Stop: !improved})
+		if improved {
 			bestLocal = r
 		} else {
 			break

@@ -5,6 +5,7 @@ import (
 
 	"selftune/internal/cache"
 	"selftune/internal/energy"
+	"selftune/internal/obs"
 )
 
 // This file makes an Online session snapshottable and resumable, the piece
@@ -131,6 +132,15 @@ func replaySearch(history []EvalResult) (res SearchResult, complete bool, err er
 // as in NewOnlineMetered and must be the same measurement seam the original
 // session used for the continuation to be faithful.
 func ResumeOnline(c *cache.Configurable, p *energy.Params, st SessionState, meter Meter) (*Online, error) {
+	return ResumeOnlineObserved(c, p, st, meter, nil, 0)
+}
+
+// ResumeOnlineObserved is ResumeOnline with telemetry (see NewOnlineObserved).
+// The replayed transcript prefix re-emits its "tuner.step" events with
+// coordinates identical to the first life's — the determinism contract that
+// lets a killed-and-resumed daemon's event log be deduplicated by
+// (session, window, step) instead of diverging.
+func ResumeOnlineObserved(c *cache.Configurable, p *energy.Params, st SessionState, meter Meter, rec obs.Recorder, session uint64) (*Online, error) {
 	if st.Window == 0 {
 		return nil, fmt.Errorf("tuner: resume: zero measurement window")
 	}
@@ -138,17 +148,19 @@ func ResumeOnline(c *cache.Configurable, p *energy.Params, st SessionState, mete
 		return nil, fmt.Errorf("tuner: resume: cache is configured %v but the snapshot applied %v", c.Config(), st.Applied)
 	}
 	o := &Online{
-		cache:    c,
-		params:   p,
-		window:   st.Window,
-		meter:    meter,
-		warmup:   st.Window / 4,
-		settleWB: st.SettleWB,
-		history:  append([]EvalResult(nil), st.History...),
-		req:      make(chan cache.Config),
-		resp:     make(chan EvalResult),
-		done:     make(chan SearchResult, 1),
-		quit:     make(chan struct{}),
+		cache:     c,
+		params:    p,
+		window:    st.Window,
+		meter:     meter,
+		rec:       obs.OrNop(rec),
+		sessionID: session,
+		warmup:    st.Window / 4,
+		settleWB:  st.SettleWB,
+		history:   append([]EvalResult(nil), st.History...),
+		req:       make(chan cache.Config),
+		resp:      make(chan EvalResult),
+		done:      make(chan SearchResult, 1),
+		quit:      make(chan struct{}),
 	}
 	if st.Aborted {
 		o.aborted = true
