@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench check fuzz obs-smoke
+.PHONY: build test race vet bench bench-json check fuzz obs-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$'
 
+# Fast-kernel vs reference throughput on the standard sweep shapes,
+# recorded machine-readably (see cmd/stcbench; BENCH_5.json is committed).
+bench-json:
+	$(GO) run ./cmd/stcbench -json BENCH_5.json
+
 # End-to-end observability smoke: daemon up with telemetry, endpoints
 # scraped, event log explained (see scripts/obs_smoke.sh).
 obs-smoke:
@@ -28,6 +33,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadDinero -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -run='^$$' -fuzz=FuzzFastSimVsReference -fuzztime=$(FUZZTIME) ./internal/fastsim/
 
 # check is the tier-1 gate: build, vet, and the full test suite — which
 # includes the checkpoint round-trip/corruption-recovery tests and the

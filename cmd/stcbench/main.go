@@ -1,0 +1,67 @@
+// Command stcbench benchmarks the fast replay kernels against the reference
+// simulators on the repository's standard experiment shapes — the four-bank
+// 27-configuration sweep and the Figure 2 direct-mapped size sweep — and
+// writes a machine-readable report (BENCH_5.json) plus a human table.
+//
+// Every timed pair is also a differential check: the run fails if the fast
+// kernel's sweep results differ from the reference kernel's in any bit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"selftune/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "CI-smoke sizing: short streams, two reps, two profiles")
+	n := flag.Int("n", 0, "accesses per stream (0 = sizing default)")
+	reps := flag.Int("reps", 0, "timing repetitions per measurement, best-of (0 = sizing default)")
+	workers := flag.Int("workers", 1, "sweep workers (the headline measurement is single-threaded replay)")
+	profiles := flag.String("profiles", "", "comma-separated workload profiles for the four-bank sweep (empty = default set)")
+	jsonPath := flag.String("json", "BENCH_5.json", "write the machine-readable report here ('' = don't)")
+	flag.Parse()
+
+	opts := bench.Options{}
+	if *quick {
+		opts = bench.Quick()
+	}
+	if *n > 0 {
+		opts.N = *n
+	}
+	if *reps > 0 {
+		opts.Reps = *reps
+	}
+	opts.Workers = *workers
+	if *profiles != "" {
+		opts.Profiles = strings.Split(*profiles, ",")
+	}
+
+	rep, err := bench.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestRunSmoke runs a miniature benchmark end to end: the report must carry
+// both config classes, positive timings, and — the embedded differential
+// oracle and zero-alloc pin — identical kernel results and no inner-loop
+// allocations. Speedup values are hardware-dependent and deliberately not
+// asserted here; BENCH_5.json records them.
+func TestRunSmoke(t *testing.T) {
+	rep, err := Run(Options{N: 5_000, Reps: 1, Workers: 1, Profiles: []string{"crc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("got %d classes, want 2 (four-bank-27 + figure2-dm)", len(rep.Classes))
+	}
+	for _, c := range rep.Classes {
+		if c.Reference.Seconds <= 0 || c.Fast.Seconds <= 0 || c.Speedup <= 0 {
+			t.Errorf("%s/%s: degenerate timing %+v", c.Class, c.Profile, c)
+		}
+		// The replayed stream is the profile's data stream (a Split of the
+		// N-access trace), so only divisibility is knowable here.
+		if c.Accesses <= 0 || c.Accesses%int64(c.Configs) != 0 {
+			t.Errorf("%s/%s: accesses %d not a multiple of %d configs", c.Class, c.Profile, c.Accesses, c.Configs)
+		}
+	}
+	for kernel, allocs := range rep.KernelAllocsPerOp {
+		if allocs != 0 {
+			t.Errorf("%s kernel allocates %.0f/op in ReplayBatch, want 0", kernel, allocs)
+		}
+	}
+	if rep.OverallSpeedup <= 0 || rep.Figure2Speedup <= 0 || rep.FourBankSpeedup <= 0 {
+		t.Error("summary speedups missing")
+	}
+}

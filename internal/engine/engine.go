@@ -45,8 +45,16 @@ type Factory[C comparable] func(C) Simulator
 // pricing. C is the configuration key (cache.Config for the four-bank and
 // scalable caches, cache.GenericConfig for conventional caches).
 type Model[C comparable] struct {
-	// Build constructs the simulator for a configuration.
+	// Build constructs the reference simulator for a configuration.
 	Build Factory[C]
+	// FastBuild, when non-nil, constructs the fast replay kernel for a
+	// configuration. It must be bit-identical to Build in every output the
+	// engine observes (Stats, DirtyLines) — the fastsim differential
+	// oracle enforces this for the stock models. Which factory a replay
+	// uses is decided per evaluation (the package FastSim flag or a
+	// WithFastSim/WithReferenceSim constructor option), and the kernel
+	// identity is part of the memo key.
+	FastBuild Factory[C]
 	// Price applies Equation 1 to the interval's counters.
 	Price func(C, cache.Stats) energy.Breakdown
 	// NoDrain skips the end-of-interval dirty-line drain. The tuner's
@@ -93,6 +101,63 @@ func (rp RetryPolicy) attempts() int {
 	return rp.Attempts
 }
 
+// Kernel identity tags. A replay's kernel is part of its memo key, so fast
+// and reference evaluations of the same configuration in one process occupy
+// separate memo slots and cannot cross-contaminate.
+const (
+	// KernelReference tags replays through the reference simulators.
+	KernelReference = "reference"
+	// KernelFast tags replays through the fastsim kernels (Model.FastBuild).
+	KernelFast = "fast"
+)
+
+// fastSim is the package-level feature flag: when set (the default), engines
+// whose model carries a FastBuild factory replay through the fast kernel.
+// The CLIs' -fastsim flag and per-engine constructor options override it.
+var fastSim atomic.Bool
+
+func init() { fastSim.Store(true) }
+
+// SetFastSim flips the package-level fast-kernel flag (the CLIs' -fastsim
+// flag). It only affects engines whose model provides FastBuild and which
+// were not constructed with an explicit kernel option.
+func SetFastSim(on bool) { fastSim.Store(on) }
+
+// FastSimEnabled reports the package-level fast-kernel flag.
+func FastSimEnabled() bool { return fastSim.Load() }
+
+// Option configures an Engine at construction.
+type Option func(*engineOptions)
+
+type engineOptions struct {
+	// kernel forces a kernel regardless of the package flag; "" follows it.
+	kernel string
+}
+
+// WithFastSim forces the engine onto the fast kernel (Model.FastBuild),
+// ignoring the package flag. An engine whose model has no FastBuild factory
+// still replays through the reference simulator.
+func WithFastSim() Option {
+	return func(o *engineOptions) { o.kernel = KernelFast }
+}
+
+// WithReferenceSim forces the engine onto the reference simulator, ignoring
+// the package flag — the differential oracle's and bench harness's baseline
+// side.
+func WithReferenceSim() Option {
+	return func(o *engineOptions) { o.kernel = KernelReference }
+}
+
+// simKey identifies one memoised replay: the configuration plus the kernel
+// that produced it. Keying the memo (and the in-flight table) on the kernel
+// identity means a process that mixes fast and reference replays — the
+// oracle, the bench harness, a flag flip mid-run — can never serve a result
+// measured by one kernel to a request for the other.
+type simKey[C comparable] struct {
+	cfg    C
+	kernel string
+}
+
 // Engine replays one shared immutable reference stream through
 // configurations of one model. It is safe for concurrent use: results are
 // memoised behind a mutex and a configuration is replayed at most once even
@@ -113,9 +178,13 @@ type Engine[C comparable] struct {
 
 	met Counters
 
+	// forced pins the kernel chosen at construction (WithFastSim /
+	// WithReferenceSim); empty means follow the package flag per call.
+	forced string
+
 	mu       sync.Mutex
-	memo     map[C]Result[C]
-	inflight map[C]*sync.WaitGroup
+	memo     map[simKey[C]]Result[C]
+	inflight map[simKey[C]]*sync.WaitGroup
 }
 
 // Counters are the engine's lifetime memoiser and resilience counters.
@@ -158,14 +227,48 @@ func (e *Engine[C]) rec() obs.Recorder {
 // New builds an engine over a recorded stream. The stream should be a single
 // cache's view: instruction fetches for an I-cache study or data references
 // for a D-cache study (use trace.Split). The engine aliases accs; callers
-// must not mutate it afterwards.
-func New[C comparable](accs []trace.Access, m Model[C]) *Engine[C] {
+// must not mutate it afterwards. By default the engine follows the package
+// FastSim flag when the model provides a fast kernel; WithFastSim and
+// WithReferenceSim pin the choice per engine.
+func New[C comparable](accs []trace.Access, m Model[C], opts ...Option) *Engine[C] {
+	var o engineOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	return &Engine[C]{
 		accs:     accs,
 		model:    m,
-		memo:     map[C]Result[C]{},
-		inflight: map[C]*sync.WaitGroup{},
+		forced:   o.kernel,
+		memo:     map[simKey[C]]Result[C]{},
+		inflight: map[simKey[C]]*sync.WaitGroup{},
 	}
+}
+
+// Kernel reports which kernel the engine would use for an evaluation started
+// now: KernelFast when the model provides a fast factory and either the
+// engine or the package flag selects it, else KernelReference.
+func (e *Engine[C]) Kernel() string {
+	if e.model.FastBuild == nil {
+		return KernelReference
+	}
+	switch e.forced {
+	case KernelFast:
+		return KernelFast
+	case KernelReference:
+		return KernelReference
+	}
+	if FastSimEnabled() {
+		return KernelFast
+	}
+	return KernelReference
+}
+
+// build constructs the simulator for one memo key's replay.
+func (e *Engine[C]) build(key simKey[C]) Simulator {
+	if key.kernel == KernelFast {
+		return e.model.FastBuild(key.cfg)
+	}
+	return e.model.Build(key.cfg)
 }
 
 // Len is the number of accesses replayed per configuration.
@@ -185,28 +288,31 @@ func (e *Engine[C]) Evaluate(cfg C) Result[C] {
 // deterministically failed) replays are memoised; a cancelled replay is not,
 // so a later call can complete it.
 func (e *Engine[C]) EvaluateCtx(ctx context.Context, cfg C) (Result[C], error) {
+	// The kernel is resolved once per evaluation, so a package-flag flip
+	// mid-call cannot split the key from the simulator actually built.
+	key := simKey[C]{cfg: cfg, kernel: e.Kernel()}
 	for {
 		if err := ctx.Err(); err != nil {
 			return Result[C]{Cfg: cfg}, err
 		}
 		e.mu.Lock()
-		if r, ok := e.memo[cfg]; ok {
+		if r, ok := e.memo[key]; ok {
 			e.mu.Unlock()
 			e.met.MemoHits.Add(1)
 			return r, nil
 		}
-		wg, running := e.inflight[cfg]
+		wg, running := e.inflight[key]
 		if !running {
 			wg = new(sync.WaitGroup)
 			wg.Add(1)
-			e.inflight[cfg] = wg
+			e.inflight[key] = wg
 		}
 		e.mu.Unlock()
 		if running {
 			wg.Wait()
 			continue
 		}
-		return e.lead(ctx, cfg, wg)
+		return e.lead(ctx, key, wg)
 	}
 }
 
@@ -217,25 +323,25 @@ func (e *Engine[C]) EvaluateCtx(ctx context.Context, cfg C) (Result[C], error) {
 // fault can clear on the second reading.
 func (e *Engine[C]) Reevaluate(cfg C) Result[C] {
 	e.mu.Lock()
-	delete(e.memo, cfg)
+	delete(e.memo, simKey[C]{cfg: cfg, kernel: e.Kernel()})
 	e.mu.Unlock()
 	return e.Evaluate(cfg)
 }
 
-// lead replays cfg on behalf of every waiter and publishes the result.
-func (e *Engine[C]) lead(ctx context.Context, cfg C, wg *sync.WaitGroup) (Result[C], error) {
+// lead replays one key on behalf of every waiter and publishes the result.
+func (e *Engine[C]) lead(ctx context.Context, key simKey[C], wg *sync.WaitGroup) (Result[C], error) {
 	defer func() {
 		e.mu.Lock()
-		delete(e.inflight, cfg)
+		delete(e.inflight, key)
 		e.mu.Unlock()
 		wg.Done()
 	}()
 	e.met.MemoMisses.Add(1)
 	if rec := e.rec(); rec.Enabled() {
-		rec.Record(obs.Event{Name: "engine.replay.start", Config: fmt.Sprint(cfg),
+		rec.Record(obs.Event{Name: "engine.replay.start", Config: fmt.Sprint(key.cfg),
 			Fields: []slog.Attr{slog.Int("accesses", len(e.accs))}})
 	}
-	r, err := e.replay(ctx, cfg)
+	r, err := e.replay(ctx, key)
 	if err != nil {
 		// Cancelled mid-replay: nothing to publish. Waiters loop and
 		// observe their own context.
@@ -246,10 +352,10 @@ func (e *Engine[C]) lead(ctx context.Context, cfg C, wg *sync.WaitGroup) (Result
 		if r.Err != nil {
 			fields = append(fields, slog.String("err", r.Err.Error()))
 		}
-		rec.Record(obs.Event{Name: "engine.replay.finish", Config: fmt.Sprint(cfg), Fields: fields})
+		rec.Record(obs.Event{Name: "engine.replay.finish", Config: fmt.Sprint(key.cfg), Fields: fields})
 	}
 	e.mu.Lock()
-	e.memo[cfg] = r
+	e.memo[key] = r
 	e.mu.Unlock()
 	return r, nil
 }
@@ -258,33 +364,33 @@ func (e *Engine[C]) lead(ctx context.Context, cfg C, wg *sync.WaitGroup) (Result
 // reserved for context cancellation; a replay that panicked on every
 // attempt comes back as a Result with Err set (and is memoised, keeping
 // deterministic fault plans deterministic).
-func (e *Engine[C]) replay(ctx context.Context, cfg C) (Result[C], error) {
+func (e *Engine[C]) replay(ctx context.Context, key simKey[C]) (Result[C], error) {
 	backoff := e.Retry.Backoff
 	var lastErr error
 	for attempt := 1; attempt <= e.Retry.attempts(); attempt++ {
 		if attempt > 1 {
 			e.met.Retries.Add(1)
 			if rec := e.rec(); rec.Enabled() {
-				rec.Record(obs.Event{Name: "engine.retry", Config: fmt.Sprint(cfg),
+				rec.Record(obs.Event{Name: "engine.retry", Config: fmt.Sprint(key.cfg),
 					Fields: []slog.Attr{slog.Int("attempt", attempt), slog.String("cause", lastErr.Error())}})
 			}
 			if backoff > 0 {
 				if err := sleepCtx(ctx, backoff); err != nil {
-					return Result[C]{Cfg: cfg}, err
+					return Result[C]{Cfg: key.cfg}, err
 				}
 				backoff *= 2
 			}
 		}
-		r, err := e.replayOnce(ctx, cfg)
+		r, err := e.replayOnce(ctx, key)
 		if err == nil {
 			return r, nil
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			return Result[C]{Cfg: cfg}, cerr
+			return Result[C]{Cfg: key.cfg}, cerr
 		}
 		lastErr = err
 	}
-	return Result[C]{Cfg: cfg, Err: lastErr}, nil
+	return Result[C]{Cfg: key.cfg, Err: lastErr}, nil
 }
 
 // sleepCtx waits out a retry backoff or returns ctx.Err() the moment the
@@ -308,24 +414,48 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // without measurably slowing the hot loop.
 const ctxCheckInterval = 1 << 16
 
+// BatchReplayer is the optional Simulator fast path: replay a whole block
+// of accesses in one call, eliminating per-access interface dispatch. The
+// fastsim kernels implement it; the engine feeds ctxCheckInterval-sized
+// blocks so cancellation latency matches the per-access loop.
+type BatchReplayer interface {
+	ReplayBatch(accs []trace.Access)
+}
+
 // replayOnce is the one replay loop in the repository: fresh cache, full
 // stream, drain, price. A panic anywhere in the simulator is recovered into
 // an error instead of killing the process.
-func (e *Engine[C]) replayOnce(ctx context.Context, cfg C) (r Result[C], err error) {
+func (e *Engine[C]) replayOnce(ctx context.Context, key simKey[C]) (r Result[C], err error) {
+	cfg := key.cfg
 	defer func() {
 		if p := recover(); p != nil {
 			e.met.Panics.Add(1)
 			err = fmt.Errorf("engine: replay of %v panicked: %v", cfg, p)
 		}
 	}()
-	s := e.model.Build(cfg)
-	for i, a := range e.accs {
-		if i&(ctxCheckInterval-1) == 0 && i > 0 {
-			if cerr := ctx.Err(); cerr != nil {
-				return Result[C]{Cfg: cfg}, cerr
+	s := e.build(key)
+	if br, ok := s.(BatchReplayer); ok {
+		for start := 0; start < len(e.accs); start += ctxCheckInterval {
+			if start > 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return Result[C]{Cfg: cfg}, cerr
+				}
 			}
+			end := start + ctxCheckInterval
+			if end > len(e.accs) {
+				end = len(e.accs)
+			}
+			br.ReplayBatch(e.accs[start:end])
 		}
-		s.Access(a.Addr, a.IsWrite())
+	} else {
+		for i, a := range e.accs {
+			if i&(ctxCheckInterval-1) == 0 && i > 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return Result[C]{Cfg: cfg}, cerr
+				}
+			}
+			s.Access(a.Addr, a.IsWrite())
+		}
 	}
 	st := s.Stats()
 	if !e.model.NoDrain {
@@ -363,16 +493,16 @@ func (e *Engine[C]) EvaluateAllCtx(ctx context.Context, cfgs []C, workers int) (
 
 // Sweep replays one stream through every configuration in parallel — the
 // one-shot form of New(...).EvaluateAll(...).
-func Sweep[C comparable](accs []trace.Access, m Model[C], cfgs []C, workers int) []Result[C] {
-	return New(accs, m).EvaluateAll(cfgs, workers)
+func Sweep[C comparable](accs []trace.Access, m Model[C], cfgs []C, workers int, opts ...Option) []Result[C] {
+	return New(accs, m, opts...).EvaluateAll(cfgs, workers)
 }
 
 // SweepCtx is Sweep under a context (see EvaluateAllCtx for the semantics).
 // A recorder carried by the context (obs.IntoContext) receives the sweep's
 // per-replay events — how the CLIs' -v flag reaches one-shot sweeps without
 // threading a recorder through every experiment signature.
-func SweepCtx[C comparable](ctx context.Context, accs []trace.Access, m Model[C], cfgs []C, workers int) ([]Result[C], error) {
-	e := New(accs, m)
+func SweepCtx[C comparable](ctx context.Context, accs []trace.Access, m Model[C], cfgs []C, workers int, opts ...Option) ([]Result[C], error) {
+	e := New(accs, m, opts...)
 	e.Rec = obs.FromContext(ctx)
 	return e.EvaluateAllCtx(ctx, cfgs, workers)
 }

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"testing"
+
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+)
+
+// skewedSim wraps a simulator and inflates its reported misses, standing in
+// for a fast kernel whose results differ from the reference — exactly the
+// contamination the kernel-tagged memo key must keep out.
+type skewedSim struct{ Simulator }
+
+func (s skewedSim) Stats() cache.Stats {
+	st := s.Simulator.Stats()
+	st.Misses += 1_000_000
+	return st
+}
+
+// TestMemoKeySeparatesKernels pins the memo-key fix: results measured with
+// the fast kernel and the reference kernel live under distinct memo entries,
+// so flipping the kernel between evaluations replays instead of serving the
+// other kernel's (here: deliberately different) result.
+func TestMemoKeySeparatesKernels(t *testing.T) {
+	p := energy.DefaultParams()
+	data := dataStream(t, "crc", 10_000)
+	cfg := cache.BaseConfig()
+
+	m := Configurable(p)
+	inner := m.Build
+	m.FastBuild = func(c cache.Config) Simulator { return skewedSim{inner(c)} }
+
+	e := New(data, m)
+	SetFastSim(true)
+	t.Cleanup(func() { SetFastSim(true) })
+
+	fast1 := e.Evaluate(cfg)
+	SetFastSim(false)
+	ref1 := e.Evaluate(cfg)
+	if fast1.Stats.Misses == ref1.Stats.Misses {
+		t.Fatal("test harness broken: skewed fast kernel matched the reference")
+	}
+	if got := e.Counters().MemoMisses.Load(); got != 2 {
+		t.Errorf("two kernels caused %d replays, want 2 (one per kernel)", got)
+	}
+
+	// Each kernel's re-evaluation must come from its own memo slot.
+	SetFastSim(true)
+	fast2 := e.Evaluate(cfg)
+	SetFastSim(false)
+	ref2 := e.Evaluate(cfg)
+	if fast2 != fast1 || ref2 != ref1 {
+		t.Error("re-evaluations did not serve the matching kernel's memo entry")
+	}
+	if got := e.Counters().MemoMisses.Load(); got != 2 {
+		t.Errorf("memoised re-evaluations replayed: %d misses, want still 2", got)
+	}
+}
+
+// TestKernelForcingOptions pins WithFastSim/WithReferenceSim: a per-engine
+// option overrides the package flag in both directions, and Kernel reports
+// the active choice.
+func TestKernelForcingOptions(t *testing.T) {
+	p := energy.DefaultParams()
+	data := dataStream(t, "crc", 5_000)
+	t.Cleanup(func() { SetFastSim(true) })
+
+	m := Configurable(p)
+	var refBuilds, fastBuilds int
+	innerRef, innerFast := m.Build, m.FastBuild
+	m.Build = func(c cache.Config) Simulator { refBuilds++; return innerRef(c) }
+	m.FastBuild = func(c cache.Config) Simulator { fastBuilds++; return innerFast(c) }
+
+	SetFastSim(true)
+	forced := New(data, m, WithReferenceSim())
+	if got := forced.Kernel(); got != KernelReference {
+		t.Fatalf("WithReferenceSim engine reports kernel %q", got)
+	}
+	forced.Evaluate(cache.BaseConfig())
+	if refBuilds != 1 || fastBuilds != 0 {
+		t.Errorf("WithReferenceSim built ref=%d fast=%d, want 1/0", refBuilds, fastBuilds)
+	}
+
+	SetFastSim(false)
+	refBuilds, fastBuilds = 0, 0
+	forcedFast := New(data, m, WithFastSim())
+	if got := forcedFast.Kernel(); got != KernelFast {
+		t.Fatalf("WithFastSim engine reports kernel %q", got)
+	}
+	forcedFast.Evaluate(cache.BaseConfig())
+	if refBuilds != 0 || fastBuilds != 1 {
+		t.Errorf("WithFastSim built ref=%d fast=%d, want 0/1", refBuilds, fastBuilds)
+	}
+
+	// Without an option the package flag decides; without a FastBuild the
+	// engine is reference no matter what.
+	SetFastSim(true)
+	if got := New(data, m).Kernel(); got != KernelFast {
+		t.Errorf("flag-on engine reports kernel %q", got)
+	}
+	m2 := Configurable(p)
+	m2.FastBuild = nil
+	if got := New(data, m2).Kernel(); got != KernelReference {
+		t.Errorf("engine without FastBuild reports kernel %q", got)
+	}
+}

@@ -52,6 +52,7 @@ func TestPanicBecomesPerConfigError(t *testing.T) {
 		}
 		return s
 	}
+	m.FastBuild = nil // the instrumented reference factory must be the one used
 	e := New(data, m)
 	results, err := e.EvaluateAllCtx(context.Background(), cache.AllConfigs(), 4)
 	if err != nil {
@@ -99,6 +100,7 @@ func TestRetryRecoversTransientCrash(t *testing.T) {
 			}
 			return s
 		}
+		m.FastBuild = nil // the instrumented reference factory must be the one used
 		return New(data, m)
 	}
 
@@ -198,6 +200,7 @@ func TestReevaluateDropsMemo(t *testing.T) {
 		builds.Add(1)
 		return inner(c)
 	}
+	m.FastBuild = nil // the instrumented reference factory must be the one used
 	e := New(data, m)
 	cfg := cache.BaseConfig()
 	first := e.Evaluate(cfg)
@@ -223,6 +226,7 @@ func TestBackoffCancellation(t *testing.T) {
 		// either replaying briefly or backing off.
 		return &crashSim{inner: inner(cfg), after: 1}
 	}
+	m.FastBuild = nil // the instrumented reference factory must be the one used
 	e := New(data, m)
 	e.Retry = RetryPolicy{Attempts: 5, Backoff: time.Hour}
 

@@ -1,0 +1,85 @@
+package fastsim_test
+
+import (
+	"testing"
+
+	"selftune/internal/cache"
+	"selftune/internal/fastsim"
+	"selftune/internal/trace"
+)
+
+func benchTrace(n int) []trace.Access {
+	return randomTrace(42, n)
+}
+
+// TestReplayBatchZeroAllocs pins the acceptance criterion directly: the
+// batched inner loop of both kernels performs zero heap allocations per
+// replayed block, for every configuration in the space.
+func TestReplayBatchZeroAllocs(t *testing.T) {
+	accs := benchTrace(4096)
+	for _, cfg := range cache.AllConfigs() {
+		k := fastsim.Must(cfg)
+		if n := testing.AllocsPerRun(10, func() { k.ReplayBatch(accs) }); n != 0 {
+			t.Errorf("four-bank kernel %v: %.0f allocs/op in ReplayBatch, want 0", cfg, n)
+		}
+	}
+	for _, cfg := range []cache.GenericConfig{
+		{SizeBytes: 16 << 10, Ways: 1, LineBytes: 32},
+		{SizeBytes: 16 << 10, Ways: 4, LineBytes: 32},
+	} {
+		k := fastsim.MustGeneric(cfg)
+		if n := testing.AllocsPerRun(10, func() { k.ReplayBatch(accs) }); n != 0 {
+			t.Errorf("generic kernel %v: %.0f allocs/op in ReplayBatch, want 0", cfg, n)
+		}
+	}
+}
+
+// BenchmarkFourBankFast / BenchmarkFourBankReference measure ns/access on
+// the base configuration; run with -bench to compare kernels directly.
+func BenchmarkFourBankFast(b *testing.B) {
+	accs := benchTrace(65536)
+	k := fastsim.Must(cache.BaseConfig())
+	b.SetBytes(int64(len(accs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ReplayBatch(accs)
+	}
+}
+
+func BenchmarkFourBankReference(b *testing.B) {
+	accs := benchTrace(65536)
+	c := cache.MustConfigurable(cache.BaseConfig())
+	b.SetBytes(int64(len(accs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range accs {
+			c.Access(a.Addr, a.IsWrite())
+		}
+	}
+}
+
+func BenchmarkGenericFastDM(b *testing.B) {
+	accs := benchTrace(65536)
+	k := fastsim.MustGeneric(cache.GenericConfig{SizeBytes: 16 << 10, Ways: 1, LineBytes: 32})
+	b.SetBytes(int64(len(accs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ReplayBatch(accs)
+	}
+}
+
+func BenchmarkGenericReferenceDM(b *testing.B) {
+	accs := benchTrace(65536)
+	c := cache.MustGeneric(cache.GenericConfig{SizeBytes: 16 << 10, Ways: 1, LineBytes: 32})
+	b.SetBytes(int64(len(accs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range accs {
+			c.Access(a.Addr, a.IsWrite())
+		}
+	}
+}

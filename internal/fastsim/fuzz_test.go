@@ -1,0 +1,85 @@
+package fastsim_test
+
+import (
+	"testing"
+
+	"selftune/internal/cache"
+	"selftune/internal/fastsim"
+	"selftune/internal/trace"
+)
+
+// decodeAccesses turns raw fuzz bytes into an access stream: 5 bytes per
+// access — 4 little-endian address bytes and one kind byte (mod 3 maps onto
+// the three trace kinds). The fuzzer mutates addresses bit by bit, which is
+// exactly the adversary the index/tag table precomputation needs: aliasing
+// across the bank-select bits, the predictor-select bit and the subline
+// offset.
+func decodeAccesses(data []byte) []trace.Access {
+	n := len(data) / 5
+	if n > 4096 {
+		n = 4096
+	}
+	accs := make([]trace.Access, n)
+	for i := 0; i < n; i++ {
+		b := data[i*5:]
+		accs[i] = trace.Access{
+			Addr: uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24,
+			Kind: trace.Kind(b[4] % 3),
+		}
+	}
+	return accs
+}
+
+// FuzzFastSimVsReference replays fuzzer-generated address streams through
+// the fast kernel and the reference cache across all 27 configurations and
+// fails on any divergence in per-access results, counters or dirty-line
+// accounting. A generic-cache pair rides along on a fixed geometry.
+func FuzzFastSimVsReference(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x10, 0x00, 0x00, 0x00})
+	// A conflict pair at the 0x2000 bank-alias spacing, one write.
+	f.Add([]byte{
+		0x00, 0x10, 0x00, 0x00, 0x00,
+		0x00, 0x30, 0x00, 0x00, 0x01,
+		0x00, 0x10, 0x00, 0x00, 0x00,
+	})
+	// High address bits exercise the full tag path.
+	f.Add([]byte{0xfc, 0xff, 0xff, 0xff, 0x01, 0x04, 0x00, 0x00, 0x80, 0x02})
+	configs := cache.AllConfigs()
+	gcfg := cache.GenericConfig{SizeBytes: 4 << 10, Ways: 2, LineBytes: 32}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs := decodeAccesses(data)
+		if len(accs) == 0 {
+			return
+		}
+		for _, cfg := range configs {
+			ref := cache.MustConfigurable(cfg)
+			fast := fastsim.Must(cfg)
+			for i, a := range accs {
+				rr := ref.Access(a.Addr, a.IsWrite())
+				fr := fast.Access(a.Addr, a.IsWrite())
+				if rr != fr {
+					t.Fatalf("%v access %d (%08x %v): ref %+v fast %+v", cfg, i, a.Addr, a.Kind, rr, fr)
+				}
+			}
+			if ref.Stats() != fast.Stats() {
+				t.Fatalf("%v stats: ref %+v fast %+v", cfg, ref.Stats(), fast.Stats())
+			}
+			if ref.DirtyLines() != fast.DirtyLines() {
+				t.Fatalf("%v dirty: ref %d fast %d", cfg, ref.DirtyLines(), fast.DirtyLines())
+			}
+		}
+		gref := cache.MustGeneric(gcfg)
+		gfast := fastsim.MustGeneric(gcfg)
+		for i, a := range accs {
+			rr := gref.Access(a.Addr, a.IsWrite())
+			fr := gfast.Access(a.Addr, a.IsWrite())
+			if rr != fr {
+				t.Fatalf("%v access %d (%08x %v): ref %+v fast %+v", gcfg, i, a.Addr, a.Kind, rr, fr)
+			}
+		}
+		if gref.Stats() != gfast.Stats() || gref.DirtyLines() != gfast.DirtyLines() {
+			t.Fatalf("%v final state diverged", gcfg)
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package fastsim
+
+import (
+	"math/bits"
+
+	"selftune/internal/cache"
+	"selftune/internal/trace"
+)
+
+// gline is one generic-cache line (tag, MRU timestamp, valid/dirty bits).
+type gline struct {
+	lastUse uint64
+	tag     uint32
+	valid   bool
+	dirty   bool
+}
+
+// GenericKernel is the fast replay kernel for the conventional
+// set-associative cache — the Figure 2 sweep geometries and the multilevel
+// L2. Like Kernel it replays one fixed geometry from cold. The zero value is
+// not usable; construct with NewGeneric.
+type GenericKernel struct {
+	// lines is the flat set-major line array, ways-contiguous within a set
+	// (the reference layout). The one allocation happens here, at
+	// construction; the replay loop allocates nothing.
+	lines    []gline
+	cfg      cache.GenericConfig
+	setShift uint32
+	setMask  uint32
+	ways     int
+	// spf is sublines per fill: line bytes in 16 B physical lines, the
+	// unit SublinesFilled and DirtyLines count in.
+	spf   uint64
+	clock uint64
+	stats cache.Stats
+}
+
+// NewGeneric returns a cold kernel with the given geometry.
+func NewGeneric(cfg cache.GenericConfig) (*GenericKernel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := &GenericKernel{
+		cfg:      cfg,
+		lines:    make([]gline, cfg.Sets()*cfg.Ways),
+		setShift: uint32(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint32(cfg.Sets() - 1),
+		ways:     cfg.Ways,
+		spf:      uint64((cfg.LineBytes + cache.PhysLineBytes - 1) / cache.PhysLineBytes),
+	}
+	// Sentinel tags let the direct-mapped loop fold the valid check into the
+	// tag compare: a real tag is at most addr>>setShift < 1<<28 (line bytes
+	// are at least 16), so all-ones can never match.
+	for i := range k.lines {
+		k.lines[i].tag = ^uint32(0)
+	}
+	return k, nil
+}
+
+// MustGeneric is NewGeneric that panics on an invalid geometry.
+func MustGeneric(cfg cache.GenericConfig) *GenericKernel {
+	k, err := NewGeneric(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Config returns the geometry.
+func (k *GenericKernel) Config() cache.GenericConfig { return k.cfg }
+
+// Stats returns the counters accumulated since the last ResetStats.
+func (k *GenericKernel) Stats() cache.Stats { return k.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (k *GenericKernel) ResetStats() { k.stats = cache.Stats{} }
+
+// ReplayBatch replays a block of accesses. Direct-mapped geometries (all of
+// the Figure 2 sweep) take a specialised single-probe loop; set-associative
+// ones transcribe the reference probe/LRU loop. Both are allocation-free.
+func (k *GenericKernel) ReplayBatch(accs []trace.Access) {
+	if k.ways == 1 {
+		k.replayDM(accs)
+		return
+	}
+	k.replayAssoc(accs)
+}
+
+// replayDM is the direct-mapped loop: one line probe, no LRU bookkeeping
+// (with a single way the replacement choice is forced, and timestamps are
+// unobservable through Stats and DirtyLines, the kernel's whole output).
+// Counters accumulate in registers and flush once per batch; the sentinel
+// tag makes the hit path a single compare.
+func (k *GenericKernel) replayDM(accs []trace.Access) {
+	lines := k.lines
+	shift := k.setShift
+	mask := k.setMask
+	var hits, writes, writebacks, fills uint64
+	for i := range accs {
+		addr := accs[i].Addr
+		write := accs[i].Kind == trace.DataWrite
+		if write {
+			writes++
+		}
+		tag := addr >> shift
+		l := &lines[tag&mask]
+		if l.tag == tag {
+			if write {
+				l.dirty = true
+			}
+			hits++
+			continue
+		}
+		if l.dirty { // invalid lines are never dirty
+			writebacks++
+		}
+		fills++
+		l.valid = true
+		l.dirty = write
+		l.tag = tag
+	}
+	st := &k.stats
+	n := uint64(len(accs))
+	st.Accesses += n
+	st.Writes += writes
+	st.Hits += hits
+	st.Misses += n - hits
+	st.Writebacks += writebacks
+	st.SublinesFilled += fills * k.spf
+}
+
+// replayAssoc is the set-associative loop, a transcription of
+// cache.Generic.Access (probe all ways in order; victim is the first
+// invalid way, else strict-LRU).
+func (k *GenericKernel) replayAssoc(accs []trace.Access) {
+	st := &k.stats
+	clock := k.clock
+	nw := k.ways
+	for i := range accs {
+		addr := accs[i].Addr
+		write := accs[i].Kind == trace.DataWrite
+		clock++
+		st.Accesses++
+		if write {
+			st.Writes++
+		}
+		tag := addr >> k.setShift
+		base := int(tag&k.setMask) * nw
+		ways := k.lines[base : base+nw]
+		victim := 0
+		var victimUse uint64 = ^uint64(0)
+		hit := false
+		for w := range ways {
+			l := &ways[w]
+			if l.valid && l.tag == tag {
+				l.lastUse = clock
+				if write {
+					l.dirty = true
+				}
+				st.Hits++
+				hit = true
+				break
+			}
+			if !l.valid {
+				if victimUse != 0 { // first invalid wins
+					victim, victimUse = w, 0
+				}
+				continue
+			}
+			if l.lastUse < victimUse {
+				victim, victimUse = w, l.lastUse
+			}
+		}
+		if hit {
+			continue
+		}
+		st.Misses++
+		l := &ways[victim]
+		if l.valid && l.dirty {
+			st.Writebacks++
+		}
+		l.valid = true
+		l.dirty = write
+		l.tag = tag
+		l.lastUse = clock
+		st.SublinesFilled += k.spf
+	}
+	k.clock = clock
+}
+
+// Access performs one read or write — the cache.Simulator contract — through
+// the same batched loop, reconstructing the reference AccessResult from the
+// counter deltas.
+func (k *GenericKernel) Access(addr uint32, write bool) cache.AccessResult {
+	before := k.stats
+	kind := trace.DataRead
+	if write {
+		kind = trace.DataWrite
+	}
+	buf := [1]trace.Access{{Addr: addr, Kind: kind}}
+	k.ReplayBatch(buf[:])
+	d := k.stats
+	return cache.AccessResult{
+		Hit:            d.Hits > before.Hits,
+		Writebacks:     int(d.Writebacks - before.Writebacks),
+		SublinesFilled: int(d.SublinesFilled - before.SublinesFilled),
+		WaysProbed:     k.ways,
+	}
+}
+
+// DirtyLines reports valid dirty lines at 16 B physical-line granularity,
+// matching the reference cache's drain accounting.
+func (k *GenericKernel) DirtyLines() int {
+	n := 0
+	for i := range k.lines {
+		if k.lines[i].valid && k.lines[i].dirty {
+			n += int(k.spf)
+		}
+	}
+	return n
+}
+
+var _ cache.Simulator = (*GenericKernel)(nil)

@@ -56,29 +56,40 @@ func Wrap[C comparable](m engine.Model[C], f *Measurement) engine.Model[C] {
 	// attempts tracks replay attempts per configuration so a re-measure
 	// draws fresh faults. Keyed per configuration (not globally), the
 	// attempt sequence is private to each configuration and therefore
-	// independent of sweep scheduling.
+	// independent of sweep scheduling. The reference and fast factories
+	// share the sequence — an engine uses exactly one of them per replay,
+	// and the kernels are bit-identical, so either factory's attempt N is
+	// the same reading.
 	var attempts sync.Map // config key -> *atomic.Int64
-	inner := m.Build
-	m.Build = func(cfg C) engine.Simulator {
-		key := fmt.Sprintf("%v", cfg)
-		c, _ := attempts.LoadOrStore(key, new(atomic.Int64))
-		attempt := c.(*atomic.Int64).Add(1)
-		r := NewRand(Derive(f.Seed, "measure", key, strconv.FormatInt(attempt, 10)))
-		s := &faultySim{inner: inner(cfg), saturateBits: f.SaturateBits}
-		if f.CrashRate > 0 && r.Float64() < f.CrashRate {
-			s.crashAfter = 1 + r.Intn(4096)
-		}
-		if f.StuckRate > 0 && r.Float64() < f.StuckRate {
-			s.stuck = true
-		}
-		if f.NoiseRate > 0 && r.Float64() < f.NoiseRate {
-			mag := f.NoiseMag
-			if mag == 0 {
-				mag = 0.25
+	wrap := func(inner engine.Factory[C]) engine.Factory[C] {
+		return func(cfg C) engine.Simulator {
+			key := fmt.Sprintf("%v", cfg)
+			c, _ := attempts.LoadOrStore(key, new(atomic.Int64))
+			attempt := c.(*atomic.Int64).Add(1)
+			r := NewRand(Derive(f.Seed, "measure", key, strconv.FormatInt(attempt, 10)))
+			s := &faultySim{inner: inner(cfg), saturateBits: f.SaturateBits}
+			if f.CrashRate > 0 && r.Float64() < f.CrashRate {
+				s.crashAfter = 1 + r.Intn(4096)
 			}
-			s.noise = 1 + (2*r.Float64()-1)*mag
+			if f.StuckRate > 0 && r.Float64() < f.StuckRate {
+				s.stuck = true
+			}
+			if f.NoiseRate > 0 && r.Float64() < f.NoiseRate {
+				mag := f.NoiseMag
+				if mag == 0 {
+					mag = 0.25
+				}
+				s.noise = 1 + (2*r.Float64()-1)*mag
+			}
+			return s
 		}
-		return s
+	}
+	m.Build = wrap(m.Build)
+	// The wrapper does not implement the engine's batch fast path, so a
+	// faulted fast kernel replays per access — injected crashes keep their
+	// per-access granularity either way.
+	if m.FastBuild != nil {
+		m.FastBuild = wrap(m.FastBuild)
 	}
 	return m
 }

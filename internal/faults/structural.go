@@ -80,6 +80,14 @@ func (p StructuralPlan) Wrap(m engine.Model[cache.Config], params *energy.Params
 		m.Build = func(cfg cache.Config) engine.Simulator {
 			return inner(p.Degrade(cfg))
 		}
+		// The fast kernel realises the same degraded configuration — the
+		// kernels are bit-identical per configuration, so the defect shows
+		// through either factory identically.
+		if innerFast := m.FastBuild; innerFast != nil {
+			m.FastBuild = func(cfg cache.Config) engine.Simulator {
+				return innerFast(p.Degrade(cfg))
+			}
+		}
 	}
 	if p.StuckOn >= 0 {
 		price := m.Price
