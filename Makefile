@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench bench-json check fuzz obs-smoke
+.PHONY: build test race vet bench bench-json check fuzz obs-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,19 @@ bench-json:
 obs-smoke:
 	bash scripts/obs_smoke.sh
 
+# End-to-end fleet smoke: stcd serving three sessions over the wire
+# protocol, metrics/allocator/explainer asserted (see scripts/fleet_smoke.sh).
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
+
 # go test runs one -fuzz pattern per invocation, so each target gets its own.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadDinero -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzStreamDecoder -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -run='^$$' -fuzz=FuzzFastSimVsReference -fuzztime=$(FUZZTIME) ./internal/fastsim/
+	$(GO) test -run='^$$' -fuzz=FuzzIngest -fuzztime=$(FUZZTIME) ./internal/fleet/
 
 # check is the tier-1 gate: build, vet, and the full test suite — which
 # includes the checkpoint round-trip/corruption-recovery tests and the

@@ -1,0 +1,256 @@
+// Command stcd is the multi-tenant face of the self-tuning cache: one
+// process running a fleet of tuning sessions, sharded across worker
+// goroutines, with namespaced crash-safe checkpoints, session-labelled
+// metrics, and an optional global capacity allocator that partitions a
+// shared byte budget across tenants by their measured miss-ratio curves.
+//
+// Serve mode (-serve) listens for fleet wire-protocol connections: each
+// client opens named sessions and streams their traces (the STRC trace
+// codec is the wire format), multiplexed over one connection. Sessions
+// checkpoint under -dir/sessions/<id> exactly as a solo tuned run would,
+// and a restarted stcd resumes each resubmitted session from its newest
+// valid checkpoint, discarding the re-streamed prefix. SIGINT/SIGTERM stop
+// accepting, drain live connections, persist every session's final state,
+// and exit.
+//
+// Client mode (-connect) replays one trace source into a serving stcd:
+// open a session, stream the trace, hang up. Run several clients to
+// populate a fleet.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"selftune/internal/daemon"
+	"selftune/internal/engine"
+	"selftune/internal/fleet"
+	"selftune/internal/obs"
+	"selftune/internal/programs"
+	"selftune/internal/trace"
+	"selftune/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	serve := flag.Bool("serve", false, "run the fleet server")
+	connect := flag.String("connect", "", "client mode: stream a trace to a serving stcd at this address")
+	addr := flag.String("addr", "127.0.0.1:8472", "ingest listen address (serve mode)")
+
+	dir := flag.String("dir", "", "fleet checkpoint root (empty disables persistence)")
+	shards := flag.Int("shards", 4, "worker shards sessions are distributed over")
+	queueDepth := flag.Int("queue-depth", 65536, "per-session bound on in-flight accesses")
+	shed := flag.Bool("shed", false, "drop batches instead of blocking when a session's queue is full (sacrifices bit-identical replay)")
+	window := flag.Uint64("window", 10_000, "accesses per measurement window")
+	every := flag.Uint64("checkpoint-every", 8, "persist a checkpoint every this many window boundaries")
+	keep := flag.Int("keep", 4, "checkpoint generations to retain per session")
+	phase := flag.Float64("phase-threshold", 0.02, "absolute miss-rate drift that triggers a re-tune")
+	watchdog := flag.Uint64("watchdog", 64, "abort a session that has not settled after this many windows")
+
+	allocBudget := flag.Int("alloc-budget", 0, "shared capacity budget in bytes partitioned across sessions (0 disables the allocator)")
+	allocUnit := flag.Int("alloc-unit", 2048, "allocation granularity in bytes")
+	allocEvery := flag.Int("alloc-every", 1, "re-run the allocation after this many fresh session profiles")
+	allocDP := flag.Bool("alloc-dp", false, "use the exact DP allocator instead of greedy marginal gain")
+
+	obsAddr := flag.String("obs-addr", "", "serve /healthz, /metrics and /debug/pprof on this address")
+	obsLog := flag.String("obs-log", "", "append JSONL telemetry to this file (filter per session with stcexplain -session)")
+
+	session := flag.String("session", "", "client mode: session ID to stream as")
+	wl := flag.String("workload", "", "client mode: synthetic profile to stream (see tuned -list)")
+	kernel := flag.String("kernel", "", "client mode: mini-VM kernel to stream instead")
+	traceFile := flag.String("trace", "", "client mode: recorded trace file to stream instead")
+	n := flag.Int("n", 2_000_000, "client mode: accesses to generate (synthetic profiles)")
+	chunk := flag.Int("chunk", 64<<10, "client mode: wire frame payload size in bytes")
+	fastsim := flag.Bool("fastsim", true, "replay through the fast kernels; -fastsim=false forces the reference path")
+	ofl := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	engine.SetFastSim(*fastsim)
+
+	switch {
+	case *serve && *connect != "":
+		return fmt.Errorf("pick one of -serve or -connect")
+	case *connect != "":
+		return client(*connect, *session, *wl, *kernel, *traceFile, *n, *chunk)
+	case !*serve:
+		return fmt.Errorf("pick -serve or -connect (see -help)")
+	}
+
+	recs := []obs.Recorder{ofl.Recorder(os.Stderr)}
+	if *obsLog != "" {
+		f, err := os.OpenFile(*obsLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		recs = append(recs, obs.NewJSONL(f))
+	}
+	rec := obs.Tee(recs...)
+	reg := obs.NewRegistry()
+
+	m, err := fleet.New(fleet.Options{
+		Shards:     *shards,
+		QueueDepth: *queueDepth,
+		Shed:       *shed,
+		Dir:        *dir,
+		Keep:       *keep,
+		Rec:        rec,
+		Reg:        reg,
+		Session: daemon.Options{
+			Window:          *window,
+			CheckpointEvery: *every,
+			PhaseThreshold:  *phase,
+			WatchdogWindows: *watchdog,
+		},
+		AllocBudgetBytes: *allocBudget,
+		AllocUnit:        *allocUnit,
+		AllocEvery:       *allocEvery,
+		AllocDP:          *allocDP,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *obsAddr != "" {
+		srv, laddr, errc, err := obs.Serve(*obsAddr, obs.NewMux(reg, func() obs.Health {
+			return obs.Health{Status: "ok", Values: map[string]float64{
+				"sessions": reg.Gauge("fleet_sessions").Value(),
+				"shards":   reg.Gauge("fleet_shards").Value(),
+			}}
+		}))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ofl.Notef(os.Stdout, "observability endpoints on http://%s/ (healthz, metrics, debug/pprof)\n", laddr)
+		go func() {
+			if serr := <-errc; serr != nil {
+				fmt.Fprintln(os.Stderr, "stcd: obs server:", serr)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ofl.Notef(os.Stdout, "fleet ingest on %s (%d shards)\n", ln.Addr(), *shards)
+
+	var conns sync.WaitGroup
+	go func() {
+		<-ctx.Done()
+		ln.Close() // unblocks Accept
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				break // shutting down
+			}
+			fmt.Fprintln(os.Stderr, "stcd: accept:", err)
+			continue
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			defer conn.Close()
+			if err := m.Ingest(conn); err != nil {
+				fmt.Fprintln(os.Stderr, "stcd: conn:", err)
+			}
+		}()
+	}
+
+	ofl.Notef(os.Stdout, "interrupted; draining connections and persisting sessions\n")
+	conns.Wait()
+	if err := m.Close(); err != nil {
+		return err
+	}
+	if plan := m.Plan(); plan != nil {
+		fmt.Printf("last allocation: %d/%d bytes assigned across %d sessions, %.1f expected misses/window\n",
+			plan.AssignedBytes, plan.TotalBytes, len(plan.Assignments), plan.TotalMisses)
+	}
+	return nil
+}
+
+// client streams one trace source into a serving stcd and hangs up; the
+// server persists the session's final state when the stream ends.
+func client(addr, session, wl, kernel, traceFile string, n, chunk int) error {
+	if session == "" {
+		return fmt.Errorf("client mode needs -session")
+	}
+	accs, err := pickStream(wl, kernel, traceFile, n)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	cw, err := fleet.NewConnWriter(conn)
+	if err != nil {
+		return err
+	}
+	if err := cw.Open(session); err != nil {
+		return err
+	}
+	// Render the trace to codec bytes and forward it in frames — the same
+	// path a client tailing a recorded trace file takes.
+	var enc bytes.Buffer
+	if err := trace.Encode(&enc, accs); err != nil {
+		return err
+	}
+	if err := cw.Stream(session, &enc, chunk); err != nil {
+		return err
+	}
+	if err := cw.Close(session); err != nil {
+		return err
+	}
+	fmt.Printf("streamed %d accesses as session %q\n", len(accs), session)
+	return nil
+}
+
+// pickStream loads the client's chosen trace source.
+func pickStream(wl, kernel, traceFile string, n int) ([]trace.Access, error) {
+	picked := 0
+	for _, s := range []string{wl, kernel, traceFile} {
+		if s != "" {
+			picked++
+		}
+	}
+	if picked != 1 {
+		return nil, fmt.Errorf("pick exactly one of -workload, -kernel or -trace")
+	}
+	switch {
+	case wl != "":
+		p, ok := workload.ByName(wl)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", wl)
+		}
+		return p.Generate(n), nil
+	case kernel != "":
+		k, ok := programs.ByName(kernel)
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q", kernel)
+		}
+		return k.Trace()
+	default:
+		return trace.OpenNonEmpty(traceFile)
+	}
+}

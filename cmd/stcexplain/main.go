@@ -6,9 +6,14 @@
 // deduplicated by their deterministic coordinates, so the story of a crashed
 // daemon reads identically to an uninterrupted one.
 //
-// Usage: stcexplain [-max-examined N] [events.jsonl]
+// Usage: stcexplain [-session SID] [-max-examined N] [events.jsonl]
 //
-// With no file argument the log is read from stdin. The exit status is
+// With no file argument the log is read from stdin. Fleet logs (stcd's
+// -obs-log) interleave many sessions, each event stamped with an "sid"
+// field: -session extracts one session's story, which — by the fleet's
+// determinism contract — is exactly the log a solo tuned run would have
+// written. A fleet log with a single session is unambiguous and needs no
+// flag; with several, stcexplain lists them and asks. The exit status is
 // non-zero when the log contains no search trajectory at all, or when
 // -max-examined is set and any session examined more configurations than
 // that — a regression gate for the paper's "examines ~5-7 of 27
@@ -34,6 +39,7 @@ func main() {
 
 func run() error {
 	maxExamined := flag.Int("max-examined", 0, "fail if any session examined more than this many configurations (0 disables)")
+	session := flag.String("session", "", "extract this session's story from a fleet log (sid stamp)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -53,6 +59,20 @@ func run() error {
 	evs, err := obs.ReadEvents(in)
 	if err != nil {
 		return err
+	}
+	if sids := obs.SessionIDs(evs); *session != "" || len(sids) > 0 {
+		switch {
+		case *session != "":
+			evs = obs.FilterSession(evs, *session)
+			if len(evs) == 0 {
+				return fmt.Errorf("no events for session %q (log has: %v)", *session, sids)
+			}
+		case len(sids) == 1:
+			// A fleet log with one session is unambiguous.
+			evs = obs.FilterSession(evs, sids[0])
+		default:
+			return fmt.Errorf("fleet log interleaves %d sessions %v; pick one with -session", len(sids), sids)
+		}
 	}
 	story := report.Explain(evs)
 	fmt.Print(story.String())

@@ -1,0 +1,176 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FleetStore namespaces many sessions' checkpoint generations under one
+// directory tree:
+//
+//	<dir>/manifest.json
+//	<dir>/sessions/<encoded-session-id>/ckpt-%08d.stck
+//
+// Each session gets its own Store, so the per-session durability contract —
+// atomic tmp+fsync+rename saves, corrupt-head fallback on load — is exactly
+// the single-daemon one; the fleet layer adds only the namespace and a
+// manifest listing every session ever opened (written with the same atomic
+// rename discipline). Session IDs are arbitrary strings; path-hostile ones
+// are hex-encoded, and the manifest records the original IDs.
+type FleetStore struct {
+	dir  string
+	keep int
+
+	mu       sync.Mutex
+	sessions map[string]bool // manifest contents
+}
+
+// manifest is the on-disk index of the fleet's sessions.
+type manifest struct {
+	Version  int
+	Sessions []string
+}
+
+const manifestVersion = 1
+
+// OpenFleetStore opens (creating if necessary) a fleet checkpoint tree. keep
+// is the per-session generation retention, as in OpenStore. The directory is
+// probed for writability so a misconfigured service fails at startup.
+func OpenFleetStore(dir string, keep int) (*FleetStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "sessions"), 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open fleet store: %w", err)
+	}
+	probe := filepath.Join(dir, ".writable.probe")
+	f, err := os.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: fleet store directory %s is not writable: %w", dir, err)
+	}
+	f.Close()
+	os.Remove(probe)
+
+	fs := &FleetStore{dir: dir, keep: keep, sessions: map[string]bool{}}
+	b, err := os.ReadFile(fs.manifestPath())
+	switch {
+	case err == nil:
+		var m manifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return nil, fmt.Errorf("checkpoint: fleet manifest: %w", err)
+		}
+		if m.Version != manifestVersion {
+			return nil, fmt.Errorf("checkpoint: fleet manifest version %d, want %d", m.Version, manifestVersion)
+		}
+		for _, id := range m.Sessions {
+			fs.sessions[id] = true
+		}
+	case os.IsNotExist(err):
+		// First boot: the manifest appears with the first session.
+	default:
+		return nil, fmt.Errorf("checkpoint: fleet manifest: %w", err)
+	}
+	return fs, nil
+}
+
+// Dir returns the fleet store's root directory.
+func (f *FleetStore) Dir() string { return f.dir }
+
+func (f *FleetStore) manifestPath() string { return filepath.Join(f.dir, "manifest.json") }
+
+// SessionDir returns the directory that holds one session's generations.
+func (f *FleetStore) SessionDir(id string) string {
+	return filepath.Join(f.dir, "sessions", encodeSessionID(id))
+}
+
+// Session opens (creating and registering in the manifest if necessary) the
+// per-session store for id. The returned Store is the ordinary single-daemon
+// one; a session resuming after process death loads from it exactly as
+// cmd/tuned does.
+func (f *FleetStore) Session(id string) (*Store, error) {
+	if id == "" {
+		return nil, fmt.Errorf("checkpoint: empty session id")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.sessions[id] {
+		f.sessions[id] = true
+		if err := f.writeManifestLocked(); err != nil {
+			delete(f.sessions, id)
+			return nil, err
+		}
+	}
+	return OpenStore(f.SessionDir(id), f.keep)
+}
+
+// Sessions lists every session the manifest knows, sorted.
+func (f *FleetStore) Sessions() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]string, 0, len(f.sessions))
+	for id := range f.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// writeManifestLocked persists the manifest atomically (tmp, fsync, rename,
+// directory fsync — the same discipline as Store.Save). Caller holds f.mu.
+func (f *FleetStore) writeManifestLocked() error {
+	ids := make([]string, 0, len(f.sessions))
+	for id := range f.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	b, err := json.MarshalIndent(manifest{Version: manifestVersion, Sessions: ids}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: fleet manifest: %w", err)
+	}
+	final := f.manifestPath()
+	tmp := final + ".tmp"
+	fh, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: fleet manifest: %w", err)
+	}
+	if _, err := fh.Write(b); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: fleet manifest: %w", err)
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: fleet manifest: fsync: %w", err)
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: fleet manifest: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: fleet manifest: %w", err)
+	}
+	return syncDir(f.dir)
+}
+
+// encodeSessionID maps an arbitrary session ID to a filesystem-safe
+// directory name, collision-free: plain IDs get an "s-" prefix, anything
+// with path-hostile bytes is hex-encoded under an "x-" prefix.
+func encodeSessionID(id string) string {
+	plain := len(id) > 0 && len(id) <= 128
+	for i := 0; plain && i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			plain = false
+		}
+	}
+	if plain {
+		return "s-" + id
+	}
+	return "x-" + fmt.Sprintf("%x", id)
+}

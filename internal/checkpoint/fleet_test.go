@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+func TestFleetStoreNamespacesSessions(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFleetStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"tenant-b", "tenant-a", "weird/../id"}
+	for _, id := range ids {
+		st, err := fs.Session(id)
+		if err != nil {
+			t.Fatalf("Session(%q): %v", id, err)
+		}
+		if _, err := st.Save(&State{Consumed: uint64(len(id))}); err != nil {
+			t.Fatalf("Save for %q: %v", id, err)
+		}
+	}
+	want := []string{"tenant-a", "tenant-b", "weird/../id"}
+	if got := fs.Sessions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sessions() = %v, want %v", got, want)
+	}
+
+	// Each session loads its own state back, per-session fallback intact.
+	for _, id := range ids {
+		st, err := fs.Session(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, _, err := st.Load()
+		if err != nil {
+			t.Fatalf("Load for %q: %v", id, err)
+		}
+		if loaded.Consumed != uint64(len(id)) {
+			t.Fatalf("session %q loaded consumed=%d, want %d", id, loaded.Consumed, len(id))
+		}
+	}
+
+	// A fresh open reads the manifest back.
+	fs2, err := OpenFleetStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs2.Sessions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened Sessions() = %v, want %v", got, want)
+	}
+
+	// The hostile ID must not have escaped the sessions subtree.
+	if _, err := os.Stat(fs.SessionDir("weird/../id")); err != nil {
+		t.Fatalf("encoded session dir missing: %v", err)
+	}
+}
+
+func TestFleetStoreRejectsEmptyID(t *testing.T) {
+	fs, err := OpenFleetStore(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Session(""); err == nil {
+		t.Fatal("empty session id accepted")
+	}
+}
+
+func TestEncodeSessionIDCollisionFree(t *testing.T) {
+	ids := []string{"a", "a/b", "a%2Fb", "x-61", "s-a", "..", ".", "A", "é"}
+	seen := map[string]string{}
+	for _, id := range ids {
+		enc := encodeSessionID(id)
+		if prev, dup := seen[enc]; dup {
+			t.Fatalf("IDs %q and %q both encode to %q", prev, id, enc)
+		}
+		seen[enc] = id
+	}
+}

@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestStoreGCKeepsNewest(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		if _, err := s.Save(&State{Consumed: i * 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s.GC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{1, 2, 3}; !reflect.DeepEqual(removed, want) {
+		t.Fatalf("GC removed %v, want %v", removed, want)
+	}
+	st, gen, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 6 || st.Consumed != 6000 {
+		t.Fatalf("after GC: loaded generation %d (consumed %d), want 6", gen, st.Consumed)
+	}
+	// Idempotent: nothing more to prune.
+	if removed, err := s.GC(3); err != nil || removed != nil {
+		t.Fatalf("second GC removed %v (err %v), want nothing", removed, err)
+	}
+}
+
+// TestStoreGCSparesFallbackWhenSurvivorsCorrupt pins the interaction with
+// the corrupt-head fallback: when every generation inside the keep window is
+// corrupt, GC must also retain the newest older generation that validates —
+// otherwise pruning would destroy exactly the file Load needs.
+func TestStoreGCSparesFallbackWhenSurvivorsCorrupt(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := s.Save(&State{Consumed: i * 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt generations 4 and 5 (the whole keep=2 window).
+	for _, gen := range []uint64{4, 5} {
+		b, err := os.ReadFile(s.Path(gen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)-1] ^= 0xff
+		if err := os.WriteFile(s.Path(gen), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s.GC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{1, 2}; !reflect.DeepEqual(removed, want) {
+		t.Fatalf("GC removed %v, want %v (generation 3 is the only valid fallback)", removed, want)
+	}
+	st, gen, err := s.Load()
+	if err != nil {
+		t.Fatalf("Load after GC with corrupt head: %v", err)
+	}
+	if gen != 3 || st.Consumed != 3000 {
+		t.Fatalf("recovered generation %d (consumed %d), want the spared fallback 3", gen, st.Consumed)
+	}
+}
+
+func TestOpenStoreRejectsUnwritableDir(t *testing.T) {
+	// A path component that is a regular file defeats MkdirAll regardless
+	// of privilege (root bypasses permission bits, so chmod alone is not a
+	// reliable probe in CI containers).
+	base := t.TempDir()
+	file := filepath.Join(base, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(filepath.Join(file, "ckpts"), 4); err == nil {
+		t.Fatal("OpenStore accepted a directory under a regular file")
+	}
+	if os.Geteuid() != 0 {
+		ro := filepath.Join(base, "ro")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenStore(ro, 4); err == nil {
+			t.Fatal("OpenStore accepted a read-only directory")
+		}
+	}
+}

@@ -25,6 +25,8 @@ const (
 // OpenStore opens (creating if necessary) a checkpoint directory. keep is
 // how many generations Save retains; at least 2, because keeping only the
 // generation being replaced would make every corrupt head unrecoverable.
+// The directory is probed for writability so an unwritable store fails the
+// daemon at startup, not at its first periodic save minutes later.
 func OpenStore(dir string, keep int) (*Store, error) {
 	if keep < 2 {
 		keep = 2
@@ -32,6 +34,13 @@ func OpenStore(dir string, keep int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: open store: %w", err)
 	}
+	probe := filepath.Join(dir, ".writable.probe")
+	f, err := os.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: store directory %s is not writable: %w", dir, err)
+	}
+	f.Close()
+	os.Remove(probe)
 	return &Store{dir: dir, keep: keep}, nil
 }
 
@@ -149,6 +158,60 @@ func (s *Store) Load() (*State, uint64, error) {
 		}
 	}
 	return nil, 0, fmt.Errorf("checkpoint: no valid checkpoint among %d generations (%v)", len(gens), firstErr)
+}
+
+// GC prunes old generations, keeping the newest keep (at least 2, matching
+// OpenStore). Pruning is corruption-aware: when none of the survivors
+// validates, the newest older generation that does validate is kept too, so
+// a GC run can never turn a store Load could recover into one it cannot —
+// the head being corrupt is exactly when the older files matter most.
+// Returns the generations removed.
+func (s *Store) GC(keep int) ([]uint64, error) {
+	if keep < 2 {
+		keep = 2
+	}
+	gens, err := s.generations()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) <= keep {
+		return nil, nil
+	}
+	valid := func(gen uint64) bool {
+		b, err := os.ReadFile(s.Path(gen))
+		if err != nil {
+			return false
+		}
+		_, err = Decode(b)
+		return err == nil
+	}
+	cut := len(gens) - keep
+	anySurvivorValid := false
+	for _, g := range gens[cut:] {
+		if valid(g) {
+			anySurvivorValid = true
+			break
+		}
+	}
+	if !anySurvivorValid {
+		// Walk older generations newest-first and spare the first that
+		// still validates (and everything newer than it, to keep the
+		// retained set contiguous).
+		for i := cut - 1; i >= 0; i-- {
+			if valid(gens[i]) {
+				cut = i
+				break
+			}
+		}
+	}
+	var removed []uint64
+	for _, g := range gens[:cut] {
+		if err := os.Remove(s.Path(g)); err != nil {
+			return removed, fmt.Errorf("checkpoint: gc: %w", err)
+		}
+		removed = append(removed, g)
+	}
+	return removed, nil
 }
 
 // syncDir makes a completed rename in dir durable.

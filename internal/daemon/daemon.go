@@ -1,13 +1,14 @@
 // Package daemon is the crash-safe, long-running face of the self-tuning
-// cache: it streams accesses from a trace source into a single configurable
-// cache, runs the paper's tuning heuristic over measurement windows,
-// re-tunes when the settled configuration's miss rate drifts (a phase
-// change), aborts a runaway session to the safe configuration, and — the
-// point of the package — checkpoints its complete state durably so that
-// being killed at any instant costs nothing but a little redone work.
+// cache. Session is the per-stream tuning loop — window accounting, the
+// paper's heuristic over measurement windows, miss-rate-drift re-tuning (a
+// phase change), watchdog fallback to the safe configuration, and boundary
+// snapshots. Daemon composes exactly one Session with a checkpoint.Store:
+// it persists the session's state durably so that being killed at any
+// instant costs nothing but a little redone work. The fleet manager
+// (internal/fleet) composes many Sessions instead, sharded across workers.
 //
 // The recovery model is replay from the last boundary: a checkpoint captures
-// the daemon at a measurement-window boundary (cache image, tuning-session
+// the session at a measurement-window boundary (cache image, tuning-session
 // transcript, consumed-access count, phase counters). On restart the daemon
 // skips the consumed prefix of the stream and continues; because the cache
 // and the heuristic are deterministic, the continuation is bit-identical to
@@ -18,7 +19,6 @@ package daemon
 import (
 	"context"
 	"fmt"
-	"log/slog"
 
 	"selftune/internal/cache"
 	"selftune/internal/checkpoint"
@@ -28,7 +28,7 @@ import (
 	"selftune/internal/tuner"
 )
 
-// Options configures a Daemon.
+// Options configures a Daemon (and, persistence fields aside, a Session).
 type Options struct {
 	// Params is the energy model; nil uses DefaultParams.
 	Params *energy.Params
@@ -37,6 +37,7 @@ type Options struct {
 	Window uint64
 	// Dir is the checkpoint directory; "" disables persistence (the
 	// daemon still builds boundary snapshots, it just never writes them).
+	// Opening an unwritable directory fails at startup.
 	Dir string
 	// CheckpointEvery persists a snapshot every this many window
 	// boundaries. Default 8. Kills between persists lose at most that
@@ -96,111 +97,51 @@ func (o *Options) fill() {
 	}
 }
 
-// Daemon is one self-tuning cache with durable state.
+// Daemon is one self-tuning cache with durable state: a Session plus the
+// persistence cadence over its boundary snapshots.
 type Daemon struct {
 	opts  Options
 	store *checkpoint.Store // nil when persistence is disabled
+	sess  *Session
 
-	cache   *cache.Configurable
-	session *tuner.Online       // nil once settled
-	settled *checkpoint.Outcome // nil while the first session runs
-
-	consumed       uint64 // accesses taken from the stream
-	windows        uint64 // lifetime measurement windows
-	retunes        uint64
-	sessionWindows uint64 // windows in the current session (watchdog)
-
-	// Phase detector, active only while settled.
-	baselined       bool
-	baseline        float64
-	winAcc, winMiss uint64
-
-	// events is the decision log, capped at opts.MaxEvents by dropping
-	// from the front; eventsDropped counts what the cap discarded and is
-	// checkpointed alongside, so a resumed daemon's log and drop count
-	// match an unkilled one's exactly.
-	events        []checkpoint.Event
-	eventsDropped uint64
-
-	rec         obs.Recorder
+	boundaries  uint64 // boundary snapshots since the last persist
 	checkpoints uint64 // snapshots persisted this process lifetime
-
-	// pending is the snapshot built at the most recent boundary; Close
-	// persists it so a graceful shutdown loses nothing. boundaries
-	// counts boundary snapshots since the last persist.
-	pending    *checkpoint.State
-	boundaries uint64
-	recovered  bool
 }
 
 // New builds a daemon, recovering from the newest valid checkpoint in
 // opts.Dir when one exists (falling back past corrupt generations) and
-// starting fresh otherwise.
+// starting fresh otherwise. Old generations beyond opts.Keep are pruned at
+// startup (Store.GC), which never removes the last loadable generation.
 func New(opts Options) (*Daemon, error) {
 	opts.fill()
-	d := &Daemon{opts: opts, rec: obs.OrNop(opts.Rec)}
+	d := &Daemon{opts: opts}
 	if opts.Dir != "" {
 		st, err := checkpoint.OpenStore(opts.Dir, opts.Keep)
 		if err != nil {
 			return nil, err
 		}
 		d.store = st
+		if _, err := st.GC(opts.Keep); err != nil {
+			return nil, err
+		}
 		snap, gen, err := st.Load()
 		if err != nil {
 			return nil, err
 		}
 		if snap != nil {
-			if err := d.restore(snap); err != nil {
+			s, err := ResumeSession(opts, snap)
+			if err != nil {
 				return nil, err
 			}
-			d.emit("daemon.recover", d.cache.Config().String(),
-				slog.Uint64("generation", gen),
-				slog.Bool("tuning", d.session != nil))
+			d.sess = s
+			s.NoteRecovered(gen)
 			d.gauges()
 			return d, nil
 		}
 	}
-	d.cache = cache.MustConfigurable(cache.MinConfig())
-	d.session = d.newSession()
+	d.sess = NewSession(opts)
 	d.gauges()
 	return d, nil
-}
-
-// newSession starts a tuning session on the live cache, threading the
-// telemetry seam through: the session ordinal is the re-tune count, so a
-// resumed daemon's sessions keep their coordinates.
-func (d *Daemon) newSession() *tuner.Online {
-	return tuner.NewOnlineObserved(d.cache, d.opts.Params, d.opts.Window, d.opts.Meter, d.opts.Rec, d.retunes)
-}
-
-// emit records one daemon event. Coordinates are deterministic stream
-// positions (session = re-tune ordinal, window = lifetime measurement-window
-// count, step = consumed-access position), never wall-clock, so a
-// killed-and-resumed daemon re-emits identical events for the windows it
-// re-executes and deduplication by coordinates reconstructs the
-// uninterrupted log.
-func (d *Daemon) emit(name, cfg string, fields ...slog.Attr) {
-	if !d.rec.Enabled() {
-		return
-	}
-	d.rec.Record(obs.Event{
-		Name:    name,
-		Session: d.retunes,
-		Window:  d.windows,
-		Step:    d.consumed,
-		Config:  cfg,
-		Fields:  append([]slog.Attr{slog.Uint64("at", d.consumed)}, fields...),
-	})
-}
-
-// appendEvent adds one entry to the decision log and enforces the cap.
-func (d *Daemon) appendEvent(ev checkpoint.Event) {
-	d.events = append(d.events, ev)
-	if max := d.opts.MaxEvents; max > 0 && len(d.events) > max {
-		drop := len(d.events) - max
-		d.eventsDropped += uint64(drop)
-		d.events = append(d.events[:0], d.events[drop:]...)
-	}
 }
 
 // gauges refreshes the registry's view of the daemon. Gauge stores are
@@ -210,218 +151,51 @@ func (d *Daemon) gauges() {
 	if reg == nil {
 		return
 	}
-	reg.Gauge("daemon_consumed_accesses").Set(float64(d.consumed))
-	reg.Gauge("daemon_windows_total").Set(float64(d.windows))
-	reg.Gauge("daemon_retunes_total").Set(float64(d.retunes))
+	s := d.sess
+	reg.Gauge("daemon_consumed_accesses").Set(float64(s.consumed))
+	reg.Gauge("daemon_windows_total").Set(float64(s.windows))
+	reg.Gauge("daemon_retunes_total").Set(float64(s.retunes))
 	reg.Gauge("daemon_checkpoints_total").Set(float64(d.checkpoints))
-	reg.Gauge("daemon_events_dropped_total").Set(float64(d.eventsDropped))
+	reg.Gauge("daemon_events_dropped_total").Set(float64(s.eventsDropped))
 	tuning := 0.0
-	if d.session != nil {
+	if s.search != nil {
 		tuning = 1
 	}
 	reg.Gauge("daemon_tuning").Set(tuning)
-	if d.baselined {
-		reg.Gauge("daemon_baseline_miss_rate").Set(d.baseline)
+	if s.baselined {
+		reg.Gauge("daemon_baseline_miss_rate").Set(s.baseline)
 	}
-}
-
-// restore rebuilds the live state from a checkpoint.
-func (d *Daemon) restore(st *checkpoint.State) error {
-	c, err := cache.RestoreConfigurable(st.Cache)
-	if err != nil {
-		return fmt.Errorf("daemon: recover: %w", err)
-	}
-	d.cache = c
-	if st.Session != nil {
-		s, err := tuner.ResumeOnlineObserved(c, d.opts.Params, st.Session.TunerState(), d.opts.Meter, d.opts.Rec, st.Retunes)
-		if err != nil {
-			return fmt.Errorf("daemon: recover: %w", err)
-		}
-		d.session = s
-	}
-	d.settled = st.Settled
-	d.consumed = st.Consumed
-	d.windows = st.Windows
-	d.retunes = st.Retunes
-	d.sessionWindows = st.SessionWindows
-	d.baselined = st.Baselined
-	d.baseline = st.Baseline
-	d.winAcc, d.winMiss = st.WinAcc, st.WinMiss
-	d.events = append([]checkpoint.Event(nil), st.Events...)
-	d.eventsDropped = st.EventsDropped
-	d.pending = st
-	d.recovered = true
-	return nil
 }
 
 // Recovered reports whether this daemon resumed from a checkpoint.
-func (d *Daemon) Recovered() bool { return d.recovered }
+func (d *Daemon) Recovered() bool { return d.sess.Recovered() }
 
 // Step feeds one access. The error is a persistence failure (snapshots that
 // cannot be written must not pass silently); the access itself always
 // completes.
 func (d *Daemon) Step(addr uint32, write bool) error {
-	d.consumed++
-	if d.session != nil {
-		before := d.session.CompletedWindows()
-		d.session.Access(addr, write)
-		if w := d.session.CompletedWindows(); w != before {
-			d.windows++
-			d.sessionWindows++
-		}
-		if d.session.Done() {
-			d.settle()
-			return d.boundary()
-		}
-		if d.session.CompletedWindows() != before {
-			if d.sessionWindows >= d.opts.WatchdogWindows {
-				d.watchdog()
-			}
-			return d.boundary()
-		}
-		return nil
-	}
-
-	// Settled: serve the access and watch for a phase change.
-	r := d.cache.Access(addr, write)
-	d.winAcc++
-	if !r.Hit {
-		d.winMiss++
-	}
-	if d.winAcc < d.opts.Window {
-		return nil
-	}
-	mr := float64(d.winMiss) / float64(d.winAcc)
-	d.winAcc, d.winMiss = 0, 0
-	if !d.baselined {
-		// First full window after settling fixes the baseline the drift
-		// is measured against.
-		d.baselined = true
-		d.baseline = mr
-		d.emit("daemon.window", d.cache.Config().String(),
-			slog.Float64("miss_rate", mr), slog.Bool("baseline", true))
-		return d.boundary()
-	}
-	drift := mr - d.baseline
-	if drift < 0 {
-		drift = -drift
-	}
-	d.emit("daemon.window", d.cache.Config().String(),
-		slog.Float64("miss_rate", mr),
-		slog.Float64("baseline_rate", d.baseline),
-		slog.Float64("drift", drift))
-	if drift > d.opts.PhaseThreshold {
-		d.emit("daemon.drift", d.cache.Config().String(),
-			slog.Float64("miss_rate", mr),
-			slog.Float64("baseline_rate", d.baseline),
-			slog.Float64("drift", drift),
-			slog.Float64("threshold", d.opts.PhaseThreshold))
-		d.retune()
-	}
-	return d.boundary()
+	_, err := d.step(addr, write)
+	return err
 }
 
-// settle records a finished session's outcome and switches to observing.
-func (d *Daemon) settle() {
-	res := d.session.Result()
-	d.settled = &checkpoint.Outcome{
-		Cfg:      res.Best.Cfg,
-		Energy:   res.Best.Energy,
-		Degraded: res.Degraded,
-		SettleWB: d.session.SettleWritebacks(),
-		At:       d.consumed,
+// step is Step reporting whether a window boundary was crossed (the drain
+// loop in Run needs to see boundaries).
+func (d *Daemon) step(addr uint32, write bool) (bool, error) {
+	boundary, err := d.sess.Step(addr, write)
+	if err != nil || !boundary {
+		return boundary, err
 	}
-	kind := "settle"
-	if res.Degraded {
-		kind = "degraded"
-	}
-	d.appendEvent(checkpoint.Event{At: d.consumed, Kind: kind, Cfg: res.Best.Cfg, Energy: res.Best.Energy})
-	d.emit("daemon."+kind, res.Best.Cfg.String(),
-		slog.Float64("energy", res.Best.Energy),
-		slog.Int("examined", res.NumExamined()),
-		slog.Uint64("settle_writebacks", d.session.SettleWritebacks()))
-	d.session.Close()
-	d.session = nil
-	d.sessionWindows = 0
-	d.baselined = false
-	d.winAcc, d.winMiss = 0, 0
-}
-
-// retune starts a fresh session on the live cache (the search restarts from
-// the smallest configuration, as the on-chip tuner would).
-func (d *Daemon) retune() {
-	d.retunes++
-	d.appendEvent(checkpoint.Event{At: d.consumed, Kind: "retune", Cfg: d.cache.Config()})
-	d.emit("daemon.retune", d.cache.Config().String())
-	d.settled = nil
-	d.sessionWindows = 0
-	d.session = d.newSession()
-}
-
-// watchdog aborts a session that failed to settle within the window budget
-// and parks the cache on SafeConfig — a wedged search must not hold the
-// cache at whatever half-swept configuration it was probing.
-func (d *Daemon) watchdog() {
-	d.session.Close()
-	d.session = nil
-	safe := tuner.SafeConfig()
-	d.cache.AllowShrink = true
-	if err := d.cache.SetConfig(safe); err != nil {
-		panic("daemon: safe-config transition rejected: " + err.Error())
-	}
-	d.cache.AllowShrink = false
-	d.settled = &checkpoint.Outcome{Cfg: safe, Degraded: true, At: d.consumed}
-	d.appendEvent(checkpoint.Event{At: d.consumed, Kind: "watchdog", Cfg: safe})
-	d.emit("daemon.watchdog", safe.String(),
-		slog.Uint64("session_windows", d.sessionWindows),
-		slog.Uint64("budget", d.opts.WatchdogWindows))
-	d.sessionWindows = 0
-	d.baselined = false
-	d.winAcc, d.winMiss = 0, 0
-}
-
-// boundary builds the snapshot for the boundary just reached and persists it
-// every CheckpointEvery boundaries.
-func (d *Daemon) boundary() error {
-	img, err := d.cache.Image()
-	if err != nil {
-		return fmt.Errorf("daemon: %w", err)
-	}
-	st := &checkpoint.State{
-		Consumed:       d.consumed,
-		Windows:        d.windows,
-		Retunes:        d.retunes,
-		Cache:          img,
-		Settled:        d.settled,
-		Baselined:      d.baselined,
-		Baseline:       d.baseline,
-		WinAcc:         d.winAcc,
-		WinMiss:        d.winMiss,
-		SessionWindows: d.sessionWindows,
-		Events:         append([]checkpoint.Event(nil), d.events...),
-		EventsDropped:  d.eventsDropped,
-	}
-	if d.session != nil {
-		ss, err := d.session.Snapshot()
-		if err != nil {
-			return fmt.Errorf("daemon: %w", err)
-		}
-		st.Session = checkpoint.WireSession(ss)
-	}
-	d.pending = st
 	d.boundaries++
 	if d.store != nil && d.boundaries >= d.opts.CheckpointEvery {
-		if err := d.persist(st); err != nil {
-			return err
+		if err := d.persist(d.sess.Pending()); err != nil {
+			return true, err
 		}
 	}
 	d.gauges()
-	return nil
+	return true, nil
 }
 
-// persist writes one snapshot and records the act (a lifecycle event, not a
-// decision: its generation number depends on how often this process has
-// saved, so it is excluded from the crash-equivalence comparison).
+// persist writes one snapshot and records the act.
 func (d *Daemon) persist(st *checkpoint.State) error {
 	gen, err := d.store.Save(st)
 	if err != nil {
@@ -429,29 +203,27 @@ func (d *Daemon) persist(st *checkpoint.State) error {
 	}
 	d.boundaries = 0
 	d.checkpoints++
-	d.emit("daemon.checkpoint", d.cache.Config().String(),
-		slog.Uint64("generation", gen))
+	d.sess.NoteCheckpoint(gen)
 	return nil
 }
 
 // Run streams src into the daemon until the stream ends or ctx is
 // cancelled. src must yield the trace from its beginning: Run discards the
 // prefix a previous life already consumed, which is what makes a restarted
-// daemon continue rather than start over. On cancellation it returns
-// ctx.Err() after Close has persisted the final snapshot.
+// daemon continue rather than start over. On cancellation the daemon drains
+// the in-flight measurement window to its boundary first (at most ~1.25
+// windows of accesses), so the final persisted checkpoint covers every
+// consumed access, then returns ctx.Err().
 func (d *Daemon) Run(ctx context.Context, src trace.Source) error {
-	for skip := d.consumed; skip > 0; skip-- {
+	for skip := d.sess.Consumed(); skip > 0; skip-- {
 		if _, ok := src.Next(); !ok {
-			return fmt.Errorf("daemon: stream ends at %d accesses but the checkpoint consumed %d", d.consumed-skip, d.consumed)
+			return fmt.Errorf("daemon: stream ends at %d accesses but the checkpoint consumed %d", d.sess.Consumed()-skip, d.sess.Consumed())
 		}
 	}
 	n := 0
 	for {
 		if n&0xfff == 0 && ctx.Err() != nil {
-			if err := d.Close(); err != nil {
-				return err
-			}
-			return ctx.Err()
+			return d.drain(ctx, src)
 		}
 		a, ok := src.Next()
 		if !ok {
@@ -464,18 +236,37 @@ func (d *Daemon) Run(ctx context.Context, src trace.Source) error {
 	}
 }
 
+// drain finishes the in-flight measurement window after a cancellation:
+// shutting down mid-window would persist the last boundary and replay the
+// partial window on restart — correct, but wasteful — so the daemon keeps
+// consuming until the next boundary (or the stream's end) and only then
+// takes the final snapshot.
+func (d *Daemon) drain(ctx context.Context, src trace.Source) error {
+	for !d.sess.AtBoundary() {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		if _, err := d.step(a.Addr, a.IsWrite()); err != nil {
+			return err
+		}
+	}
+	if err := d.Close(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
 // Close persists the most recent boundary snapshot (so a graceful shutdown
 // resumes exactly where it stopped, losing at most the partial window after
 // the boundary) and releases the session goroutine. Safe to call more than
 // once.
 func (d *Daemon) Close() error {
 	var err error
-	if d.store != nil && d.pending != nil && d.boundaries > 0 {
-		err = d.persist(d.pending)
+	if d.store != nil && d.sess.Pending() != nil && d.boundaries > 0 {
+		err = d.persist(d.sess.Pending())
 	}
-	if d.session != nil {
-		d.session.Close()
-	}
+	d.sess.Close()
 	return err
 }
 
@@ -483,40 +274,37 @@ func (d *Daemon) Close() error {
 // harness's stand-in for SIGKILL. Durable state stays whatever the periodic
 // checkpoints already wrote; only the in-process search goroutine is
 // released (a real kill would take it down with the process).
-func (d *Daemon) Kill() {
-	if d.session != nil {
-		d.session.Close()
-		d.session = nil
-	}
-}
+func (d *Daemon) Kill() { d.sess.Kill() }
+
+// Session exposes the daemon's stream loop (for status beyond the
+// delegating accessors below).
+func (d *Daemon) Session() *Session { return d.sess }
 
 // Consumed is the number of accesses taken from the stream.
-func (d *Daemon) Consumed() uint64 { return d.consumed }
+func (d *Daemon) Consumed() uint64 { return d.sess.Consumed() }
 
 // Windows is the lifetime count of completed measurement windows.
-func (d *Daemon) Windows() uint64 { return d.windows }
+func (d *Daemon) Windows() uint64 { return d.sess.Windows() }
 
 // Retunes counts tuning sessions started after the first.
-func (d *Daemon) Retunes() uint64 { return d.retunes }
+func (d *Daemon) Retunes() uint64 { return d.sess.Retunes() }
 
 // Tuning reports whether a search is currently running.
-func (d *Daemon) Tuning() bool { return d.session != nil }
+func (d *Daemon) Tuning() bool { return d.sess.Tuning() }
 
 // Config is the cache's current configuration.
-func (d *Daemon) Config() cache.Config { return d.cache.Config() }
+func (d *Daemon) Config() cache.Config { return d.sess.Config() }
 
 // Settled is the outcome in force, nil while searching.
-func (d *Daemon) Settled() *checkpoint.Outcome { return d.settled }
+func (d *Daemon) Settled() *checkpoint.Outcome { return d.sess.Settled() }
 
 // Events returns the decision log so far (the newest MaxEvents entries;
 // see EventsDropped for what the cap discarded).
-func (d *Daemon) Events() []checkpoint.Event {
-	return append([]checkpoint.Event(nil), d.events...)
-}
+func (d *Daemon) Events() []checkpoint.Event { return d.sess.Events() }
 
 // EventsDropped counts decision-log entries discarded by the MaxEvents cap
 // over the daemon's lifetime (surviving kill/resume via the checkpoint).
-func (d *Daemon) EventsDropped() uint64 { return d.eventsDropped }
+func (d *Daemon) EventsDropped() uint64 { return d.sess.EventsDropped() }
 
 // Stats exposes the cache's counters (for status reporting).
-func (d *Daemon) Stats() cache.Stats { return d.cache.Stats() }
+func (d *Daemon) Stats() cache.Stats { return d.sess.Stats() }

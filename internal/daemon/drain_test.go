@@ -1,0 +1,77 @@
+package daemon
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"selftune/internal/checkpoint"
+	"selftune/internal/trace"
+	"selftune/internal/workload"
+)
+
+// TestRunDrainsInFlightWindowOnCancel pins the graceful-shutdown contract:
+// after a cancellation the final persisted checkpoint sits at a measurement
+// window boundary covering every consumed access — the in-flight window is
+// drained, not thrown away for the next life to replay.
+func TestRunDrainsInFlightWindowOnCancel(t *testing.T) {
+	prof, _ := workload.ByName("crc")
+	_, accs := trace.Split(trace.NewSliceSource(prof.Generate(400_000)))
+
+	dir := t.TempDir()
+	d, err := New(Options{Window: 2_000, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step partway into the first measurement window, so a window is
+	// genuinely in flight when the cancelled Run takes over.
+	for i := 0; i < 500; i++ {
+		if err := d.Step(accs[i].Addr, accs[i].IsWrite()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Session().AtBoundary() {
+		t.Fatal("test setup: expected to be mid-window after 500 accesses")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.Run(ctx, trace.NewSliceSource(accs)); err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if d.Consumed() <= 500 {
+		t.Fatalf("drain consumed nothing beyond the cancel point (%d accesses); the in-flight window was not finished", d.Consumed())
+	}
+	if !d.Session().AtBoundary() {
+		t.Fatal("daemon stopped mid-window despite a draining shutdown")
+	}
+
+	store, err := checkpoint.OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("no checkpoint persisted by the draining shutdown")
+	}
+	if st.Consumed != d.Consumed() {
+		t.Fatalf("checkpoint covers %d accesses but the daemon consumed %d: the in-flight window was lost", st.Consumed, d.Consumed())
+	}
+}
+
+// TestNewFailsOnUnwritableCheckpointDir pins that a bad -dir surfaces at
+// startup (daemon construction), not minutes later at the first periodic
+// persist.
+func TestNewFailsOnUnwritableCheckpointDir(t *testing.T) {
+	// A regular file where a directory must go defeats MkdirAll for any
+	// privilege level.
+	dir := t.TempDir() + "/occupied"
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Dir: dir + "/ckpts"}); err == nil {
+		t.Fatal("New accepted an unusable checkpoint directory")
+	}
+}

@@ -1,0 +1,412 @@
+package daemon
+
+import (
+	"fmt"
+	"log/slog"
+
+	"selftune/internal/cache"
+	"selftune/internal/checkpoint"
+	"selftune/internal/obs"
+	"selftune/internal/trace"
+	"selftune/internal/tuner"
+)
+
+// Session is one self-tuning cache's stream loop: window accounting, the
+// tuning search, miss-rate-drift re-tuning, the watchdog, and boundary
+// snapshots — everything Daemon does except persistence. It exists so one
+// process can run many: the fleet manager (internal/fleet) multiplexes
+// Sessions across worker shards, while Daemon composes exactly one Session
+// with a checkpoint.Store for the single-stream cmd/tuned. A Session is not
+// safe for concurrent use; its owner serialises Step calls.
+//
+// Persistence stays outside: Step reports when a measurement-window boundary
+// was reached and the boundary snapshot rebuilt (Pending), and the owner
+// decides when to write it. Options.Dir, CheckpointEvery, Keep and Reg are
+// ignored at this layer.
+type Session struct {
+	opts Options
+
+	cache   *cache.Configurable
+	search  *tuner.Online       // nil once settled
+	settled *checkpoint.Outcome // nil while the first session runs
+
+	consumed       uint64 // accesses taken from the stream
+	windows        uint64 // lifetime measurement windows
+	retunes        uint64
+	sessionWindows uint64 // windows in the current search (watchdog)
+
+	// Phase detector, active only while settled.
+	baselined       bool
+	baseline        float64
+	winAcc, winMiss uint64
+
+	// events is the decision log, capped at opts.MaxEvents by dropping
+	// from the front; eventsDropped counts what the cap discarded and is
+	// checkpointed alongside, so a resumed session's log and drop count
+	// match an uninterrupted one's exactly.
+	events        []checkpoint.Event
+	eventsDropped uint64
+
+	rec obs.Recorder
+
+	// pending is the snapshot built at the most recent boundary; the
+	// owner persists it so a graceful shutdown loses nothing.
+	pending   *checkpoint.State
+	recovered bool
+
+	// lastResult is the most recent completed search (the examined
+	// configurations are the fleet allocator's miss-ratio-curve raw
+	// material); hasResult distinguishes it from the zero value.
+	lastResult tuner.SearchResult
+	hasResult  bool
+}
+
+// NewSession starts a fresh stream loop. opts is filled with the same
+// defaults as Daemon's; its persistence fields are ignored here.
+func NewSession(opts Options) *Session {
+	opts.fill()
+	s := &Session{opts: opts, rec: obs.OrNop(opts.Rec)}
+	s.cache = cache.MustConfigurable(cache.MinConfig())
+	s.search = s.newSearch()
+	return s
+}
+
+// ResumeSession rebuilds the stream loop from a checkpoint. The caller
+// obtained st from a checkpoint.Store (or FleetStore) load; determinism of
+// the cache image plus the search transcript makes the continuation
+// bit-identical to a session that never died.
+func ResumeSession(opts Options, st *checkpoint.State) (*Session, error) {
+	opts.fill()
+	s := &Session{opts: opts, rec: obs.OrNop(opts.Rec)}
+	c, err := cache.RestoreConfigurable(st.Cache)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: recover: %w", err)
+	}
+	s.cache = c
+	if st.Session != nil {
+		o, err := tuner.ResumeOnlineObserved(c, opts.Params, st.Session.TunerState(), opts.Meter, opts.Rec, st.Retunes)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: recover: %w", err)
+		}
+		s.search = o
+	}
+	s.settled = st.Settled
+	s.consumed = st.Consumed
+	s.windows = st.Windows
+	s.retunes = st.Retunes
+	s.sessionWindows = st.SessionWindows
+	s.baselined = st.Baselined
+	s.baseline = st.Baseline
+	s.winAcc, s.winMiss = st.WinAcc, st.WinMiss
+	s.events = append([]checkpoint.Event(nil), st.Events...)
+	s.eventsDropped = st.EventsDropped
+	s.pending = st
+	s.recovered = true
+	return s, nil
+}
+
+// newSearch starts a tuning search on the live cache, threading the
+// telemetry seam through: the session ordinal is the re-tune count, so a
+// resumed session's searches keep their coordinates.
+func (s *Session) newSearch() *tuner.Online {
+	return tuner.NewOnlineObserved(s.cache, s.opts.Params, s.opts.Window, s.opts.Meter, s.opts.Rec, s.retunes)
+}
+
+// emit records one session event. Coordinates are deterministic stream
+// positions (session = re-tune ordinal, window = lifetime measurement-window
+// count, step = consumed-access position), never wall-clock, so a
+// killed-and-resumed session re-emits identical events for the windows it
+// re-executes and deduplication by coordinates reconstructs the
+// uninterrupted log.
+func (s *Session) emit(name, cfg string, fields ...slog.Attr) {
+	if !s.rec.Enabled() {
+		return
+	}
+	s.rec.Record(obs.Event{
+		Name:    name,
+		Session: s.retunes,
+		Window:  s.windows,
+		Step:    s.consumed,
+		Config:  cfg,
+		Fields:  append([]slog.Attr{slog.Uint64("at", s.consumed)}, fields...),
+	})
+}
+
+// appendEvent adds one entry to the decision log and enforces the cap.
+func (s *Session) appendEvent(ev checkpoint.Event) {
+	s.events = append(s.events, ev)
+	if max := s.opts.MaxEvents; max > 0 && len(s.events) > max {
+		drop := len(s.events) - max
+		s.eventsDropped += uint64(drop)
+		s.events = append(s.events[:0], s.events[drop:]...)
+	}
+}
+
+// Step feeds one access. boundary reports that a measurement-window boundary
+// was reached and Pending rebuilt — the owner's cue to consider persisting.
+// The error is a snapshot-construction failure; the access itself always
+// completes.
+func (s *Session) Step(addr uint32, write bool) (boundary bool, err error) {
+	s.consumed++
+	if s.search != nil {
+		before := s.search.CompletedWindows()
+		s.search.Access(addr, write)
+		if w := s.search.CompletedWindows(); w != before {
+			s.windows++
+			s.sessionWindows++
+		}
+		if s.search.Done() {
+			s.settle()
+			return true, s.boundary()
+		}
+		if s.search.CompletedWindows() != before {
+			if s.sessionWindows >= s.opts.WatchdogWindows {
+				s.watchdog()
+			}
+			return true, s.boundary()
+		}
+		return false, nil
+	}
+
+	// Settled: serve the access and watch for a phase change.
+	r := s.cache.Access(addr, write)
+	s.winAcc++
+	if !r.Hit {
+		s.winMiss++
+	}
+	if s.winAcc < s.opts.Window {
+		return false, nil
+	}
+	mr := float64(s.winMiss) / float64(s.winAcc)
+	s.winAcc, s.winMiss = 0, 0
+	if !s.baselined {
+		// First full window after settling fixes the baseline the drift
+		// is measured against.
+		s.baselined = true
+		s.baseline = mr
+		s.emit("daemon.window", s.cache.Config().String(),
+			slog.Float64("miss_rate", mr), slog.Bool("baseline", true))
+		return true, s.boundary()
+	}
+	drift := mr - s.baseline
+	if drift < 0 {
+		drift = -drift
+	}
+	s.emit("daemon.window", s.cache.Config().String(),
+		slog.Float64("miss_rate", mr),
+		slog.Float64("baseline_rate", s.baseline),
+		slog.Float64("drift", drift))
+	if drift > s.opts.PhaseThreshold {
+		s.emit("daemon.drift", s.cache.Config().String(),
+			slog.Float64("miss_rate", mr),
+			slog.Float64("baseline_rate", s.baseline),
+			slog.Float64("drift", drift),
+			slog.Float64("threshold", s.opts.PhaseThreshold))
+		s.retune()
+	}
+	return true, s.boundary()
+}
+
+// settle records a finished search's outcome and switches to observing.
+func (s *Session) settle() {
+	res := s.search.Result()
+	s.lastResult = res
+	s.hasResult = true
+	s.settled = &checkpoint.Outcome{
+		Cfg:      res.Best.Cfg,
+		Energy:   res.Best.Energy,
+		Degraded: res.Degraded,
+		SettleWB: s.search.SettleWritebacks(),
+		At:       s.consumed,
+	}
+	kind := "settle"
+	if res.Degraded {
+		kind = "degraded"
+	}
+	s.appendEvent(checkpoint.Event{At: s.consumed, Kind: kind, Cfg: res.Best.Cfg, Energy: res.Best.Energy})
+	s.emit("daemon."+kind, res.Best.Cfg.String(),
+		slog.Float64("energy", res.Best.Energy),
+		slog.Int("examined", res.NumExamined()),
+		slog.Uint64("settle_writebacks", s.search.SettleWritebacks()))
+	s.search.Close()
+	s.search = nil
+	s.sessionWindows = 0
+	s.baselined = false
+	s.winAcc, s.winMiss = 0, 0
+}
+
+// retune starts a fresh search on the live cache (the search restarts from
+// the smallest configuration, as the on-chip tuner would).
+func (s *Session) retune() {
+	s.retunes++
+	s.appendEvent(checkpoint.Event{At: s.consumed, Kind: "retune", Cfg: s.cache.Config()})
+	s.emit("daemon.retune", s.cache.Config().String())
+	s.settled = nil
+	s.sessionWindows = 0
+	s.search = s.newSearch()
+}
+
+// watchdog aborts a search that failed to settle within the window budget
+// and parks the cache on SafeConfig — a wedged search must not hold the
+// cache at whatever half-swept configuration it was probing.
+func (s *Session) watchdog() {
+	s.search.Close()
+	s.search = nil
+	safe := tuner.SafeConfig()
+	s.cache.AllowShrink = true
+	if err := s.cache.SetConfig(safe); err != nil {
+		panic("daemon: safe-config transition rejected: " + err.Error())
+	}
+	s.cache.AllowShrink = false
+	s.settled = &checkpoint.Outcome{Cfg: safe, Degraded: true, At: s.consumed}
+	s.appendEvent(checkpoint.Event{At: s.consumed, Kind: "watchdog", Cfg: safe})
+	s.emit("daemon.watchdog", safe.String(),
+		slog.Uint64("session_windows", s.sessionWindows),
+		slog.Uint64("budget", s.opts.WatchdogWindows))
+	s.sessionWindows = 0
+	s.baselined = false
+	s.winAcc, s.winMiss = 0, 0
+}
+
+// boundary builds the snapshot for the boundary just reached.
+func (s *Session) boundary() error {
+	img, err := s.cache.Image()
+	if err != nil {
+		return fmt.Errorf("daemon: %w", err)
+	}
+	st := &checkpoint.State{
+		Consumed:       s.consumed,
+		Windows:        s.windows,
+		Retunes:        s.retunes,
+		Cache:          img,
+		Settled:        s.settled,
+		Baselined:      s.baselined,
+		Baseline:       s.baseline,
+		WinAcc:         s.winAcc,
+		WinMiss:        s.winMiss,
+		SessionWindows: s.sessionWindows,
+		Events:         append([]checkpoint.Event(nil), s.events...),
+		EventsDropped:  s.eventsDropped,
+	}
+	if s.search != nil {
+		ss, err := s.search.Snapshot()
+		if err != nil {
+			return fmt.Errorf("daemon: %w", err)
+		}
+		st.Session = checkpoint.WireSession(ss)
+	}
+	s.pending = st
+	return nil
+}
+
+// NoteCheckpoint records that the owner persisted a snapshot (a lifecycle
+// event, not a decision: its generation number depends on how often the
+// owner has saved, so it is excluded from crash-equivalence comparisons).
+func (s *Session) NoteCheckpoint(gen uint64) {
+	s.emit("daemon.checkpoint", s.cache.Config().String(),
+		slog.Uint64("generation", gen))
+}
+
+// NoteRecovered records that the session was rebuilt from a checkpoint
+// generation.
+func (s *Session) NoteRecovered(gen uint64) {
+	s.emit("daemon.recover", s.cache.Config().String(),
+		slog.Uint64("generation", gen),
+		slog.Bool("tuning", s.search != nil))
+}
+
+// Run streams src into the session until the stream ends, skipping the
+// prefix a previous life already consumed. It exists for owners that do not
+// need cancellation or persistence (Daemon.Run adds both).
+func (s *Session) Run(src trace.Source) error {
+	for skip := s.consumed; skip > 0; skip-- {
+		if _, ok := src.Next(); !ok {
+			return fmt.Errorf("daemon: stream ends at %d accesses but the checkpoint consumed %d", s.consumed-skip, s.consumed)
+		}
+	}
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if _, err := s.Step(a.Addr, a.IsWrite()); err != nil {
+			return err
+		}
+	}
+}
+
+// Close releases the search goroutine, if one is running. The session keeps
+// its state (and Pending snapshot) readable. Safe to call more than once.
+func (s *Session) Close() {
+	if s.search != nil {
+		s.search.Close()
+	}
+}
+
+// Kill abandons the session without any shutdown work — the chaos harness's
+// stand-in for SIGKILL. Only the in-process search goroutine is released (a
+// real kill would take it down with the process).
+func (s *Session) Kill() {
+	if s.search != nil {
+		s.search.Close()
+		s.search = nil
+	}
+}
+
+// Pending is the snapshot built at the most recent boundary (nil before the
+// first boundary of a fresh session). Owners persist it; Session never does.
+func (s *Session) Pending() *checkpoint.State { return s.pending }
+
+// AtBoundary reports whether every consumed access is covered by the
+// pending boundary snapshot — i.e. no partial measurement window is in
+// flight. Graceful shutdown drains to a boundary before the final persist
+// so the in-flight window is not lost.
+func (s *Session) AtBoundary() bool {
+	return s.consumed == 0 || (s.pending != nil && s.pending.Consumed == s.consumed)
+}
+
+// Recovered reports whether this session resumed from a checkpoint.
+func (s *Session) Recovered() bool { return s.recovered }
+
+// Consumed is the number of accesses taken from the stream.
+func (s *Session) Consumed() uint64 { return s.consumed }
+
+// Windows is the lifetime count of completed measurement windows.
+func (s *Session) Windows() uint64 { return s.windows }
+
+// Retunes counts tuning searches started after the first.
+func (s *Session) Retunes() uint64 { return s.retunes }
+
+// Tuning reports whether a search is currently running.
+func (s *Session) Tuning() bool { return s.search != nil }
+
+// Window is the configured accesses per measurement window.
+func (s *Session) Window() uint64 { return s.opts.Window }
+
+// Config is the cache's current configuration.
+func (s *Session) Config() cache.Config { return s.cache.Config() }
+
+// Settled is the outcome in force, nil while searching.
+func (s *Session) Settled() *checkpoint.Outcome { return s.settled }
+
+// LastResult returns the most recent completed search, whose examined
+// configurations carry per-size miss measurements — the raw material for
+// the fleet allocator's miss-ratio-curve profiles. ok is false until the
+// first settle (and stays false after a watchdog abort, which completes no
+// search).
+func (s *Session) LastResult() (res tuner.SearchResult, ok bool) {
+	return s.lastResult, s.hasResult
+}
+
+// Events returns the decision log so far (the newest MaxEvents entries;
+// see EventsDropped for what the cap discarded).
+func (s *Session) Events() []checkpoint.Event {
+	return append([]checkpoint.Event(nil), s.events...)
+}
+
+// EventsDropped counts decision-log entries discarded by the MaxEvents cap
+// over the session's lifetime (surviving kill/resume via the checkpoint).
+func (s *Session) EventsDropped() uint64 { return s.eventsDropped }
+
+// Stats exposes the cache's counters (for status reporting).
+func (s *Session) Stats() cache.Stats { return s.cache.Stats() }

@@ -1,0 +1,205 @@
+package allocator
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"selftune/internal/cache"
+	"selftune/internal/tuner"
+)
+
+// curve builds a profile from (bytes, missRate) pairs with weight w.
+func curve(id string, w float64, pairs ...float64) Profile {
+	p := Profile{ID: id, Weight: w}
+	for i := 0; i < len(pairs); i += 2 {
+		p.Points = append(p.Points, Point{Bytes: int(pairs[i]), MissRate: pairs[i+1]})
+	}
+	return p
+}
+
+func TestMissRateInterpolation(t *testing.T) {
+	p := curve("a", 1, 2048, 0.4, 4096, 0.2, 8192, 0.1)
+	cases := []struct {
+		bytes int
+		want  float64
+	}{
+		{1024, 0.4},  // clamp below
+		{2048, 0.4},  // exact point
+		{3072, 0.3},  // midpoint
+		{4096, 0.2},  // exact point
+		{6144, 0.15}, // midpoint of second segment
+		{8192, 0.1},  // exact point
+		{16384, 0.1}, // clamp above
+	}
+	for _, c := range cases {
+		if got := p.MissRate(c.bytes); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MissRate(%d) = %g, want %g", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestFromResults(t *testing.T) {
+	rs := []tuner.EvalResult{
+		{Cfg: cache.Config{SizeBytes: 4096}, Stats: cache.Stats{Accesses: 10_000, Misses: 2_000}},
+		{Cfg: cache.Config{SizeBytes: 4096}, Stats: cache.Stats{Accesses: 10_000, Misses: 1_500}}, // better at same size
+		{Cfg: cache.Config{SizeBytes: 2048}, Stats: cache.Stats{Accesses: 10_000, Misses: 4_000}},
+		{Cfg: cache.Config{SizeBytes: 8192}, Stats: cache.Stats{Accesses: 0}},                     // unusable: no accesses
+	}
+	p, ok := FromResults("s1", rs)
+	if !ok {
+		t.Fatal("FromResults rejected usable results")
+	}
+	want := []Point{{2048, 0.4}, {4096, 0.15}}
+	if !reflect.DeepEqual(p.Points, want) {
+		t.Fatalf("points = %v, want %v", p.Points, want)
+	}
+	if p.Weight != 10_000 {
+		t.Fatalf("weight = %g, want 10000", p.Weight)
+	}
+	if _, ok := FromResults("s2", nil); ok {
+		t.Fatal("FromResults accepted empty results")
+	}
+}
+
+func TestGreedyHandComputed(t *testing.T) {
+	// a saves 1000 misses for its first extra 2048 B (steep curve), b saves
+	// 600, a's second segment saves 400. Budget of 3 extra units goes
+	// a, b, a.
+	a := curve("a", 10_000, 2048, 0.30, 4096, 0.20, 8192, 0.16)
+	b := curve("b", 10_000, 2048, 0.20, 4096, 0.14, 8192, 0.13)
+	plan, err := Greedy(2048*2+2048*3, 2048, []Profile{b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Assignment{
+		{ID: "a", Bytes: 6144, Misses: 0.18 * 10_000},
+		{ID: "b", Bytes: 4096, Misses: 0.14 * 10_000},
+	}
+	if len(plan.Assignments) != len(want) {
+		t.Fatalf("assignments = %v, want %v", plan.Assignments, want)
+	}
+	for i, w := range want {
+		got := plan.Assignments[i]
+		if got.ID != w.ID || got.Bytes != w.Bytes || math.Abs(got.Misses-w.Misses) > 1e-9 {
+			t.Fatalf("assignments[%d] = %v, want %v", i, got, w)
+		}
+	}
+	if plan.AssignedBytes != 6144+4096 {
+		t.Fatalf("assigned %d B, want %d", plan.AssignedBytes, 6144+4096)
+	}
+}
+
+func TestGreedyStopsWhenCurvesFlatten(t *testing.T) {
+	// Both curves are flat: no unit saves a miss, so the surplus budget
+	// stays unassigned.
+	a := curve("a", 10_000, 2048, 0.2, 8192, 0.2)
+	b := curve("b", 10_000, 2048, 0.1, 8192, 0.1)
+	plan, err := Greedy(1 << 20, 2048, []Profile{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AssignedBytes != 4096 {
+		t.Fatalf("assigned %d B to flat curves, want the 4096 B minimum", plan.AssignedBytes)
+	}
+}
+
+func TestDPNeverWorseThanGreedy(t *testing.T) {
+	// Greedy's myopia: a's first unit gains slightly more than b's, but b's
+	// curve then falls off a cliff that a's does not. DP must match or beat
+	// greedy on every budget.
+	a := curve("a", 10_000, 2048, 0.50, 4096, 0.39, 6144, 0.38, 8192, 0.37)
+	b := curve("b", 10_000, 2048, 0.50, 4096, 0.40, 6144, 0.10, 8192, 0.05)
+	for budget := 4096; budget <= 16384; budget += 2048 {
+		g, err := Greedy(budget, 2048, []Profile{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DP(budget, 2048, []Profile{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.TotalMisses > g.TotalMisses+1e-9 {
+			t.Fatalf("budget %d: DP %g misses > greedy %g", budget, d.TotalMisses, g.TotalMisses)
+		}
+		if d.AssignedBytes > budget || g.AssignedBytes > budget {
+			t.Fatalf("budget %d overspent: dp %d, greedy %d", budget, d.AssignedBytes, g.AssignedBytes)
+		}
+	}
+	// At 8192 B (2 extra units) greedy spends its first unit on a (1100
+	// misses saved vs b's 1000) and can never reach b's cliff at 6144 B;
+	// DP gives both units to b.
+	g, _ := Greedy(8192, 2048, []Profile{a, b})
+	d, _ := DP(8192, 2048, []Profile{a, b})
+	if !(d.TotalMisses < g.TotalMisses) {
+		t.Fatalf("expected DP (%g) to strictly beat greedy (%g) on the cliff curve", d.TotalMisses, g.TotalMisses)
+	}
+	if d.Assignments[1].Bytes != 6144 {
+		t.Fatalf("DP gave b %d B, want 6144 (past the cliff)", d.Assignments[1].Bytes)
+	}
+}
+
+func TestAllocationDeterministic(t *testing.T) {
+	profs := []Profile{
+		curve("c", 5_000, 2048, 0.3, 4096, 0.2, 8192, 0.1),
+		curve("a", 10_000, 2048, 0.4, 4096, 0.2, 8192, 0.15),
+		curve("b", 8_000, 2048, 0.25, 4096, 0.18, 8192, 0.12),
+	}
+	g1, err := Greedy(18432, 2048, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := DP(18432, 2048, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffled input order must not change the plan.
+	shuffled := []Profile{profs[2], profs[0], profs[1]}
+	for i := 0; i < 5; i++ {
+		g2, err := Greedy(18432, 2048, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := DP(18432, 2048, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g1, g2) {
+			t.Fatalf("greedy not deterministic:\n%v\n%v", g1, g2)
+		}
+		if !reflect.DeepEqual(d1, d2) {
+			t.Fatalf("dp not deterministic:\n%v\n%v", d1, d2)
+		}
+	}
+	for _, plan := range []Plan{g1, d1} {
+		ids := []string{}
+		for _, a := range plan.Assignments {
+			ids = append(ids, a.ID)
+		}
+		if !reflect.DeepEqual(ids, []string{"a", "b", "c"}) {
+			t.Fatalf("assignments not sorted by ID: %v", ids)
+		}
+	}
+}
+
+func TestAllocationErrors(t *testing.T) {
+	p := curve("a", 1, 2048, 0.5, 4096, 0.4)
+	if _, err := Greedy(1024, 2048, []Profile{p}); err == nil {
+		t.Fatal("budget below minimum footprint accepted")
+	}
+	if _, err := DP(1024, 2048, []Profile{p}); err == nil {
+		t.Fatal("budget below minimum footprint accepted")
+	}
+	if _, err := Greedy(8192, 0, []Profile{p}); err == nil {
+		t.Fatal("zero unit accepted")
+	}
+	if _, err := Greedy(8192, 2048, nil); err == nil {
+		t.Fatal("no profiles accepted")
+	}
+	if _, err := Greedy(8192, 2048, []Profile{p, p}); err == nil {
+		t.Fatal("duplicate profile accepted")
+	}
+	if _, err := DP(8192, 2048, []Profile{{ID: "x"}}); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+}

@@ -1,0 +1,629 @@
+// Package fleet runs many self-tuning cache sessions in one process: a
+// session manager that shards streams across a fixed set of worker
+// goroutines, a streaming ingest protocol reusing the trace codec as wire
+// format, and a global capacity allocator that partitions a shared budget
+// across tenants by their measured miss-ratio curves.
+//
+// The house invariant is per-session determinism: each session is a
+// daemon.Daemon bound to its own namespaced checkpoint store and an
+// sid-stamped recorder, fed its accesses in arrival order by exactly one
+// shard worker. A fleet of N sessions therefore produces per-session
+// decisions, checkpoints and telemetry bit-identical to N independent
+// cmd/tuned runs, at any shard count — internal/fleet's property test pins
+// it. Fleet-level events (open, close, allocation) carry no sid field, so
+// filtering a fleet log by sid yields exactly one session's story.
+//
+// Backpressure is per session: Submit blocks while a session's in-flight
+// accesses exceed QueueDepth, so one slow tenant cannot balloon memory.
+// Shed mode trades that blocking for load-shedding — newest batches are
+// dropped and counted — which sacrifices the determinism guarantee and is
+// therefore off by default.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"sort"
+	"sync"
+
+	"selftune/internal/checkpoint"
+	"selftune/internal/daemon"
+	"selftune/internal/fleet/allocator"
+	"selftune/internal/obs"
+	"selftune/internal/trace"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Shards is the number of worker goroutines sessions are distributed
+	// over (deterministically, by session-ID hash). Default 4.
+	Shards int
+	// QueueDepth is the per-session bound on in-flight (submitted but not
+	// yet consumed) accesses. Default 65536.
+	QueueDepth int
+	// Shed, when true, drops a submitted batch instead of blocking when a
+	// session's queue is full; drops are counted per session. Shedding
+	// breaks the bit-identical-to-solo guarantee for sessions that shed.
+	Shed bool
+	// Session is the per-session daemon configuration template. Its Dir,
+	// Keep and Reg fields are managed by the fleet (Dir is namespaced per
+	// session under Options.Dir; gauges are fleet-labelled); Rec is
+	// replaced by the fleet recorder stamped with the session ID.
+	Session daemon.Options
+	// Dir is the fleet checkpoint root ("" disables persistence): one
+	// manifest plus one store per session, see checkpoint.FleetStore.
+	Dir string
+	// Keep is checkpoint generations retained per session. Default 4.
+	Keep int
+	// Rec receives fleet telemetry and, stamped with an "sid" field, each
+	// session's events. nil records nothing.
+	Rec obs.Recorder
+	// Reg, when non-nil, receives fleet gauges: session-labelled progress
+	// series plus fleet totals.
+	Reg *obs.Registry
+
+	// AllocBudgetBytes enables the capacity allocator: a shared budget
+	// partitioned across sessions by expected miss savings. 0 disables.
+	AllocBudgetBytes int
+	// AllocUnit is the allocation granularity in bytes. Default 2048 (the
+	// configurable cache's bank size).
+	AllocUnit int
+	// AllocEvery re-runs the allocation after this many new session
+	// profiles (settled searches). Default 1.
+	AllocEvery int
+	// AllocDP selects the exact grouped-knapsack solver over the greedy
+	// marginal-gain one.
+	AllocDP bool
+}
+
+func (o *Options) fill() {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 65536
+	}
+	if o.Keep == 0 {
+		o.Keep = 4
+	}
+	if o.AllocUnit <= 0 {
+		o.AllocUnit = 2048
+	}
+	if o.AllocEvery <= 0 {
+		o.AllocEvery = 1
+	}
+}
+
+// Manager is the fleet: sessions sharded across workers, with shared
+// persistence, telemetry and the capacity allocator.
+type Manager struct {
+	opts  Options
+	rec   obs.Recorder
+	store *checkpoint.FleetStore // nil when persistence is disabled
+
+	shards []*shard
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+	seq      uint64 // fleet-event ordinal (Step coordinate)
+
+	allocMu       sync.Mutex
+	profiles      map[string]allocator.Profile
+	settles       int // profiles refreshed since the last allocation
+	plan          *allocator.Plan
+	allocOrdinals uint64
+}
+
+// session is one tenant: a daemon pinned to one shard worker.
+type session struct {
+	id    string
+	shard *shard
+	d     *daemon.Daemon
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inFlight int    // submitted accesses the worker has not consumed yet
+	skip     uint64 // resumed sessions: accesses of the re-streamed prefix left to discard
+	shed     uint64
+	err      error // sticky failure; set by the worker
+	closed   bool
+
+	profiledAt uint64 // Outcome.At of the settle the current profile reflects
+}
+
+// item is one unit of shard-worker work.
+type item struct {
+	s     *session
+	accs  []trace.Access
+	close bool
+	done  chan error // close items only
+}
+
+// shard is one worker goroutine and its FIFO queue.
+type shard struct {
+	id   int
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []item
+	stop bool
+	wg   sync.WaitGroup
+}
+
+// shardOf deterministically assigns a session ID to one of n shards
+// (FNV-1a), so a restarted fleet reproduces the same placement.
+func shardOf(id string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}
+
+// New builds a fleet manager and starts its shard workers.
+func New(opts Options) (*Manager, error) {
+	opts.fill()
+	m := &Manager{
+		opts:     opts,
+		rec:      obs.OrNop(opts.Rec),
+		sessions: map[string]*session{},
+		profiles: map[string]allocator.Profile{},
+	}
+	if opts.Dir != "" {
+		fs, err := checkpoint.OpenFleetStore(opts.Dir, opts.Keep)
+		if err != nil {
+			return nil, err
+		}
+		m.store = fs
+	}
+	for i := 0; i < opts.Shards; i++ {
+		sh := &shard{id: i}
+		sh.cond = sync.NewCond(&sh.mu)
+		sh.wg.Add(1)
+		go m.work(sh)
+		m.shards = append(m.shards, sh)
+	}
+	m.gauges()
+	return m, nil
+}
+
+// emit records one fleet-level event. Fleet events carry no sid field —
+// only session events do — so a fleet log filtered by sid is exactly one
+// session's solo log. The Step coordinate is a fleet-wide ordinal (arrival
+// order, not deterministic across runs; fleet events are operational, not
+// part of the determinism contract).
+func (m *Manager) emit(name string, fields ...slog.Attr) {
+	if !m.rec.Enabled() {
+		return
+	}
+	m.mu.Lock()
+	step := m.seq
+	m.seq++
+	m.mu.Unlock()
+	m.rec.Record(obs.Event{Name: name, Step: step, Fields: fields})
+}
+
+// Open creates (or, when a checkpoint exists under the fleet directory,
+// resumes) the session and pins it to its shard. Opening an existing live
+// session is an error.
+func (m *Manager) Open(id string) error {
+	if id == "" {
+		return fmt.Errorf("fleet: empty session id")
+	}
+	sopts := m.opts.Session
+	sopts.Dir = ""
+	sopts.Keep = m.opts.Keep
+	sopts.Reg = nil
+	sopts.Rec = obs.With(m.opts.Rec, slog.String("sid", id))
+	if m.store != nil {
+		if _, err := m.store.Session(id); err != nil { // registers in the manifest
+			return err
+		}
+		sopts.Dir = m.store.SessionDir(id)
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: manager closed")
+	}
+	if _, ok := m.sessions[id]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: session %q already open", id)
+	}
+	m.mu.Unlock()
+
+	d, err := daemon.New(sopts)
+	if err != nil {
+		return fmt.Errorf("fleet: open %q: %w", id, err)
+	}
+	s := &session{id: id, shard: m.shards[shardOf(id, len(m.shards))], d: d, skip: d.Consumed()}
+	s.cond = sync.NewCond(&s.mu)
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		d.Kill()
+		return fmt.Errorf("fleet: manager closed")
+	}
+	if _, ok := m.sessions[id]; ok {
+		m.mu.Unlock()
+		d.Kill()
+		return fmt.Errorf("fleet: session %q already open", id)
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.emit("fleet.open",
+		slog.String("session", id),
+		slog.Int("shard", s.shard.id),
+		slog.Bool("recovered", d.Recovered()),
+		slog.Uint64("consumed", d.Consumed()))
+	m.gauges()
+	return nil
+}
+
+// lookup returns the live session or an error naming the failure.
+func (m *Manager) lookup(id string) (*session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown session %q", id)
+	}
+	return s, nil
+}
+
+// Submit feeds a batch of accesses to the session, in arrival order. A
+// session's stream must be replayed from its beginning: a session resumed
+// from a checkpoint silently discards the prefix a previous life already
+// consumed (the same contract as daemon.Run), so clients re-stream the
+// whole trace after a fleet restart without double-feeding. Submit blocks
+// while the session's in-flight accesses exceed QueueDepth (backpressure),
+// unless Shed is set, in which case the whole batch is dropped and counted
+// instead. A sticky session failure (persistence or ingest error) is
+// returned on every subsequent Submit. Per session, submitters must be
+// serialised — concurrent Submits to one session have no defined order.
+func (m *Manager) Submit(id string, accs []trace.Access) error {
+	s, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: session %q is closed", id)
+	}
+	if s.skip > 0 {
+		n := uint64(len(accs))
+		if n > s.skip {
+			n = s.skip
+		}
+		s.skip -= n
+		accs = accs[n:]
+	}
+	if len(accs) == 0 {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	if m.opts.Shed && s.inFlight+len(accs) > m.opts.QueueDepth {
+		s.shed += uint64(len(accs))
+		shed := s.shed
+		s.mu.Unlock()
+		if m.opts.Reg != nil {
+			m.opts.Reg.CounterWith("fleet_shed_accesses_total", "session", id).Add(uint64(len(accs)))
+		}
+		m.emit("fleet.shed",
+			slog.String("session", id),
+			slog.Int("dropped", len(accs)),
+			slog.Uint64("total", shed))
+		return nil
+	}
+	for !m.opts.Shed && s.inFlight > 0 && s.inFlight+len(accs) > m.opts.QueueDepth {
+		s.cond.Wait()
+		if s.closed {
+			s.mu.Unlock()
+			return fmt.Errorf("fleet: session %q is closed", id)
+		}
+	}
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	s.inFlight += len(accs)
+	// Enqueue under s.mu: a concurrent CloseSession also enqueues under
+	// s.mu, so its close item can never be overtaken by a data batch that
+	// passed the closed check earlier. (Lock order s.mu → shard.mu is safe:
+	// the worker never holds both.)
+	s.shard.enqueue(item{s: s, accs: accs})
+	s.mu.Unlock()
+	return nil
+}
+
+// sticky returns the session's sticky error under its lock.
+func (s *session) sticky() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// fail records a session's first failure.
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// CloseSession flushes the session through its shard (all submitted
+// batches are consumed first — the queue is FIFO), persists the final
+// boundary snapshot, releases the session, and reports its sticky error if
+// it failed along the way.
+func (m *Manager) CloseSession(id string) error {
+	s, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: session %q is closed", id)
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	done := make(chan error, 1)
+	s.shard.enqueue(item{s: s, close: true, done: done})
+	s.mu.Unlock()
+	err = <-done
+
+	m.mu.Lock()
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	m.emit("fleet.close",
+		slog.String("session", id),
+		slog.Uint64("consumed", s.d.Consumed()),
+		slog.Uint64("windows", s.d.Windows()))
+	m.gauges()
+	if err != nil {
+		return fmt.Errorf("fleet: close %q: %w", id, err)
+	}
+	return s.sticky()
+}
+
+// Sessions lists the live session IDs, sorted.
+func (m *Manager) Sessions() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Session returns the live session's daemon for status inspection. The
+// daemon is owned by its shard worker; callers must not Step it.
+func (m *Manager) Session(id string) (*daemon.Daemon, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.d, nil
+}
+
+// Shed reports the accesses dropped for the session under shed mode.
+func (m *Manager) Shed(id string) (uint64, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed, nil
+}
+
+// Close closes every live session (final persists included) and stops the
+// shard workers. The first session close error is returned.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+	var first error
+	for _, id := range ids {
+		if err := m.CloseSession(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.stop = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	for _, sh := range m.shards {
+		sh.wg.Wait()
+	}
+	return first
+}
+
+// enqueue appends one work item to the shard's FIFO queue.
+func (sh *shard) enqueue(it item) {
+	sh.mu.Lock()
+	sh.q = append(sh.q, it)
+	sh.cond.Signal()
+	sh.mu.Unlock()
+}
+
+// work is a shard worker: it drains the queue in FIFO order, which — with
+// each session pinned to exactly one shard — serialises every session's
+// accesses in submission order.
+func (m *Manager) work(sh *shard) {
+	defer sh.wg.Done()
+	for {
+		sh.mu.Lock()
+		for len(sh.q) == 0 && !sh.stop {
+			sh.cond.Wait()
+		}
+		if len(sh.q) == 0 && sh.stop {
+			sh.mu.Unlock()
+			return
+		}
+		it := sh.q[0]
+		sh.q = sh.q[1:]
+		sh.mu.Unlock()
+		m.process(it)
+	}
+}
+
+// process runs one work item on the worker goroutine.
+func (m *Manager) process(it item) {
+	s := it.s
+	if it.close {
+		it.done <- s.d.Close()
+		return
+	}
+	failed := s.sticky() != nil
+	if !failed {
+		for _, a := range it.accs {
+			if err := s.d.Step(a.Addr, a.IsWrite()); err != nil {
+				s.fail(err)
+				m.emit("fleet.session_failed",
+					slog.String("session", s.id),
+					slog.String("error", err.Error()))
+				failed = true
+				break
+			}
+			// Per-access so a settle followed by a re-tune inside one
+			// batch is still captured; the guard is two pointer loads.
+			m.maybeProfile(s)
+		}
+	}
+	s.mu.Lock()
+	s.inFlight -= len(it.accs)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if !failed {
+		m.observe(s)
+	}
+}
+
+// observe refreshes the session's labelled gauges (once per batch).
+func (m *Manager) observe(s *session) {
+	reg := m.opts.Reg
+	if reg == nil {
+		return
+	}
+	d := s.d
+	reg.GaugeWith("fleet_session_consumed", "session", s.id).Set(float64(d.Consumed()))
+	reg.GaugeWith("fleet_session_windows", "session", s.id).Set(float64(d.Windows()))
+	reg.GaugeWith("fleet_session_retunes", "session", s.id).Set(float64(d.Retunes()))
+	tuning := 0.0
+	if d.Tuning() {
+		tuning = 1
+	}
+	reg.GaugeWith("fleet_session_tuning", "session", s.id).Set(tuning)
+	if out := d.Settled(); out != nil {
+		reg.GaugeWith("fleet_session_settled_bytes", "session", s.id).Set(float64(out.Cfg.SizeBytes))
+	}
+}
+
+// maybeProfile refreshes the session's allocator profile when a new search
+// has settled since the last look.
+func (m *Manager) maybeProfile(s *session) {
+	if m.opts.AllocBudgetBytes <= 0 {
+		return
+	}
+	out := s.d.Settled()
+	if out == nil || out.Degraded || out.At == s.profiledAt {
+		return
+	}
+	res, ok := s.d.Session().LastResult()
+	if !ok {
+		return
+	}
+	s.profiledAt = out.At
+	prof, ok := allocator.FromResults(s.id, res.Examined)
+	if !ok {
+		return
+	}
+	m.updateProfile(prof)
+}
+
+// updateProfile installs a refreshed session profile and re-runs the
+// allocation when the cadence is due. The plan is advisory — telemetry and
+// gauges for the platform's capacity controller — and never alters a
+// session's own tuning decisions.
+func (m *Manager) updateProfile(p allocator.Profile) {
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	m.profiles[p.ID] = p
+	m.settles++
+	if m.settles < m.opts.AllocEvery {
+		return
+	}
+	m.settles = 0
+	profs := make([]allocator.Profile, 0, len(m.profiles))
+	for _, prof := range m.profiles {
+		profs = append(profs, prof)
+	}
+	alloc := allocator.Greedy
+	algo := "greedy"
+	if m.opts.AllocDP {
+		alloc, algo = allocator.DP, "dp"
+	}
+	plan, err := alloc(m.opts.AllocBudgetBytes, m.opts.AllocUnit, profs)
+	if err != nil {
+		m.emit("fleet.alloc_error", slog.String("error", err.Error()))
+		return
+	}
+	m.plan = &plan
+	m.allocOrdinals++
+	fields := []slog.Attr{
+		slog.String("algo", algo),
+		slog.Uint64("ordinal", m.allocOrdinals),
+		slog.Int("budget_bytes", plan.TotalBytes),
+		slog.Int("assigned_bytes", plan.AssignedBytes),
+		slog.Float64("total_misses", plan.TotalMisses),
+	}
+	for _, a := range plan.Assignments {
+		fields = append(fields, slog.Group(a.ID,
+			slog.Int("bytes", a.Bytes),
+			slog.Float64("misses", a.Misses)))
+	}
+	m.emit("fleet.alloc", fields...)
+	if reg := m.opts.Reg; reg != nil {
+		reg.Counter("fleet_allocs_total").Inc()
+		reg.Gauge("fleet_alloc_assigned_bytes").Set(float64(plan.AssignedBytes))
+		for _, a := range plan.Assignments {
+			reg.GaugeWith("fleet_alloc_bytes", "session", a.ID).Set(float64(a.Bytes))
+		}
+	}
+}
+
+// Plan returns the most recent capacity allocation, nil before the first.
+func (m *Manager) Plan() *allocator.Plan {
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	return m.plan
+}
+
+// gauges refreshes the fleet-level registry series.
+func (m *Manager) gauges() {
+	reg := m.opts.Reg
+	if reg == nil {
+		return
+	}
+	m.mu.Lock()
+	n := len(m.sessions)
+	m.mu.Unlock()
+	reg.Gauge("fleet_sessions").Set(float64(n))
+	reg.Gauge("fleet_shards").Set(float64(len(m.shards)))
+}

@@ -1,0 +1,307 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+
+	"selftune/internal/trace"
+)
+
+// The fleet wire protocol multiplexes many sessions' trace streams over one
+// connection. A stream is the "STFW" magic plus a version byte, then frames:
+//
+//	open:  0x01, uvarint sid length, sid bytes
+//	data:  0x02, uvarint sid length, sid bytes, uvarint n, n payload bytes
+//	close: 0x03, uvarint sid length, sid bytes
+//
+// A session's concatenated data payloads form exactly one STRC trace stream
+// (magic, version, varint-coded records — the on-disk codec is the wire
+// format), cut at arbitrary byte positions: the server reassembles it with
+// trace.StreamDecoder, so a client can forward a trace file in any chunking
+// without re-framing records. Payload corruption is a per-session failure —
+// the session is closed and counted, the connection and its other sessions
+// continue. Frame-level corruption (bad magic, unknown frame type, oversized
+// length) ends the connection, closing its remaining sessions gracefully.
+var wireMagic = [4]byte{'S', 'T', 'F', 'W'}
+
+const (
+	wireVersion = 1
+
+	frameOpen  = 0x01
+	frameData  = 0x02
+	frameClose = 0x03
+
+	// maxSIDLen and maxPayload bound hostile allocations; both are far
+	// above anything a real client sends.
+	maxSIDLen  = 1 << 10
+	maxPayload = 1 << 22
+)
+
+// ConnWriter is the client half: it frames session opens, trace bytes and
+// closes onto one writer.
+type ConnWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewConnWriter writes the stream header and returns the framer.
+func NewConnWriter(w io.Writer) (*ConnWriter, error) {
+	if _, err := w.Write(append(wireMagic[:], wireVersion)); err != nil {
+		return nil, err
+	}
+	return &ConnWriter{w: w}, nil
+}
+
+// frame writes one frame; the first error is sticky.
+func (c *ConnWriter) frame(kind byte, sid string, payload []byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(sid) == 0 || len(sid) > maxSIDLen {
+		c.err = fmt.Errorf("fleet: session id length %d out of range", len(sid))
+		return c.err
+	}
+	var hdr [1 + 2*binary.MaxVarintLen64]byte
+	hdr[0] = kind
+	n := 1 + binary.PutUvarint(hdr[1:], uint64(len(sid)))
+	buf := append(hdr[:n], sid...)
+	if kind == frameData {
+		var ln [binary.MaxVarintLen64]byte
+		buf = append(buf, ln[:binary.PutUvarint(ln[:], uint64(len(payload)))]...)
+		buf = append(buf, payload...)
+	}
+	_, c.err = c.w.Write(buf)
+	return c.err
+}
+
+// Open announces a session.
+func (c *ConnWriter) Open(sid string) error { return c.frame(frameOpen, sid, nil) }
+
+// Data carries a chunk of the session's STRC stream (any byte boundary).
+func (c *ConnWriter) Data(sid string, chunk []byte) error {
+	if len(chunk) == 0 {
+		return c.err
+	}
+	if len(chunk) > maxPayload {
+		c.err = fmt.Errorf("fleet: payload %d exceeds the %d frame limit", len(chunk), maxPayload)
+		return c.err
+	}
+	return c.frame(frameData, sid, chunk)
+}
+
+// Close ends a session.
+func (c *ConnWriter) Close(sid string) error { return c.frame(frameClose, sid, nil) }
+
+// Stream forwards an entire STRC stream from r as data frames of at most
+// chunk bytes — the whole client side of replaying a trace file into a
+// fleet: Open, Stream, Close.
+func (c *ConnWriter) Stream(sid string, r io.Reader, chunk int) error {
+	if chunk <= 0 || chunk > maxPayload {
+		chunk = 64 << 10
+	}
+	buf := make([]byte, chunk)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if werr := c.Data(sid, buf[:n]); werr != nil {
+				return werr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// ingestSession is one connection's view of a session it opened.
+type ingestSession struct {
+	dec    *trace.StreamDecoder
+	failed bool
+}
+
+// Ingest serves one connection: it reads frames from r until EOF or a
+// frame-level error, feeding each session's reassembled trace into the
+// fleet. Sessions opened on this connection and still open when it ends are
+// closed gracefully (final checkpoint persisted), so a client may simply
+// hang up after its last byte. The returned error is the frame-level
+// failure, nil on a clean EOF; per-session payload errors are telemetry
+// plus that session's closure, never a connection failure.
+func (m *Manager) Ingest(r io.Reader) error {
+	br := newByteReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("fleet: short stream header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != wireMagic {
+		return fmt.Errorf("fleet: bad stream magic %q", hdr[:4])
+	}
+	if hdr[4] != wireVersion {
+		return fmt.Errorf("fleet: unsupported stream version %d", hdr[4])
+	}
+
+	owned := map[string]*ingestSession{}
+	defer func() {
+		for sid, is := range owned {
+			if is == nil || is.failed {
+				continue
+			}
+			if err := m.CloseSession(sid); err != nil {
+				m.emit("fleet.ingest_error",
+					slog.String("session", sid),
+					slog.String("error", err.Error()))
+			}
+		}
+	}()
+
+	// failSession closes a session whose payload went bad; the connection
+	// lives on for its other sessions. The entry stays in owned (marked
+	// failed) so later frames for the dead session drain politely instead
+	// of tripping the before-open check.
+	failSession := func(sid string, is *ingestSession, err error) {
+		is.failed = true
+		m.emit("fleet.ingest_error",
+			slog.String("session", sid),
+			slog.String("error", err.Error()))
+		if cerr := m.CloseSession(sid); cerr != nil {
+			m.emit("fleet.ingest_error",
+				slog.String("session", sid),
+				slog.String("error", cerr.Error()))
+		}
+	}
+
+	var accs []trace.Access
+	for {
+		kind, err := br.ReadByte()
+		if err == io.EOF {
+			// Clean end: a truncated per-session stream is that
+			// session's failure, surfaced before the graceful closes.
+			for sid, is := range owned {
+				if is == nil || is.failed {
+					continue
+				}
+				if err := is.dec.Finish(); err != nil {
+					failSession(sid, is, err)
+				}
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		sid, err := readString(br, maxSIDLen)
+		if err != nil {
+			return fmt.Errorf("fleet: bad frame: %w", err)
+		}
+		switch kind {
+		case frameOpen:
+			if _, dup := owned[sid]; dup {
+				return fmt.Errorf("fleet: duplicate open for session %q", sid)
+			}
+			if err := m.Open(sid); err != nil {
+				// The id may be live on another connection or invalid;
+				// either way this connection must not feed it.
+				owned[sid] = nil
+				m.emit("fleet.ingest_error",
+					slog.String("session", sid),
+					slog.String("error", err.Error()))
+				continue
+			}
+			owned[sid] = &ingestSession{dec: &trace.StreamDecoder{}}
+		case frameData:
+			payload, err := readBytes(br, maxPayload)
+			if err != nil {
+				return fmt.Errorf("fleet: bad data frame: %w", err)
+			}
+			is, ok := owned[sid]
+			if !ok {
+				return fmt.Errorf("fleet: data for session %q before open", sid)
+			}
+			if is == nil || is.failed {
+				continue // rejected open or failed payload: drain politely
+			}
+			accs, err = is.dec.Feed(payload, accs[:0])
+			if err != nil {
+				failSession(sid, is, err)
+				continue
+			}
+			if len(accs) > 0 {
+				if err := m.Submit(sid, append([]trace.Access(nil), accs...)); err != nil {
+					failSession(sid, is, err)
+				}
+			}
+		case frameClose:
+			is, ok := owned[sid]
+			if !ok {
+				return fmt.Errorf("fleet: close for session %q before open", sid)
+			}
+			delete(owned, sid)
+			if is == nil || is.failed {
+				continue // rejected open / already closed by failSession
+			}
+			if err := is.dec.Finish(); err != nil {
+				m.emit("fleet.ingest_error",
+					slog.String("session", sid),
+					slog.String("error", err.Error()))
+			}
+			if err := m.CloseSession(sid); err != nil {
+				m.emit("fleet.ingest_error",
+					slog.String("session", sid),
+					slog.String("error", err.Error()))
+			}
+		default:
+			return fmt.Errorf("fleet: unknown frame type 0x%02x", kind)
+		}
+	}
+}
+
+// byteReader adapts any reader to the io.ByteReader binary.ReadUvarint
+// needs, without double-buffering an already-buffered one.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+func (b *byteReader) Read(p []byte) (int, error) { return io.ReadFull(b.r, p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+// readString reads a uvarint-prefixed string bounded by max.
+func readString(br *byteReader, max int) (string, error) {
+	b, err := readBytes(br, max)
+	if err != nil {
+		return "", err
+	}
+	if len(b) == 0 {
+		return "", errors.New("empty session id")
+	}
+	return string(b), nil
+}
+
+// readBytes reads a uvarint-prefixed byte string bounded by max.
+func readBytes(br *byteReader, max int) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(max) {
+		return nil, fmt.Errorf("length %d exceeds the %d limit", n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

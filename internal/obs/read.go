@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // RawEvent is one event read back from a JSONL log: the deterministic
@@ -86,4 +87,39 @@ func takeUint(m map[string]any, key string) uint64 {
 	}
 	delete(m, key)
 	return uint64(v)
+}
+
+// SessionIDs lists the distinct "sid" stamps in a fleet event log, sorted —
+// the sessions whose stories the log interleaves. Events without the stamp
+// (fleet-level events, or a single-daemon log) contribute nothing.
+func SessionIDs(evs []RawEvent) []string {
+	seen := map[string]bool{}
+	for _, ev := range evs {
+		if sid := ev.Str("sid"); sid != "" && !seen[sid] {
+			seen[sid] = true
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// FilterSession extracts one session's events from a fleet log, erasing the
+// "sid" stamp — by the fleet's determinism contract the result is exactly
+// the log a solo daemon run of that session would have written, so every
+// single-session consumer (stcexplain, crash-equivalence diffing) works on
+// it unchanged.
+func FilterSession(evs []RawEvent, sid string) []RawEvent {
+	var out []RawEvent
+	for _, ev := range evs {
+		if ev.Str("sid") != sid {
+			continue
+		}
+		delete(ev.Fields, "sid")
+		out = append(out, ev)
+	}
+	return out
 }

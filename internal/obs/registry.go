@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -63,6 +64,84 @@ type funcGauge func() float64
 func (f funcGauge) kind() string   { return "gauge" }
 func (f funcGauge) value() float64 { return f() }
 
+// CounterWith returns the counter for one labelled series of the family
+// name, creating it on first use. Labels are alternating key, value pairs;
+// the series renders as name{k="v",...} with keys sorted, so a fleet's
+// per-session metrics (session="id") coexist in one flat registry and
+// scrape deterministically.
+func (r *Registry) CounterWith(name string, labels ...string) *Counter {
+	return r.Counter(seriesName(name, labels))
+}
+
+// GaugeWith returns the gauge for one labelled series of the family name,
+// creating it on first use (see CounterWith).
+func (r *Registry) GaugeWith(name string, labels ...string) *Gauge {
+	return r.Gauge(seriesName(name, labels))
+}
+
+// seriesName renders a family name plus alternating key, value label pairs
+// into the canonical series name. Keys are sorted so the same label set
+// always names the same series; values are escaped per the Prometheus text
+// format. An odd label list is a programming error.
+func seriesName(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format (backslash, double quote and newline).
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// family strips the label block from a series name.
+func family(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
 // Counter returns the counter registered under name, creating it on first
 // use. Registering a name that already holds a different metric type panics:
 // that is a programming error, not a runtime condition.
@@ -104,19 +183,30 @@ func (r *Registry) lookup(name string, mk func() metric) metric {
 }
 
 // WriteProm renders every metric in Prometheus text exposition format,
-// sorted by name so the output is deterministic.
+// sorted by series name so the output is deterministic. Labelled series of
+// one family share a single # TYPE line, as the format requires.
 func (r *Registry) WriteProm(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.metrics))
 	for n := range r.metrics {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	// Sort by family first so a family's labelled and unlabelled series
+	// stay contiguous under one TYPE line ('{' sorts after '_', so a raw
+	// string sort could interleave foo_bar between foo and foo{...}).
+	sort.Slice(names, func(i, j int) bool {
+		fi, fj := family(names[i]), family(names[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return names[i] < names[j]
+	})
 	snap := make([]metric, len(names))
 	for i, n := range names {
 		snap[i] = r.metrics[n]
 	}
 	r.mu.Unlock()
+	lastFamily := ""
 	for i, n := range names {
 		m := snap[i]
 		v := m.value()
@@ -126,7 +216,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		} else {
 			val = strconv.FormatFloat(v, 'g', -1, 64)
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", n, m.kind(), n, val); err != nil {
+		if fam := family(n); fam != lastFamily {
+			lastFamily = fam
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, m.kind()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", n, val); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabelledSeriesRender(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeWith("fleet_session_consumed", "session", "s2").Set(20)
+	r.GaugeWith("fleet_session_consumed", "session", "s1").Set(10)
+	r.Gauge("fleet_sessions").Set(2)
+	r.CounterWith("fleet_shed", "session", "s1", "shard", "0").Add(3)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE fleet_session_consumed gauge
+fleet_session_consumed{session="s1"} 10
+fleet_session_consumed{session="s2"} 20
+# TYPE fleet_sessions gauge
+fleet_sessions 2
+# TYPE fleet_shed counter
+fleet_shed{session="s1",shard="0"} 3
+`
+	if got != want {
+		t.Fatalf("WriteProm:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelledSeriesStableAcrossKeyOrder(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.CounterWith("x", "b", "2", "a", "1")
+	c2 := r.CounterWith("x", "a", "1", "b", "2")
+	if c1 != c2 {
+		t.Fatal("label key order produced distinct series")
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeWith("g", "session", "a\"b\\c\nd").Set(1)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `g{session="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong: %q", b.String())
+	}
+}
+
+func TestFamilyGroupingNotInterleaved(t *testing.T) {
+	// "foo_bar" sorts between "foo" and "foo{...}" as raw strings; the
+	// renderer must keep family foo's series contiguous anyway.
+	r := NewRegistry()
+	r.Gauge("foo").Set(1)
+	r.Gauge("foo_bar").Set(2)
+	r.GaugeWith("foo", "l", "v").Set(3)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Count(b.String(), "# TYPE foo gauge\n"), 1; got != want {
+		t.Fatalf("family foo got %d TYPE lines, want %d:\n%s", got, want, b.String())
+	}
+}

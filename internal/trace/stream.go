@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// StreamDecoder decodes the binary trace codec incrementally, from bytes
+// that arrive in arbitrary chunks — the fleet's streaming ingest hands each
+// session's wire payload to one of these as frames land, without ever
+// holding a whole trace in memory or blocking on an io.Reader. The
+// concatenation of everything fed to one decoder must be exactly the byte
+// stream Writer produces (header included); a record split across chunks is
+// buffered until its remaining bytes arrive.
+type StreamDecoder struct {
+	buf    []byte
+	prev   [3]uint32
+	header bool
+	err    error
+}
+
+// Feed appends p to the undecoded tail and decodes every complete record,
+// appending the accesses to dst (which may be nil) and returning it. The
+// first malformed byte poisons the decoder: the error is returned now and
+// on every later call, mirroring Reader's sticky-error contract.
+func (d *StreamDecoder) Feed(p []byte, dst []Access) ([]Access, error) {
+	if d.err != nil {
+		return dst, d.err
+	}
+	d.buf = append(d.buf, p...)
+	off := 0
+	if !d.header {
+		if len(d.buf) < len(magic)+1 {
+			return dst, nil
+		}
+		if [4]byte(d.buf[:4]) != magic {
+			d.err = fmt.Errorf("trace: bad magic %q", d.buf[:4])
+			return dst, d.err
+		}
+		if d.buf[4] != codecVersion {
+			d.err = fmt.Errorf("trace: unsupported version %d", d.buf[4])
+			return dst, d.err
+		}
+		d.header = true
+		off = len(magic) + 1
+	}
+	for off < len(d.buf) {
+		kb := d.buf[off]
+		if kb > byte(DataWrite) {
+			d.err = fmt.Errorf("trace: invalid kind %d", kb)
+			return dst, d.err
+		}
+		delta, n := binary.Varint(d.buf[off+1:])
+		if n == 0 {
+			break // record split across chunks; wait for more bytes
+		}
+		if n < 0 {
+			d.err = fmt.Errorf("trace: malformed delta varint")
+			return dst, d.err
+		}
+		k := Kind(kb)
+		addr := uint32(int64(d.prev[k]) + delta)
+		d.prev[k] = addr
+		dst = append(dst, Access{Addr: addr, Kind: k})
+		off += 1 + n
+	}
+	d.buf = append(d.buf[:0], d.buf[off:]...)
+	return dst, nil
+}
+
+// Err returns the sticky decode error, if any.
+func (d *StreamDecoder) Err() error { return d.err }
+
+// Finish reports whether the decoder is at a clean record boundary with the
+// header seen — what end-of-stream must look like. A truncated final record
+// (or a stream so short the header never completed) is an error.
+func (d *StreamDecoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if !d.header {
+		return fmt.Errorf("trace: short header: %w", io.ErrUnexpectedEOF)
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("trace: truncated record: %w", io.ErrUnexpectedEOF)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleAccs(n int) []Access {
+	accs := make([]Access, 0, n)
+	x := uint32(0x1234_5678)
+	for i := 0; i < n; i++ {
+		x = x*1664525 + 1013904223
+		accs = append(accs, Access{Addr: x, Kind: Kind(x % 3)})
+	}
+	return accs
+}
+
+func TestStreamDecoderMatchesDecodeAcrossChunkSizes(t *testing.T) {
+	accs := sampleAccs(500)
+	var buf bytes.Buffer
+	if err := Encode(&buf, accs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, chunk := range []int{1, 2, 3, 5, 7, 64, len(raw)} {
+		var d StreamDecoder
+		var got []Access
+		var err error
+		for off := 0; off < len(raw); off += chunk {
+			end := off + chunk
+			if end > len(raw) {
+				end = len(raw)
+			}
+			got, err = d.Feed(raw[off:end], got)
+			if err != nil {
+				t.Fatalf("chunk=%d: Feed: %v", chunk, err)
+			}
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatalf("chunk=%d: Finish: %v", chunk, err)
+		}
+		if !reflect.DeepEqual(got, accs) {
+			t.Fatalf("chunk=%d: chunked decode differs from the encoded stream", chunk)
+		}
+	}
+}
+
+func TestStreamDecoderRejectsBadMagicAndKind(t *testing.T) {
+	var d StreamDecoder
+	if _, err := d.Feed([]byte("NOPE\x01"), nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := d.Feed([]byte{0}, nil); err == nil {
+		t.Fatal("error not sticky")
+	}
+
+	var d2 StreamDecoder
+	if _, err := d2.Feed([]byte("STRC\x01\x07"), nil); err == nil {
+		t.Fatal("invalid kind byte accepted")
+	}
+}
+
+func TestStreamDecoderFinishOnTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleAccs(3)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	var d StreamDecoder
+	if _, err := d.Feed(raw[:len(raw)-1], nil); err != nil {
+		t.Fatalf("prefix feed failed: %v", err)
+	}
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish accepted a truncated record")
+	}
+
+	var short StreamDecoder
+	if _, err := short.Feed(raw[:3], nil); err != nil {
+		t.Fatalf("short header feed errored early: %v", err)
+	}
+	if err := short.Finish(); err == nil {
+		t.Fatal("Finish accepted a stream shorter than the header")
+	}
+}
+
+// FuzzStreamDecoder pins that chunked decoding never panics and, split at an
+// arbitrary point, agrees exactly with the one-shot Decode on inputs Decode
+// accepts.
+func FuzzStreamDecoder(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleAccs(20)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes(), 7)
+	f.Add([]byte("STRC\x01"), 2)
+	f.Add([]byte("STRC\x02\x00\x00"), 1)
+	f.Add([]byte{0x00, 0x01, 0x02}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, split int) {
+		if split < 0 {
+			split = -split
+		}
+		if len(data) > 0 {
+			split %= len(data)
+		} else {
+			split = 0
+		}
+		var d StreamDecoder
+		got, err := d.Feed(data[:split], nil)
+		if err == nil {
+			got, err = d.Feed(data[split:], got)
+		}
+		if err == nil {
+			err = d.Finish()
+		}
+		whole, werr := Decode(bytes.NewReader(data))
+		if werr == nil && err != nil {
+			t.Fatalf("Decode accepted what StreamDecoder rejected: %v", err)
+		}
+		if werr == nil && !reflect.DeepEqual(got, whole) {
+			t.Fatalf("chunked decode differs from Decode: %d vs %d accesses", len(got), len(whole))
+		}
+	})
+}
