@@ -11,7 +11,15 @@
 // and a restarted stcd resumes each resubmitted session from its newest
 // valid checkpoint, discarding the re-streamed prefix. SIGINT/SIGTERM stop
 // accepting, drain live connections, persist every session's final state,
-// and exit.
+// print the fleet shutdown report (mode, misses/window totals, admission
+// counters), and exit.
+//
+// With -alloc-budget the allocator's plan is advisory: it informs but never
+// constrains each session's own search. Adding -enforce makes it binding —
+// sessions search only within their assigned budget, reallocation triggers
+// a constrained re-tune, and opens the budget cannot fit park in a bounded
+// FIFO queue (-pending-queue) or are rejected with an error frame the
+// client sees. -read-timeout closes connections that stall mid-stream.
 //
 // Client mode (-connect) replays one trace source into a serving stcd:
 // open a session, stream the trace, hang up. Run several clients to
@@ -65,6 +73,9 @@ func run() error {
 	allocUnit := flag.Int("alloc-unit", 2048, "allocation granularity in bytes")
 	allocEvery := flag.Int("alloc-every", 1, "re-run the allocation after this many fresh session profiles")
 	allocDP := flag.Bool("alloc-dp", false, "use the exact DP allocator instead of greedy marginal gain")
+	enforce := flag.Bool("enforce", false, "make the allocation binding: sessions search only within their assigned budget, and opens past the budget park or reject (requires -alloc-budget)")
+	pendingQueue := flag.Int("pending-queue", 4, "enforced mode: over-budget opens park in a FIFO queue this deep until capacity frees; negative rejects immediately")
+	readTimeout := flag.Duration("read-timeout", 0, "close an ingest connection idle for this long (0 disables)")
 
 	obsAddr := flag.String("obs-addr", "", "serve /healthz, /metrics and /debug/pprof on this address")
 	obsLog := flag.String("obs-log", "", "append JSONL telemetry to this file (filter per session with stcexplain -session)")
@@ -119,6 +130,9 @@ func run() error {
 		AllocUnit:        *allocUnit,
 		AllocEvery:       *allocEvery,
 		AllocDP:          *allocDP,
+		EnforceBudget:    *enforce,
+		PendingQueue:     *pendingQueue,
+		ReadTimeout:      *readTimeout,
 	})
 	if err != nil {
 		return err
@@ -170,7 +184,10 @@ func run() error {
 		go func() {
 			defer conns.Done()
 			defer conn.Close()
-			if err := m.Ingest(conn); err != nil {
+			// IngestConn reports admission rejections and per-session
+			// failures back to the client as error frames on the same
+			// connection; only frame-level failures surface here.
+			if err := m.IngestConn(conn); err != nil {
 				fmt.Fprintln(os.Stderr, "stcd: conn:", err)
 			}
 		}()
@@ -185,6 +202,18 @@ func run() error {
 		fmt.Printf("last allocation: %d/%d bytes assigned across %d sessions, %.1f expected misses/window\n",
 			plan.AssignedBytes, plan.TotalBytes, len(plan.Assignments), plan.TotalMisses)
 	}
+	rep := m.Report()
+	mode := "advisory"
+	if rep.Enforced {
+		mode = "enforced"
+	}
+	fmt.Printf("fleet report (%s): %d sessions closed, %.1f misses/window total, %d B settled footprint",
+		mode, len(rep.Sessions), rep.TotalMissesPerWindow, rep.SettledBytesTotal)
+	if rep.Enforced {
+		fmt.Printf(" against a %d B budget; %d opens rejected, %d admitted from the pending queue",
+			rep.BudgetBytes, rep.Rejected, rep.Unparked)
+	}
+	fmt.Println()
 	return nil
 }
 
@@ -221,6 +250,27 @@ func client(addr, session, wl, kernel, traceFile string, n, chunk int) error {
 	}
 	if err := cw.Close(session); err != nil {
 		return err
+	}
+	// Half-close our side and drain the server's response stream: a serving
+	// stcd reports admission rejections and payload failures as error
+	// frames, so a refused open fails the client loudly instead of silently
+	// streaming into the void.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	resps, err := fleet.ReadResponses(conn)
+	if err != nil {
+		return fmt.Errorf("reading server responses: %w", err)
+	}
+	failed := false
+	for _, r := range resps {
+		fmt.Fprintf(os.Stderr, "stcd: server: session %q: %s\n", r.SID, r.Msg)
+		if r.SID == session {
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("the server refused or failed session %q (see errors above)", session)
 	}
 	fmt.Printf("streamed %d accesses as session %q\n", len(accs), session)
 	return nil

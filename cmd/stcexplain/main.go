@@ -17,7 +17,10 @@
 // non-zero when the log contains no search trajectory at all, or when
 // -max-examined is set and any session examined more configurations than
 // that — a regression gate for the paper's "examines ~5-7 of 27
-// configurations" property.
+// configurations" property. Budget-constrained searches (daemon.budget,
+// budget-reasoned re-tunes, fleet.realloc) render with their allocation and
+// excluded-configuration counts, and count toward -max-examined like any
+// other session.
 package main
 
 import (

@@ -116,6 +116,79 @@ func (f *FleetStore) Sessions() []string {
 	return ids
 }
 
+// FleetState is the fleet-level durable state that lives beside the
+// per-session checkpoints: the capacity assignments in force, the parked
+// (admission-pending) sessions in FIFO order, and the miss-ratio-curve
+// profiles the allocator planned from. A restarted fleet restores all three,
+// so admission decisions, assignments and the constrained settles they drive
+// recover bit-identically — the fleet-level half of the crash-equivalence
+// contract (the per-session half is State).
+type FleetState struct {
+	Version int
+	// Assignments maps session ID to its capacity assignment in bytes.
+	Assignments map[string]int `json:",omitempty"`
+	// Pending lists parked session IDs in FIFO admission order.
+	Pending []string `json:",omitempty"`
+	// Profiles are the per-session miss-ratio curves captured from settled
+	// searches, sorted by ID.
+	Profiles []FleetProfile `json:",omitempty"`
+}
+
+// FleetProfile is one session's miss-ratio curve in durable form (mirrors
+// allocator.Profile without importing it).
+type FleetProfile struct {
+	ID     string
+	Weight float64
+	Points []MRCPoint
+}
+
+// MRCPoint is one measured point of a durable miss-ratio curve.
+type MRCPoint struct {
+	Bytes    int
+	MissRate float64
+}
+
+const fleetStateVersion = 1
+
+func (f *FleetStore) statePath() string { return filepath.Join(f.dir, "fleet-state.json") }
+
+// SaveState persists the fleet-level state atomically (same tmp+fsync+rename
+// discipline as the manifest and Store.Save).
+func (f *FleetStore) SaveState(st *FleetState) error {
+	cp := *st
+	cp.Version = fleetStateVersion
+	b, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: fleet state: %w", err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.writeAtomicLocked(f.statePath(), b); err != nil {
+		return fmt.Errorf("checkpoint: fleet state: %w", err)
+	}
+	return nil
+}
+
+// LoadState reads the persisted fleet-level state, nil (no error) when none
+// has been written yet.
+func (f *FleetStore) LoadState() (*FleetState, error) {
+	b, err := os.ReadFile(f.statePath())
+	switch {
+	case os.IsNotExist(err):
+		return nil, nil
+	case err != nil:
+		return nil, fmt.Errorf("checkpoint: fleet state: %w", err)
+	}
+	var st FleetState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("checkpoint: fleet state: %w", err)
+	}
+	if st.Version != fleetStateVersion {
+		return nil, fmt.Errorf("checkpoint: fleet state version %d, want %d", st.Version, fleetStateVersion)
+	}
+	return &st, nil
+}
+
 // writeManifestLocked persists the manifest atomically (tmp, fsync, rename,
 // directory fsync — the same discipline as Store.Save). Caller holds f.mu.
 func (f *FleetStore) writeManifestLocked() error {
@@ -128,7 +201,15 @@ func (f *FleetStore) writeManifestLocked() error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: fleet manifest: %w", err)
 	}
-	final := f.manifestPath()
+	if err := f.writeAtomicLocked(f.manifestPath(), b); err != nil {
+		return fmt.Errorf("checkpoint: fleet manifest: %w", err)
+	}
+	return nil
+}
+
+// writeAtomicLocked writes bytes to final via tmp+fsync+rename+dir-fsync.
+// Caller holds f.mu.
+func (f *FleetStore) writeAtomicLocked(final string, b []byte) error {
 	tmp := final + ".tmp"
 	fh, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

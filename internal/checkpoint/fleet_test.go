@@ -57,6 +57,64 @@ func TestFleetStoreNamespacesSessions(t *testing.T) {
 	}
 }
 
+func TestFleetStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFleetStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No state yet: nil, no error.
+	st, err := fs.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != nil {
+		t.Fatalf("LoadState before any save = %+v, want nil", st)
+	}
+
+	want := &FleetState{
+		Assignments: map[string]int{"a": 8192, "b": 4096},
+		Pending:     []string{"d", "c"}, // FIFO order, not sorted
+		Profiles: []FleetProfile{
+			{ID: "a", Weight: 10_000, Points: []MRCPoint{{Bytes: 2048, MissRate: 0.4}, {Bytes: 8192, MissRate: 0.1}}},
+		},
+	}
+	if err := fs.SaveState(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Version = fleetStateVersion
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LoadState = %+v, want %+v", got, want)
+	}
+
+	// Survives reopening the store; overwrites atomically.
+	fs2, err := OpenFleetStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs2.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened LoadState = %+v, want %+v", got, want)
+	}
+	if err := fs2.SaveState(&FleetState{Assignments: map[string]int{"a": 2048}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs2.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Assignments["a"] != 2048 || len(got.Pending) != 0 {
+		t.Fatalf("overwritten LoadState = %+v", got)
+	}
+}
+
 func TestFleetStoreRejectsEmptyID(t *testing.T) {
 	fs, err := OpenFleetStore(t.TempDir(), 4)
 	if err != nil {

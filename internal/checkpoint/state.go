@@ -42,6 +42,11 @@ type State struct {
 	// SessionWindows counts windows completed by the current session,
 	// used by the watchdog; reset when a session settles.
 	SessionWindows uint64
+	// Budget is the session's capacity assignment in bytes (0 =
+	// unconstrained): the cap every search this session starts is
+	// constrained to. JSON-optional so pre-budget checkpoints decode as
+	// unconstrained.
+	Budget int `json:",omitempty"`
 	// Events is the daemon's decision log (session starts, settles,
 	// re-tunes, watchdog aborts). The chaos harness compares event
 	// sequences between killed and unkilled runs. The daemon caps the
@@ -62,6 +67,12 @@ type Session struct {
 	SettleWB uint64
 	Finished bool
 	Aborted  bool
+	// MaxBytes and Start carry a budget-constrained search's restriction
+	// (tuner.SessionState): the footprint cap and the warm-start
+	// configuration. JSON-optional; pre-budget checkpoints decode as an
+	// unconstrained cold-started search.
+	MaxBytes int          `json:",omitempty"`
+	Start    cache.Config `json:",omitempty"`
 }
 
 // Eval is one window measurement on the wire.
@@ -89,12 +100,15 @@ type Outcome struct {
 type Event struct {
 	// At is the access count when the event happened.
 	At uint64
-	// Kind is one of "settle", "retune", "watchdog", "degraded".
+	// Kind is one of "settle", "retune", "watchdog", "degraded", "budget".
 	Kind string
 	// Cfg is the configuration in force after the event.
 	Cfg cache.Config
 	// Energy is the settled window energy (settle events; zero otherwise).
 	Energy float64
+	// Budget is the capacity assignment in bytes ("budget" events and the
+	// re-tunes they trigger; zero otherwise).
+	Budget int `json:",omitempty"`
 }
 
 // WireSession converts a tuner snapshot to the wire form.
@@ -105,6 +119,8 @@ func WireSession(st tuner.SessionState) *Session {
 		SettleWB: st.SettleWB,
 		Finished: st.Finished,
 		Aborted:  st.Aborted,
+		MaxBytes: st.MaxBytes,
+		Start:    st.Start,
 		History:  make([]Eval, len(st.History)),
 	}
 	for i, r := range st.History {
@@ -124,6 +140,8 @@ func (s *Session) TunerState() tuner.SessionState {
 		SettleWB: s.SettleWB,
 		Finished: s.Finished,
 		Aborted:  s.Aborted,
+		MaxBytes: s.MaxBytes,
+		Start:    s.Start,
 		History:  make([]tuner.EvalResult, len(s.History)),
 	}
 	for i, e := range s.History {

@@ -53,6 +53,11 @@ type Options struct {
 	// SafeConfig; 0 means the default 64 (the full search needs ~30 even
 	// with every window re-measured).
 	WatchdogWindows uint64
+	// BudgetBytes is the session's initial capacity assignment: every
+	// search is constrained to configurations of at most this footprint
+	// (tuner.Space.Constrain). 0 means unconstrained. SetBudget changes
+	// the assignment mid-stream — the fleet manager's reallocation path.
+	BudgetBytes int
 	// Meter is the counter-readout seam (fault injection); nil is a
 	// perfect readout.
 	Meter tuner.Meter
@@ -157,6 +162,7 @@ func (d *Daemon) gauges() {
 	reg.Gauge("daemon_retunes_total").Set(float64(s.retunes))
 	reg.Gauge("daemon_checkpoints_total").Set(float64(d.checkpoints))
 	reg.Gauge("daemon_events_dropped_total").Set(float64(s.eventsDropped))
+	reg.Gauge("daemon_budget_bytes").Set(float64(s.budget))
 	tuning := 0.0
 	if s.search != nil {
 		tuning = 1
@@ -275,6 +281,16 @@ func (d *Daemon) Close() error {
 // checkpoints already wrote; only the in-process search goroutine is
 // released (a real kill would take it down with the process).
 func (d *Daemon) Kill() { d.sess.Kill() }
+
+// SetBudget changes the capacity assignment (see Session.SetBudget) and
+// refreshes the gauges. Call between Steps only.
+func (d *Daemon) SetBudget(n int) {
+	d.sess.SetBudget(n)
+	d.gauges()
+}
+
+// Budget is the capacity assignment in force, 0 when unconstrained.
+func (d *Daemon) Budget() int { return d.sess.Budget() }
 
 // Session exposes the daemon's stream loop (for status beyond the
 // delegating accessors below).

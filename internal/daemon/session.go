@@ -40,6 +40,12 @@ type Session struct {
 	baseline        float64
 	winAcc, winMiss uint64
 
+	// budget is the capacity assignment in force (0 = unconstrained):
+	// every search the session starts is constrained to at most this
+	// footprint. Changed mid-stream by SetBudget, persisted in the
+	// boundary snapshot.
+	budget int
+
 	// events is the decision log, capped at opts.MaxEvents by dropping
 	// from the front; eventsDropped counts what the cap discarded and is
 	// checkpointed alongside, so a resumed session's log and drop count
@@ -65,7 +71,7 @@ type Session struct {
 // defaults as Daemon's; its persistence fields are ignored here.
 func NewSession(opts Options) *Session {
 	opts.fill()
-	s := &Session{opts: opts, rec: obs.OrNop(opts.Rec)}
+	s := &Session{opts: opts, rec: obs.OrNop(opts.Rec), budget: opts.BudgetBytes}
 	s.cache = cache.MustConfigurable(cache.MinConfig())
 	s.search = s.newSearch()
 	return s
@@ -78,6 +84,12 @@ func NewSession(opts Options) *Session {
 func ResumeSession(opts Options, st *checkpoint.State) (*Session, error) {
 	opts.fill()
 	s := &Session{opts: opts, rec: obs.OrNop(opts.Rec)}
+	s.budget = st.Budget
+	if s.budget == 0 {
+		// Pre-budget checkpoint (or a first life that never persisted one):
+		// fall back to the configured assignment.
+		s.budget = opts.BudgetBytes
+	}
 	c, err := cache.RestoreConfigurable(st.Cache)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: recover: %w", err)
@@ -107,9 +119,17 @@ func ResumeSession(opts Options, st *checkpoint.State) (*Session, error) {
 
 // newSearch starts a tuning search on the live cache, threading the
 // telemetry seam through: the session ordinal is the re-tune count, so a
-// resumed session's searches keep their coordinates.
+// resumed session's searches keep their coordinates. The search is
+// constrained to the session's capacity budget, cold-started from the
+// space's smallest configuration.
 func (s *Session) newSearch() *tuner.Online {
-	return tuner.NewOnlineObserved(s.cache, s.opts.Params, s.opts.Window, s.opts.Meter, s.opts.Rec, s.retunes)
+	return s.newSearchFrom(cache.Config{})
+}
+
+// newSearchFrom is newSearch warm-started at start (the budget-change
+// re-search path; zero value cold-starts).
+func (s *Session) newSearchFrom(start cache.Config) *tuner.Online {
+	return tuner.NewOnlineConstrained(s.cache, s.opts.Params, s.opts.Window, s.opts.Meter, s.opts.Rec, s.retunes, s.budget, start)
 }
 
 // emit records one session event. Coordinates are deterministic stream
@@ -240,11 +260,52 @@ func (s *Session) settle() {
 func (s *Session) retune() {
 	s.retunes++
 	s.appendEvent(checkpoint.Event{At: s.consumed, Kind: "retune", Cfg: s.cache.Config()})
-	s.emit("daemon.retune", s.cache.Config().String())
+	s.emit("daemon.retune", s.cache.Config().String(), slog.String("reason", "drift"))
 	s.settled = nil
 	s.sessionWindows = 0
 	s.search = s.newSearch()
 }
+
+// SetBudget changes the session's capacity assignment to n bytes (0 lifts
+// the constraint). A changed assignment invalidates whatever the session
+// settled on — or the space the running search is walking — so it triggers a
+// constrained re-search, warm-started from the current configuration
+// (clamped into the new budget) rather than a cold walk from the smallest.
+// The re-search counts as a re-tune so its telemetry coordinates never
+// collide with the abandoned search's. No-op when n equals the assignment
+// in force. Must be called between Steps (the session is single-owner).
+func (s *Session) SetBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n == s.budget {
+		return
+	}
+	prev := s.budget
+	s.budget = n
+	s.appendEvent(checkpoint.Event{At: s.consumed, Kind: "budget", Cfg: s.cache.Config(), Budget: n})
+	s.emit("daemon.budget", s.cache.Config().String(),
+		slog.Int("budget_bytes", n),
+		slog.Int("prev_bytes", prev),
+		slog.Int("excluded", tuner.ExcludedByBudget(tuner.DefaultSpace(), n)))
+	if s.search != nil {
+		s.search.Close()
+		s.search = nil
+	}
+	s.retunes++
+	s.appendEvent(checkpoint.Event{At: s.consumed, Kind: "retune", Cfg: s.cache.Config(), Budget: n})
+	s.emit("daemon.retune", s.cache.Config().String(),
+		slog.String("reason", "budget"),
+		slog.Int("budget_bytes", n))
+	s.settled = nil
+	s.sessionWindows = 0
+	s.baselined = false
+	s.winAcc, s.winMiss = 0, 0
+	s.search = s.newSearchFrom(tuner.ClampToBudget(s.cache.Config(), n, tuner.DefaultSpace()))
+}
+
+// Budget is the capacity assignment in force, 0 when unconstrained.
+func (s *Session) Budget() int { return s.budget }
 
 // watchdog aborts a search that failed to settle within the window budget
 // and parks the cache on SafeConfig — a wedged search must not hold the
@@ -285,6 +346,7 @@ func (s *Session) boundary() error {
 		WinAcc:         s.winAcc,
 		WinMiss:        s.winMiss,
 		SessionWindows: s.sessionWindows,
+		Budget:         s.budget,
 		Events:         append([]checkpoint.Event(nil), s.events...),
 		EventsDropped:  s.eventsDropped,
 	}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFleetABEnforcedFitsBudget pins the A/B's headline: under a budget
+// smaller than the tenants' combined unconstrained appetite, the advisory
+// fleet overshoots (each session settles wherever its own search lands)
+// while the enforced fleet's settled footprint fits. The price — more
+// misses per window — is reported, not hidden.
+func TestFleetABEnforcedFitsBudget(t *testing.T) {
+	res, err := FleetAB(FleetABOptions{
+		Workloads:   []string{"bilv", "padpcm"},
+		N:           200_000,
+		Window:      1_000,
+		BudgetBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Advisory.Enforced || !res.Enforced.Enforced {
+		t.Fatalf("report modes wrong: advisory %+v, enforced %+v", res.Advisory.Enforced, res.Enforced.Enforced)
+	}
+	if len(res.Advisory.Sessions) != 2 || len(res.Enforced.Sessions) != 2 {
+		t.Fatalf("session reports: advisory %d, enforced %d, want 2 each",
+			len(res.Advisory.Sessions), len(res.Enforced.Sessions))
+	}
+	if res.Enforced.SettledBytesTotal > 4096 {
+		t.Fatalf("enforced fleet settled on %d B against a 4096 B budget", res.Enforced.SettledBytesTotal)
+	}
+	if res.AdvisoryOverBudget == 0 {
+		t.Fatalf("advisory fleet fit the budget (settled %d B) — the A/B needs a binding one",
+			res.Advisory.SettledBytesTotal)
+	}
+	if res.EnforcedOverBudget != 0 {
+		t.Fatalf("EnforcedOverBudget = %d", res.EnforcedOverBudget)
+	}
+	if res.Enforced.Rejected != 0 {
+		t.Fatalf("enforced fleet rejected %d opens despite room for both minima", res.Enforced.Rejected)
+	}
+	for _, s := range res.Enforced.Sessions {
+		if s.Budget <= 0 {
+			t.Fatalf("enforced session %s carries no budget: %+v", s.ID, s)
+		}
+	}
+}
+
+func TestFleetABRequiresBudget(t *testing.T) {
+	if _, err := FleetAB(FleetABOptions{Workloads: []string{"crc"}, N: 1_000}); err == nil {
+		t.Fatal("FleetAB without a budget accepted")
+	}
+}
+
+// TestFleetChaosSoak is the enforce-mode crash-equivalence soak: an
+// enforced fleet killed mid-stream recovers its assignments and settles
+// bit-identically to one that never died. Skipped under -short; `make
+// check` runs it.
+func TestFleetChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet chaos soak skipped in short mode")
+	}
+	base := t.TempDir()
+	out, err := FleetChaos(FleetChaosOptions{
+		FleetABOptions: FleetABOptions{
+			Workloads:   []string{"crc", "bilv", "bcnt"},
+			N:           200_000,
+			Window:      1_000,
+			BudgetBytes: 8192 + 4096 + 2048,
+		},
+		Assignments: map[string]int{"crc": 8192, "bilv": 4096, "bcnt": 2048},
+		BaselineDir: filepath.Join(base, "baseline"),
+		ChaosDir:    filepath.Join(base, "chaos"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equivalent {
+		t.Fatalf("kill/resume diverged: %s", out.Mismatch)
+	}
+	if out.Recovered == 0 {
+		t.Fatal("no session resumed from a checkpoint — the kill landed before any persist")
+	}
+	if out.Chaos.Rejected != 0 || out.Baseline.Rejected != 0 {
+		t.Fatalf("pinned in-budget fleet rejected opens: chaos %d, baseline %d",
+			out.Chaos.Rejected, out.Baseline.Rejected)
+	}
+}
+
+func TestFleetChaosValidatesOptions(t *testing.T) {
+	if _, err := FleetChaos(FleetChaosOptions{}); err == nil {
+		t.Fatal("missing dirs accepted")
+	}
+	if _, err := FleetChaos(FleetChaosOptions{
+		FleetABOptions: FleetABOptions{Workloads: []string{"crc"}, N: 1_000, BudgetBytes: 2048},
+		BaselineDir:    "x", ChaosDir: "x",
+	}); err == nil {
+		t.Fatal("identical dirs accepted")
+	}
+}

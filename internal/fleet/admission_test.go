@@ -1,0 +1,269 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"selftune/internal/daemon"
+	"selftune/internal/obs"
+)
+
+// fleetEvents reads the recorder buffer back and filters by event name.
+func fleetEvents(t *testing.T, buf *bytes.Buffer, name string) []obs.RawEvent {
+	t.Helper()
+	evs, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []obs.RawEvent
+	for _, e := range evs {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestEnforceBudgetRequiresAllocBudget(t *testing.T) {
+	if _, err := New(Options{EnforceBudget: true}); err == nil {
+		t.Fatal("EnforceBudget without AllocBudgetBytes accepted")
+	}
+}
+
+// TestAdmissionAdmitParkReject walks the whole admission state machine on a
+// budget that covers exactly two minimum footprints: the first two opens
+// admit, the third parks in the one-deep queue, the fourth rejects with the
+// typed error, and closing an admitted session admits the parked one FIFO —
+// flushing the batches it buffered while parked.
+func TestAdmissionAdmitParkReject(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	m, err := New(Options{
+		Shards:           1,
+		Session:          daemon.Options{Window: 500},
+		AllocBudgetBytes: 2 * 2048,
+		EnforceBudget:    true,
+		PendingQueue:     1,
+		Rec:              obs.NewJSONL(&buf),
+		Reg:              reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for _, id := range []string{"a", "b"} {
+		if err := m.Open(id); err != nil {
+			t.Fatalf("open %q: %v", id, err)
+		}
+	}
+	if got := m.Pending(); len(got) != 0 {
+		t.Fatalf("pending after two in-budget opens: %v", got)
+	}
+	for _, id := range []string{"a", "b"} {
+		if b, err := m.Budget(id); err != nil || b != 2048 {
+			t.Fatalf("Budget(%q) = %d, %v; want the 2048 B equal share", id, b, err)
+		}
+	}
+
+	// Third session: over budget, parks.
+	if err := m.Open("c"); err != nil {
+		t.Fatalf("open c should park, got %v", err)
+	}
+	if got := m.Pending(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("Pending() = %v, want [c]", got)
+	}
+
+	// Fourth session: queue full, rejects with the typed error.
+	err = m.Open("d")
+	var aerr *AdmissionError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("open d = %v, want *AdmissionError", err)
+	}
+	if aerr.SID != "d" || aerr.BudgetBytes != 2*2048 || aerr.Reason == "" {
+		t.Fatalf("AdmissionError = %+v", aerr)
+	}
+	if _, err := m.Session("d"); err == nil {
+		t.Fatal("rejected session is live")
+	}
+
+	// A parked session buffers its submissions without consuming.
+	tr := genTrace(t, "crc", 3_000)
+	if err := m.Submit("c", tr[:1_000]); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := m.Session("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dc.Consumed(); got != 0 {
+		t.Fatalf("parked session consumed %d accesses", got)
+	}
+
+	// Freeing capacity admits FIFO and flushes the buffer in order.
+	if err := m.CloseSession("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Pending(); len(got) != 0 {
+		t.Fatalf("Pending() after capacity freed = %v", got)
+	}
+	if err := m.Submit("c", tr[1_000:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CloseSession("c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := dc.Consumed(); got != uint64(len(tr)) {
+		t.Fatalf("admitted session consumed %d of %d accesses", got, len(tr))
+	}
+
+	rep := m.Report()
+	if rep.Rejected != 1 || rep.Unparked != 1 || !rep.Enforced || rep.BudgetBytes != 2*2048 {
+		t.Fatalf("Report() = %+v, want 1 rejection, 1 unpark", rep)
+	}
+
+	// The decision trail: park, reject and admit events all carry the sid.
+	for name, sid := range map[string]string{"fleet.park": "c", "fleet.reject": "d", "fleet.admit": "c"} {
+		evs := fleetEvents(t, &buf, name)
+		if len(evs) != 1 || evs[0].Str("sid") != sid {
+			t.Fatalf("%s events = %+v, want exactly one with sid=%s", name, evs, sid)
+		}
+	}
+	var prom strings.Builder
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fleet_admission_rejected_total 1",
+		"fleet_admitted_from_queue_total 1",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("missing %q in metrics:\n%s", want, prom.String())
+		}
+	}
+}
+
+func TestAdmissionRejectsWhenParkingDisabled(t *testing.T) {
+	m, err := New(Options{
+		Shards:           1,
+		Session:          daemon.Options{Window: 500},
+		AllocBudgetBytes: 2048, // one minimum footprint
+		EnforceBudget:    true,
+		PendingQueue:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Open("a"); err != nil {
+		t.Fatal(err)
+	}
+	var aerr *AdmissionError
+	if err := m.Open("b"); !errors.As(err, &aerr) {
+		t.Fatalf("open b = %v, want immediate *AdmissionError with parking disabled", err)
+	}
+	if got := m.Pending(); len(got) != 0 {
+		t.Fatalf("Pending() = %v with parking disabled", got)
+	}
+}
+
+// TestParkedSessionCloseDiscards pins the cleanup path: closing a session
+// that never left the pending queue discards its buffered batches (it was
+// never granted capacity), frees its queue slot, and is not an error.
+func TestParkedSessionCloseDiscards(t *testing.T) {
+	m, err := New(Options{
+		Shards:           1,
+		Session:          daemon.Options{Window: 500},
+		AllocBudgetBytes: 2048,
+		EnforceBudget:    true,
+		PendingQueue:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Open("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit("b", genTrace(t, "crc", 1_000)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := m.Session("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CloseSession("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Consumed(); got != 0 {
+		t.Fatalf("discarded parked session consumed %d accesses", got)
+	}
+	// The queue slot freed: a new over-budget open parks instead of
+	// rejecting.
+	if err := m.Open("c"); err != nil {
+		t.Fatalf("open c after parked close: %v", err)
+	}
+	if got := m.Pending(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("Pending() = %v, want [c]", got)
+	}
+}
+
+// TestOverloadNeverWedges hammers admission control past every limit and
+// asserts the fleet stays live: opens either admit, park or reject (never
+// hang), submissions to every surviving session flow, and the fleet closes
+// cleanly. The overload contract is graceful degradation, not correctness of
+// any particular admission outcome.
+func TestOverloadNeverWedges(t *testing.T) {
+	m, err := New(Options{
+		Shards:           2,
+		Session:          daemon.Options{Window: 500},
+		AllocBudgetBytes: 3 * 2048,
+		EnforceBudget:    true,
+		PendingQueue:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []string
+	rejected := 0
+	for i := 0; i < 12; i++ {
+		id := fmt.Sprintf("s%02d", i)
+		err := m.Open(id)
+		var aerr *AdmissionError
+		switch {
+		case err == nil:
+			live = append(live, id)
+		case errors.As(err, &aerr):
+			rejected++
+		default:
+			t.Fatalf("open %q: %v", id, err)
+		}
+	}
+	if len(live) != 5 { // 3 admitted + 2 parked
+		t.Fatalf("%d sessions accepted, want 5 (3 admitted + 2 parked)", len(live))
+	}
+	if rejected != 7 {
+		t.Fatalf("%d opens rejected, want 7", rejected)
+	}
+	tr := genTrace(t, "crc", 6_000)
+	for round := 0; round < 3; round++ {
+		for _, id := range live {
+			if err := m.Submit(id, tr[round*2_000:(round+1)*2_000]); err != nil {
+				t.Fatalf("submit %q round %d: %v", id, round, err)
+			}
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report()
+	if rep.Rejected != 7 || len(rep.Sessions) != 5 {
+		t.Fatalf("Report() = %+v, want 7 rejections and 5 session reports", rep)
+	}
+}

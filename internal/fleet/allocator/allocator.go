@@ -47,8 +47,11 @@ type Profile struct {
 // configurations: for each cache size the search measured, the curve keeps
 // the best miss rate seen (the search sweeps associativity and line size at
 // fixed sizes, so the minimum is the size's realisable best). Results with
-// errors or zero accesses are skipped; ok is false when no usable point
-// remains.
+// errors or zero accesses are skipped; ok is false when fewer than two
+// distinct sizes remain — a single-point "curve" has no marginal-gain slope,
+// so the allocator would treat the session as capacity-indifferent when it
+// is merely under-measured (a budget-constrained search that never left the
+// smallest size is the common producer of such transcripts).
 func FromResults(id string, results []tuner.EvalResult) (Profile, bool) {
 	best := map[int]float64{}
 	var weight float64
@@ -64,7 +67,7 @@ func FromResults(id string, results []tuner.EvalResult) (Profile, bool) {
 			weight = acc
 		}
 	}
-	if len(best) == 0 {
+	if len(best) < 2 {
 		return Profile{}, false
 	}
 	p := Profile{ID: id, Weight: weight}

@@ -62,6 +62,74 @@ func TestFromResults(t *testing.T) {
 	}
 }
 
+func TestFromResultsNeedsTwoSizes(t *testing.T) {
+	// A transcript that never left one size (a tightly budget-constrained
+	// search, say) yields no curve slope; the profile must be rejected, not
+	// degenerate to a flat single-point curve.
+	one := []tuner.EvalResult{
+		{Cfg: cache.Config{SizeBytes: 2048, Ways: 1, LineBytes: 16}, Stats: cache.Stats{Accesses: 10_000, Misses: 4_000}},
+		{Cfg: cache.Config{SizeBytes: 2048, Ways: 1, LineBytes: 32}, Stats: cache.Stats{Accesses: 10_000, Misses: 3_000}},
+	}
+	if _, ok := FromResults("s1", one); ok {
+		t.Fatal("FromResults accepted a single-size transcript")
+	}
+	// A second distinct size — even via one extra measurement — makes it usable.
+	two := append(one, tuner.EvalResult{
+		Cfg: cache.Config{SizeBytes: 4096, Ways: 1, LineBytes: 32}, Stats: cache.Stats{Accesses: 10_000, Misses: 2_000},
+	})
+	p, ok := FromResults("s1", two)
+	if !ok {
+		t.Fatal("FromResults rejected a two-size transcript")
+	}
+	if len(p.Points) != 2 {
+		t.Fatalf("points = %v, want 2 sizes", p.Points)
+	}
+}
+
+func TestIdenticalProfilesTieBreakPinned(t *testing.T) {
+	// Two sessions with byte-identical curves: every marginal unit is a tie,
+	// and every tie must go to the lexicographically smallest ID, so the full
+	// plan is pinned. One extra unit on top of the minima goes to "a".
+	mk := func(id string) Profile { return curve(id, 10_000, 2048, 0.4, 4096, 0.2, 8192, 0.1) }
+	for _, order := range [][]Profile{
+		{mk("a"), mk("b")},
+		{mk("b"), mk("a")},
+	} {
+		g, err := Greedy(2048*3, 2048, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DP(2048*3, 2048, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, plan := range map[string]Plan{"greedy": g, "dp": d} {
+			if got := plan.Assignments[0]; got.ID != "a" || got.Bytes != 4096 {
+				t.Fatalf("%s: identical-profile tie went to %v, want a=4096", name, got)
+			}
+			if got := plan.Assignments[1]; got.ID != "b" || got.Bytes != 2048 {
+				t.Fatalf("%s: identical-profile tie left %v, want b=2048", name, got)
+			}
+		}
+	}
+}
+
+func TestSingleSessionBudgetEqualsMinimum(t *testing.T) {
+	// The degenerate admission boundary: exactly one session, budget exactly
+	// its curve's minimum footprint. Both planners must accept and assign
+	// precisely the minimum.
+	p := curve("solo", 10_000, 2048, 0.4, 8192, 0.1)
+	for name, plan := range map[string]func(int, int, []Profile) (Plan, error){"greedy": Greedy, "dp": DP} {
+		got, err := plan(2048, 2048, []Profile{p})
+		if err != nil {
+			t.Fatalf("%s: budget==minimum rejected: %v", name, err)
+		}
+		if len(got.Assignments) != 1 || got.Assignments[0].Bytes != 2048 || got.AssignedBytes != 2048 {
+			t.Fatalf("%s: plan = %+v, want exactly the 2048 B minimum", name, got)
+		}
+	}
+}
+
 func TestGreedyHandComputed(t *testing.T) {
 	// a saves 1000 misses for its first extra 2048 B (steep curve), b saves
 	// 600, a's second segment saves 400. Budget of 3 extra units goes

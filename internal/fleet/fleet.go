@@ -10,8 +10,10 @@
 // shard worker. A fleet of N sessions therefore produces per-session
 // decisions, checkpoints and telemetry bit-identical to N independent
 // cmd/tuned runs, at any shard count — internal/fleet's property test pins
-// it. Fleet-level events (open, close, allocation) carry no sid field, so
-// filtering a fleet log by sid yields exactly one session's story.
+// it. Fleet-wide events (open, close, allocation) carry no sid field, and
+// the fleet events that concern exactly one session (shed, park, admit,
+// reject, realloc) are stamped with it, so filtering a fleet log by sid
+// yields exactly one session's story.
 //
 // Backpressure is per session: Submit blocks while a session's in-flight
 // accesses exceed QueueDepth, so one slow tenant cannot balloon memory.
@@ -26,12 +28,14 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"time"
 
 	"selftune/internal/checkpoint"
 	"selftune/internal/daemon"
 	"selftune/internal/fleet/allocator"
 	"selftune/internal/obs"
 	"selftune/internal/trace"
+	"selftune/internal/tuner"
 )
 
 // Options configures a Manager.
@@ -75,6 +79,35 @@ type Options struct {
 	// AllocDP selects the exact grouped-knapsack solver over the greedy
 	// marginal-gain one.
 	AllocDP bool
+
+	// EnforceBudget makes the capacity plan binding instead of advisory:
+	// every session's search is constrained to its assignment
+	// (daemon.SetBudget → tuner.Space.Constrain), assignments are
+	// recomputed on session open, close and profile refresh, and Open is
+	// subject to admission control — a session the budget cannot give the
+	// minimum footprint is parked in the bounded pending queue or rejected
+	// with *AdmissionError. Requires AllocBudgetBytes > 0. Off by default.
+	EnforceBudget bool
+	// Assignments pins per-session budgets in bytes (EnforceBudget only):
+	// a pinned session's constraint is fixed at open time and never
+	// reallocated, which keeps the session's decision sequence independent
+	// of fleet composition — the budget-constrained determinism property
+	// test runs on pinned assignments. Unlisted sessions are planned
+	// dynamically.
+	Assignments map[string]int
+	// PendingQueue bounds the admission queue (EnforceBudget only):
+	// sessions that do not fit the budget park here, FIFO, until capacity
+	// frees; opens beyond the bound are rejected. Default 4; negative
+	// disables parking so every over-budget open rejects immediately.
+	PendingQueue int
+
+	// ReadTimeout is the ingest idle deadline: a connection whose next
+	// frame byte does not arrive within this window is closed (its open
+	// sessions get their graceful final persist; other connections are
+	// untouched). Requires the reader to support SetReadDeadline
+	// (net.Conn does). 0 — the default — disables the deadline, which
+	// deterministic in-process tests rely on.
+	ReadTimeout time.Duration
 }
 
 func (o *Options) fill() {
@@ -93,6 +126,29 @@ func (o *Options) fill() {
 	if o.AllocEvery <= 0 {
 		o.AllocEvery = 1
 	}
+	if o.PendingQueue == 0 {
+		o.PendingQueue = 4
+	}
+}
+
+// AdmissionError reports an Open turned away by admission control: the
+// budget cannot give every admitted session the minimum cache footprint and
+// the pending queue is full (or parking is disabled). It is a client-visible
+// typed error — the wire layer forwards Reason to the submitting client.
+type AdmissionError struct {
+	// SID is the session that was refused.
+	SID string
+	// Reason is the human-readable refusal.
+	Reason string
+	// Sessions is the number of live sessions at decision time.
+	Sessions int
+	// BudgetBytes echoes the fleet budget the decision was made against.
+	BudgetBytes int
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("fleet: session %q not admitted: %s (%d live sessions, %d B budget)",
+		e.SID, e.Reason, e.Sessions, e.BudgetBytes)
 }
 
 // Manager is the fleet: sessions sharded across workers, with shared
@@ -104,10 +160,24 @@ type Manager struct {
 
 	shards []*shard
 
+	// minBytes is the smallest footprint any session can occupy — the
+	// admission-control unit (enforce mode).
+	minBytes int
+
 	mu       sync.Mutex
 	sessions map[string]*session
+	pending  []*session // parked sessions, FIFO admission order (enforce mode)
 	closed   bool
 	seq      uint64 // fleet-event ordinal (Step coordinate)
+	rejected uint64 // opens refused by admission control
+	unparked uint64 // sessions admitted from the pending queue
+	reports  []SessionReport
+
+	// restored carries the assignments a previous life persisted
+	// (checkpoint.FleetState), consumed as each session re-opens so its
+	// first search starts under the same constraint the old life settled
+	// with — no realloc flip-flop on recovery.
+	restored map[string]int
 
 	allocMu       sync.Mutex
 	profiles      map[string]allocator.Profile
@@ -130,6 +200,18 @@ type session struct {
 	err      error // sticky failure; set by the worker
 	closed   bool
 
+	// parked marks a session waiting in the admission queue: submitted
+	// batches buffer in buf (with the normal inFlight backpressure) and
+	// flush to the shard, in order, when the session is admitted.
+	parked bool
+	buf    []trace.Access
+
+	// budget is the capacity assignment in force; budgetDirty flags a
+	// reallocation the shard worker applies (daemon.SetBudget) at the next
+	// batch start, the only point serialised with Step.
+	budget      int
+	budgetDirty bool
+
 	profiledAt uint64 // Outcome.At of the settle the current profile reflects
 }
 
@@ -148,6 +230,7 @@ type shard struct {
 	cond *sync.Cond
 	q    []item
 	stop bool
+	kill bool // abandon queued work immediately (Manager.Kill)
 	wg   sync.WaitGroup
 }
 
@@ -162,11 +245,16 @@ func shardOf(id string, n int) int {
 // New builds a fleet manager and starts its shard workers.
 func New(opts Options) (*Manager, error) {
 	opts.fill()
+	if opts.EnforceBudget && opts.AllocBudgetBytes <= 0 {
+		return nil, fmt.Errorf("fleet: EnforceBudget requires a positive AllocBudgetBytes")
+	}
 	m := &Manager{
 		opts:     opts,
 		rec:      obs.OrNop(opts.Rec),
 		sessions: map[string]*session{},
 		profiles: map[string]allocator.Profile{},
+		restored: map[string]int{},
+		minBytes: tuner.DefaultSpace().MinFootprintBytes(),
 	}
 	if opts.Dir != "" {
 		fs, err := checkpoint.OpenFleetStore(opts.Dir, opts.Keep)
@@ -174,6 +262,24 @@ func New(opts Options) (*Manager, error) {
 			return nil, err
 		}
 		m.store = fs
+		if opts.EnforceBudget {
+			st, err := fs.LoadState()
+			if err != nil {
+				return nil, err
+			}
+			if st != nil {
+				for id, b := range st.Assignments {
+					m.restored[id] = b
+				}
+				for _, p := range st.Profiles {
+					prof := allocator.Profile{ID: p.ID, Weight: p.Weight}
+					for _, pt := range p.Points {
+						prof.Points = append(prof.Points, allocator.Point{Bytes: pt.Bytes, MissRate: pt.MissRate})
+					}
+					m.profiles[prof.ID] = prof
+				}
+			}
+		}
 	}
 	for i := 0; i < opts.Shards; i++ {
 		sh := &shard{id: i}
@@ -186,9 +292,10 @@ func New(opts Options) (*Manager, error) {
 	return m, nil
 }
 
-// emit records one fleet-level event. Fleet events carry no sid field —
-// only session events do — so a fleet log filtered by sid is exactly one
-// session's solo log. The Step coordinate is a fleet-wide ordinal (arrival
+// emit records one fleet-level event. Fleet-wide events carry no sid
+// field; callers narrating a single session's fate (shed, park, admit,
+// reject, realloc) pass an sid attribute so the event survives a
+// per-session filter. The Step coordinate is a fleet-wide ordinal (arrival
 // order, not deterministic across runs; fleet events are operational, not
 // part of the determinism contract).
 func (m *Manager) emit(name string, fields ...slog.Attr) {
@@ -205,6 +312,12 @@ func (m *Manager) emit(name string, fields ...slog.Attr) {
 // Open creates (or, when a checkpoint exists under the fleet directory,
 // resumes) the session and pins it to its shard. Opening an existing live
 // session is an error.
+//
+// Under EnforceBudget, Open is an admission decision: a session the budget
+// can give the minimum footprint is admitted (and the fleet's assignments
+// replanned around it); one it cannot is parked in the bounded FIFO pending
+// queue — it buffers submitted accesses and starts consuming when capacity
+// frees — and an open past the queue's bound returns *AdmissionError.
 func (m *Manager) Open(id string) error {
 	if id == "" {
 		return fmt.Errorf("fleet: empty session id")
@@ -214,6 +327,13 @@ func (m *Manager) Open(id string) error {
 	sopts.Keep = m.opts.Keep
 	sopts.Reg = nil
 	sopts.Rec = obs.With(m.opts.Rec, slog.String("sid", id))
+	if m.opts.EnforceBudget {
+		if b, ok := m.opts.Assignments[id]; ok {
+			sopts.BudgetBytes = b
+		} else if b, ok := m.restored[id]; ok {
+			sopts.BudgetBytes = b
+		}
+	}
 	if m.store != nil {
 		if _, err := m.store.Session(id); err != nil { // registers in the manifest
 			return err
@@ -238,6 +358,7 @@ func (m *Manager) Open(id string) error {
 	}
 	s := &session{id: id, shard: m.shards[shardOf(id, len(m.shards))], d: d, skip: d.Consumed()}
 	s.cond = sync.NewCond(&s.mu)
+	s.budget = sopts.BudgetBytes
 
 	m.mu.Lock()
 	if m.closed {
@@ -250,6 +371,38 @@ func (m *Manager) Open(id string) error {
 		d.Kill()
 		return fmt.Errorf("fleet: session %q already open", id)
 	}
+	parked := false
+	if m.opts.EnforceBudget {
+		admitted := len(m.sessions) - len(m.pending)
+		switch {
+		case (admitted+1)*m.minBytes <= m.opts.AllocBudgetBytes:
+			// Admitted: the budget covers every session's minimum
+			// footprint with this one included.
+		case m.opts.PendingQueue > 0 && len(m.pending) < m.opts.PendingQueue:
+			parked = true
+			s.parked = true
+			m.pending = append(m.pending, s)
+		default:
+			m.rejected++
+			live := len(m.sessions)
+			m.mu.Unlock()
+			d.Kill()
+			aerr := &AdmissionError{
+				SID:         id,
+				Reason:      fmt.Sprintf("budget cannot cover a %dth session's %d B minimum footprint and the pending queue is full", admitted+1, m.minBytes),
+				Sessions:    live,
+				BudgetBytes: m.opts.AllocBudgetBytes,
+			}
+			if reg := m.opts.Reg; reg != nil {
+				reg.Counter("fleet_admission_rejected_total").Inc()
+			}
+			m.emit("fleet.reject",
+				slog.String("sid", id),
+				slog.String("reason", aerr.Reason),
+				slog.Int("live", live))
+			return aerr
+		}
+	}
 	m.sessions[id] = s
 	m.mu.Unlock()
 	m.emit("fleet.open",
@@ -257,7 +410,14 @@ func (m *Manager) Open(id string) error {
 		slog.Int("shard", s.shard.id),
 		slog.Bool("recovered", d.Recovered()),
 		slog.Uint64("consumed", d.Consumed()))
+	if parked {
+		m.emit("fleet.park", slog.String("sid", id))
+	}
 	m.gauges()
+	if !parked {
+		m.replan()
+	}
+	m.persistState()
 	return nil
 }
 
@@ -314,7 +474,7 @@ func (m *Manager) Submit(id string, accs []trace.Access) error {
 			m.opts.Reg.CounterWith("fleet_shed_accesses_total", "session", id).Add(uint64(len(accs)))
 		}
 		m.emit("fleet.shed",
-			slog.String("session", id),
+			slog.String("sid", id),
 			slog.Int("dropped", len(accs)),
 			slog.Uint64("total", shed))
 		return nil
@@ -332,12 +492,29 @@ func (m *Manager) Submit(id string, accs []trace.Access) error {
 		return err
 	}
 	s.inFlight += len(accs)
+	depth := s.inFlight
+	if s.parked {
+		// Parked by admission control: hold the batch locally. The buffer
+		// obeys the same QueueDepth bound as the shard queue (the wait
+		// above), so a never-admitted session exerts backpressure — or
+		// sheds — instead of ballooning memory. Admission flushes buf to
+		// the shard under s.mu, so arrival order is preserved.
+		s.buf = append(s.buf, accs...)
+		s.mu.Unlock()
+		if reg := m.opts.Reg; reg != nil {
+			reg.GaugeWith("fleet_session_queue", "session", id).Set(float64(depth))
+		}
+		return nil
+	}
 	// Enqueue under s.mu: a concurrent CloseSession also enqueues under
 	// s.mu, so its close item can never be overtaken by a data batch that
 	// passed the closed check earlier. (Lock order s.mu → shard.mu is safe:
 	// the worker never holds both.)
 	s.shard.enqueue(item{s: s, accs: accs})
 	s.mu.Unlock()
+	if reg := m.opts.Reg; reg != nil {
+		reg.GaugeWith("fleet_session_queue", "session", id).Set(float64(depth))
+	}
 	return nil
 }
 
@@ -373,23 +550,122 @@ func (m *Manager) CloseSession(id string) error {
 	}
 	s.closed = true
 	s.cond.Broadcast()
+	// A parked session's buffered batches were never granted capacity and
+	// are discarded; only the close item reaches the worker.
+	s.buf = nil
 	done := make(chan error, 1)
 	s.shard.enqueue(item{s: s, close: true, done: done})
 	s.mu.Unlock()
 	err = <-done
 
+	rep := m.report(s)
 	m.mu.Lock()
 	delete(m.sessions, id)
+	for i, p := range m.pending {
+		if p == s {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			break
+		}
+	}
+	m.reports = append(m.reports, rep)
 	m.mu.Unlock()
 	m.emit("fleet.close",
 		slog.String("session", id),
 		slog.Uint64("consumed", s.d.Consumed()),
 		slog.Uint64("windows", s.d.Windows()))
 	m.gauges()
+	m.admitPending()
+	m.replan()
+	m.persistState()
 	if err != nil {
 		return fmt.Errorf("fleet: close %q: %w", id, err)
 	}
 	return s.sticky()
+}
+
+// report captures a session's shutdown summary (called after its worker
+// quiesced it).
+func (m *Manager) report(s *session) SessionReport {
+	rep := SessionReport{
+		ID:       s.id,
+		Consumed: s.d.Consumed(),
+		Windows:  s.d.Windows(),
+		Retunes:  s.d.Retunes(),
+		Budget:   s.d.Budget(),
+	}
+	if out := s.d.Settled(); out != nil {
+		rep.SettledBytes = out.Cfg.SizeBytes
+		rep.Degraded = out.Degraded
+	}
+	if res, ok := s.d.Session().LastResult(); ok {
+		rep.MissesPerWindow = float64(res.Best.Stats.Misses)
+	}
+	s.mu.Lock()
+	rep.Shed = s.shed
+	s.mu.Unlock()
+	return rep
+}
+
+// admitPending admits parked sessions, FIFO, while the budget covers them,
+// flushing each one's buffered batches to its shard in arrival order.
+func (m *Manager) admitPending() {
+	if !m.opts.EnforceBudget {
+		return
+	}
+	var admit []*session
+	m.mu.Lock()
+	for len(m.pending) > 0 {
+		admitted := len(m.sessions) - len(m.pending)
+		if (admitted+1)*m.minBytes > m.opts.AllocBudgetBytes {
+			break
+		}
+		admit = append(admit, m.pending[0])
+		m.pending = m.pending[1:]
+		m.unparked++
+	}
+	m.mu.Unlock()
+	for _, s := range admit {
+		s.mu.Lock()
+		s.parked = false
+		if len(s.buf) > 0 {
+			// inFlight already counts the buffered accesses; the worker
+			// decrements as it consumes them.
+			s.shard.enqueue(item{s: s, accs: s.buf})
+			s.buf = nil
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if reg := m.opts.Reg; reg != nil {
+			reg.Counter("fleet_admitted_from_queue_total").Inc()
+		}
+		m.emit("fleet.admit", slog.String("sid", s.id))
+	}
+	if len(admit) > 0 {
+		m.gauges()
+	}
+}
+
+// Pending lists the parked session IDs in FIFO admission order.
+func (m *Manager) Pending() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.pending))
+	for _, s := range m.pending {
+		ids = append(ids, s.id)
+	}
+	return ids
+}
+
+// Budget reports the session's capacity assignment in force (0 when
+// unconstrained or outside enforce mode).
+func (m *Manager) Budget(id string) (int, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget, nil
 }
 
 // Sessions lists the live session IDs, sorted.
@@ -425,6 +701,25 @@ func (m *Manager) Shed(id string) (uint64, error) {
 	return s.shed, nil
 }
 
+// Quiesce blocks until every access submitted to the session so far has
+// been consumed by its shard worker (releasing the session's lock after
+// the final Step), so the caller may read the daemon's single-owner
+// accessors — Consumed, Settled, Events — without racing the worker. A
+// parked session quiesces only once admitted and drained; a killed
+// session releases quiescers immediately.
+func (m *Manager) Quiesce(id string) error {
+	s, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.inFlight > 0 && !s.closed {
+		s.cond.Wait()
+	}
+	return nil
+}
+
 // Close closes every live session (final persists included) and stops the
 // shard workers. The first session close error is returned.
 func (m *Manager) Close() error {
@@ -454,6 +749,99 @@ func (m *Manager) Close() error {
 	return first
 }
 
+// Kill abandons the fleet without persisting anything — the chaos harness's
+// stand-in for SIGKILL. Queued work is dropped on the floor, blocked
+// submitters are released with a closed error, and every session daemon is
+// killed; durable state stays whatever the periodic checkpoints (and
+// persistState calls) already wrote. Not for use concurrently with
+// CloseSession.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	m.closed = true
+	ss := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	for _, s := range ss {
+		s.mu.Lock()
+		s.closed = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.kill = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	for _, sh := range m.shards {
+		sh.wg.Wait()
+	}
+	for _, s := range ss {
+		s.d.Kill()
+	}
+}
+
+// SessionReport is one closed session's shutdown summary.
+type SessionReport struct {
+	ID       string
+	Consumed uint64
+	Windows  uint64
+	Retunes  uint64
+	// Budget is the capacity assignment in force at close, 0 when
+	// unconstrained.
+	Budget int
+	// SettledBytes is the settled configuration's capacity (0 while a
+	// search was still running at close); Degraded marks a watchdog or
+	// fault fallback.
+	SettledBytes int
+	Degraded     bool
+	// MissesPerWindow is the settled configuration's measured misses over
+	// one measurement window — the fleet A/B experiment's metric.
+	MissesPerWindow float64
+	Shed            uint64
+}
+
+// Report is the fleet's shutdown summary: every closed session plus the
+// admission counters, the advisory-vs-enforced A/B surface printed by
+// cmd/stcd at exit.
+type Report struct {
+	// Enforced and BudgetBytes echo the fleet's capacity options.
+	Enforced    bool
+	BudgetBytes int
+	// Rejected counts opens refused by admission control; Unparked counts
+	// sessions admitted from the pending queue.
+	Rejected uint64
+	Unparked uint64
+	// Sessions holds one report per closed session, sorted by ID.
+	Sessions []SessionReport
+	// TotalMissesPerWindow and SettledBytesTotal sum the per-session
+	// settled figures.
+	TotalMissesPerWindow float64
+	SettledBytesTotal    int
+}
+
+// Report summarises the sessions closed so far (after Close: the whole
+// fleet) together with the admission counters.
+func (m *Manager) Report() Report {
+	m.mu.Lock()
+	r := Report{
+		Enforced:    m.opts.EnforceBudget,
+		BudgetBytes: m.opts.AllocBudgetBytes,
+		Rejected:    m.rejected,
+		Unparked:    m.unparked,
+		Sessions:    append([]SessionReport(nil), m.reports...),
+	}
+	m.mu.Unlock()
+	sort.Slice(r.Sessions, func(i, j int) bool { return r.Sessions[i].ID < r.Sessions[j].ID })
+	for _, s := range r.Sessions {
+		r.TotalMissesPerWindow += s.MissesPerWindow
+		r.SettledBytesTotal += s.SettledBytes
+	}
+	return r
+}
+
 // enqueue appends one work item to the shard's FIFO queue.
 func (sh *shard) enqueue(it item) {
 	sh.mu.Lock()
@@ -464,15 +852,15 @@ func (sh *shard) enqueue(it item) {
 
 // work is a shard worker: it drains the queue in FIFO order, which — with
 // each session pinned to exactly one shard — serialises every session's
-// accesses in submission order.
+// accesses in submission order. A kill abandons whatever is still queued.
 func (m *Manager) work(sh *shard) {
 	defer sh.wg.Done()
 	for {
 		sh.mu.Lock()
-		for len(sh.q) == 0 && !sh.stop {
+		for len(sh.q) == 0 && !sh.stop && !sh.kill {
 			sh.cond.Wait()
 		}
-		if len(sh.q) == 0 && sh.stop {
+		if sh.kill || len(sh.q) == 0 {
 			sh.mu.Unlock()
 			return
 		}
@@ -492,6 +880,16 @@ func (m *Manager) process(it item) {
 	}
 	failed := s.sticky() != nil
 	if !failed {
+		// Apply a staged reallocation at the batch start: the worker owns
+		// the daemon, so this is the one point where changing the budget
+		// is serialised with Step. SetBudget no-ops when unchanged.
+		s.mu.Lock()
+		dirty, b := s.budgetDirty, s.budget
+		s.budgetDirty = false
+		s.mu.Unlock()
+		if dirty {
+			s.d.SetBudget(b)
+		}
 		for _, a := range it.accs {
 			if err := s.d.Step(a.Addr, a.IsWrite()); err != nil {
 				s.fail(err)
@@ -533,6 +931,10 @@ func (m *Manager) observe(s *session) {
 	if out := d.Settled(); out != nil {
 		reg.GaugeWith("fleet_session_settled_bytes", "session", s.id).Set(float64(out.Cfg.SizeBytes))
 	}
+	s.mu.Lock()
+	depth := s.inFlight
+	s.mu.Unlock()
+	reg.GaugeWith("fleet_session_queue", "session", s.id).Set(float64(depth))
 }
 
 // maybeProfile refreshes the session's allocator profile when a new search
@@ -555,12 +957,20 @@ func (m *Manager) maybeProfile(s *session) {
 		return
 	}
 	m.updateProfile(prof)
+	if m.opts.EnforceBudget {
+		// A refreshed curve can shift the optimal partition: replan and
+		// persist so the new assignments reach the sessions (at their next
+		// batch) and survive a crash.
+		m.replan()
+		m.persistState()
+	}
 }
 
 // updateProfile installs a refreshed session profile and re-runs the
-// allocation when the cadence is due. The plan is advisory — telemetry and
-// gauges for the platform's capacity controller — and never alters a
-// session's own tuning decisions.
+// allocation when the cadence is due. By default the plan is advisory —
+// telemetry and gauges for the platform's capacity controller — and never
+// alters a session's own tuning decisions; with EnforceBudget the new plan
+// is pushed back onto unpinned sessions as budget constraints (replan).
 func (m *Manager) updateProfile(p allocator.Profile) {
 	m.allocMu.Lock()
 	defer m.allocMu.Unlock()
@@ -615,6 +1025,159 @@ func (m *Manager) Plan() *allocator.Plan {
 	return m.plan
 }
 
+// alignDown rounds n down to a multiple of unit, never below floor.
+func alignDown(n, unit, floor int) int {
+	n -= n % unit
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+// replan recomputes every admitted session's capacity assignment (enforce
+// mode) — on open, close and profile refresh. Pinned sessions keep their
+// Options.Assignments value and subtract from the pool; unprofiled dynamic
+// sessions take an equal unit-aligned share; profiled dynamic sessions split
+// what remains by the allocator (greedy or DP over their miss-ratio curves,
+// falling back to the equal share if the planner rejects the request).
+// Changed assignments are staged on the session (budgetDirty) and applied by
+// its shard worker at the next batch start — the only point serialised with
+// the daemon's Step — and announced as a sid-stamped "fleet.realloc" event.
+func (m *Manager) replan() {
+	if !m.opts.EnforceBudget {
+		return
+	}
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+
+	m.mu.Lock()
+	live := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if !s.parked {
+			live = append(live, s)
+		}
+	}
+	m.mu.Unlock()
+	if len(live) == 0 {
+		return
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+
+	assign := map[string]int{}
+	pool := m.opts.AllocBudgetBytes
+	var dynamic []*session
+	for _, s := range live {
+		if b, ok := m.opts.Assignments[s.id]; ok {
+			assign[s.id] = b
+			pool -= b
+		} else {
+			dynamic = append(dynamic, s)
+		}
+	}
+	if len(dynamic) > 0 {
+		share := alignDown(pool/len(dynamic), m.opts.AllocUnit, m.minBytes)
+		var profiled []allocator.Profile
+		for _, s := range dynamic {
+			if p, ok := m.profiles[s.id]; ok {
+				profiled = append(profiled, p)
+			} else {
+				assign[s.id] = share
+				pool -= share
+			}
+		}
+		if len(profiled) > 0 {
+			alloc := allocator.Greedy
+			if m.opts.AllocDP {
+				alloc = allocator.DP
+			}
+			plan, err := alloc(pool, m.opts.AllocUnit, profiled)
+			if err == nil {
+				for _, a := range plan.Assignments {
+					assign[a.ID] = a.Bytes
+				}
+			} else {
+				// The curves' minima exceed what is left (a pinned or
+				// unprofiled session squeezed the pool): degrade to the
+				// equal share rather than leaving stale assignments.
+				m.emit("fleet.alloc_error", slog.String("error", err.Error()))
+				for _, p := range profiled {
+					assign[p.ID] = share
+				}
+			}
+		}
+	}
+
+	for _, s := range live {
+		b, ok := assign[s.id]
+		if !ok || b <= 0 {
+			continue
+		}
+		s.mu.Lock()
+		prev := s.budget
+		changed := b != prev
+		if changed {
+			s.budget = b
+			s.budgetDirty = true
+		}
+		s.mu.Unlock()
+		if !changed {
+			continue
+		}
+		m.emit("fleet.realloc",
+			slog.String("sid", s.id),
+			slog.Int("budget_bytes", b),
+			slog.Int("prev_bytes", prev))
+		if reg := m.opts.Reg; reg != nil {
+			reg.GaugeWith("fleet_assigned_bytes", "session", s.id).Set(float64(b))
+		}
+	}
+}
+
+// persistState writes the fleet-level durable state (assignments, pending
+// queue, profiles) so a restarted fleet recovers its admission and
+// allocation decisions; see checkpoint.FleetState. No-op outside enforce
+// mode or without a store.
+func (m *Manager) persistState() {
+	if m.store == nil || !m.opts.EnforceBudget {
+		return
+	}
+	st := &checkpoint.FleetState{Assignments: map[string]int{}}
+	m.mu.Lock()
+	for id, s := range m.sessions {
+		if s.parked {
+			continue
+		}
+		s.mu.Lock()
+		b := s.budget
+		s.mu.Unlock()
+		if b > 0 {
+			st.Assignments[id] = b
+		}
+	}
+	for _, s := range m.pending {
+		st.Pending = append(st.Pending, s.id)
+	}
+	m.mu.Unlock()
+	m.allocMu.Lock()
+	ids := make([]string, 0, len(m.profiles))
+	for id := range m.profiles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := m.profiles[id]
+		fp := checkpoint.FleetProfile{ID: p.ID, Weight: p.Weight}
+		for _, pt := range p.Points {
+			fp.Points = append(fp.Points, checkpoint.MRCPoint{Bytes: pt.Bytes, MissRate: pt.MissRate})
+		}
+		st.Profiles = append(st.Profiles, fp)
+	}
+	m.allocMu.Unlock()
+	if err := m.store.SaveState(st); err != nil {
+		m.emit("fleet.state_error", slog.String("error", err.Error()))
+	}
+}
+
 // gauges refreshes the fleet-level registry series.
 func (m *Manager) gauges() {
 	reg := m.opts.Reg
@@ -623,7 +1186,9 @@ func (m *Manager) gauges() {
 	}
 	m.mu.Lock()
 	n := len(m.sessions)
+	pending := len(m.pending)
 	m.mu.Unlock()
 	reg.Gauge("fleet_sessions").Set(float64(n))
+	reg.Gauge("fleet_sessions_pending").Set(float64(pending))
 	reg.Gauge("fleet_shards").Set(float64(len(m.shards)))
 }

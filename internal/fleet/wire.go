@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"os"
+	"sync"
+	"time"
 
 	"selftune/internal/trace"
 )
@@ -16,6 +19,13 @@ import (
 //	open:  0x01, uvarint sid length, sid bytes
 //	data:  0x02, uvarint sid length, sid bytes, uvarint n, n payload bytes
 //	close: 0x03, uvarint sid length, sid bytes
+//	error: 0x04, uvarint sid length, sid bytes, uvarint n, n message bytes
+//
+// The error frame flows server→client only (IngestConn): the server opens
+// its own header stream lazily before its first frame and reports admission
+// rejections and per-session failures with the sid and a human-readable
+// reason, so a client learns *why* its session died instead of inferring it
+// from silence.
 //
 // A session's concatenated data payloads form exactly one STRC trace stream
 // (magic, version, varint-coded records — the on-disk codec is the wire
@@ -33,6 +43,7 @@ const (
 	frameOpen  = 0x01
 	frameData  = 0x02
 	frameClose = 0x03
+	frameError = 0x04
 
 	// maxSIDLen and maxPayload bound hostile allocations; both are far
 	// above anything a real client sends.
@@ -125,6 +136,94 @@ type ingestSession struct {
 	failed bool
 }
 
+// responder writes server→client error frames, emitting its own stream
+// header lazily before the first frame so a connection that never fails
+// carries no response bytes at all. nil is a valid (silent) responder.
+type responder struct {
+	w        io.Writer
+	mu       sync.Mutex
+	wroteHdr bool
+	err      error // first write failure; silently drops the rest
+}
+
+// sendError reports one session's failure to the client.
+func (r *responder) sendError(sid, msg string) {
+	if r == nil || r.w == nil || sid == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if !r.wroteHdr {
+		if _, err := r.w.Write(append(wireMagic[:], wireVersion)); err != nil {
+			r.err = err
+			return
+		}
+		r.wroteHdr = true
+	}
+	buf := []byte{frameError}
+	var ln [binary.MaxVarintLen64]byte
+	buf = append(buf, ln[:binary.PutUvarint(ln[:], uint64(len(sid)))]...)
+	buf = append(buf, sid...)
+	msgb := []byte(msg)
+	if len(msgb) > maxPayload {
+		msgb = msgb[:maxPayload]
+	}
+	buf = append(buf, ln[:binary.PutUvarint(ln[:], uint64(len(msgb)))]...)
+	buf = append(buf, msgb...)
+	_, r.err = r.w.Write(buf)
+}
+
+// WireError is one server→client error frame, decoded.
+type WireError struct {
+	SID string
+	Msg string
+}
+
+// ReadResponses drains the server's response stream until EOF and returns
+// the error frames it carried. A server that had nothing to report writes
+// no bytes at all, which decodes as zero responses.
+func ReadResponses(r io.Reader) ([]WireError, error) {
+	br := newByteReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("fleet: short response header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != wireMagic {
+		return nil, fmt.Errorf("fleet: bad response magic %q", hdr[:4])
+	}
+	if hdr[4] != wireVersion {
+		return nil, fmt.Errorf("fleet: unsupported response version %d", hdr[4])
+	}
+	var out []WireError
+	for {
+		kind, err := br.ReadByte()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if kind != frameError {
+			return out, fmt.Errorf("fleet: unexpected response frame type 0x%02x", kind)
+		}
+		sid, err := readString(br, maxSIDLen)
+		if err != nil {
+			return out, fmt.Errorf("fleet: bad response frame: %w", err)
+		}
+		msg, err := readBytes(br, maxPayload)
+		if err != nil {
+			return out, fmt.Errorf("fleet: bad response frame: %w", err)
+		}
+		out = append(out, WireError{SID: sid, Msg: string(msg)})
+	}
+}
+
 // Ingest serves one connection: it reads frames from r until EOF or a
 // frame-level error, feeding each session's reassembled trace into the
 // fleet. Sessions opened on this connection and still open when it ends are
@@ -132,8 +231,45 @@ type ingestSession struct {
 // hang up after its last byte. The returned error is the frame-level
 // failure, nil on a clean EOF; per-session payload errors are telemetry
 // plus that session's closure, never a connection failure.
-func (m *Manager) Ingest(r io.Reader) error {
+func (m *Manager) Ingest(r io.Reader) error { return m.ingest(r, nil) }
+
+// IngestConn is Ingest over a bidirectional connection: admission
+// rejections and per-session failures are reported back to the client as
+// error frames, so a refused Open carries its reason instead of dying
+// silently. The server's response stream shares the connection; it is
+// header-plus-error-frames only, written lazily.
+func (m *Manager) IngestConn(rw io.ReadWriter) error {
+	return m.ingest(rw, &responder{w: rw})
+}
+
+// deadlineReader is the subset of net.Conn the idle timeout needs.
+type deadlineReader interface {
+	SetReadDeadline(time.Time) error
+}
+
+func (m *Manager) ingest(r io.Reader, resp *responder) error {
 	br := newByteReader(r)
+	if m.opts.ReadTimeout > 0 {
+		if dr, ok := r.(deadlineReader); ok {
+			br.deadline = m.opts.ReadTimeout
+			br.conn = dr
+		}
+	}
+	err := m.ingestFrames(br, resp)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		if reg := m.opts.Reg; reg != nil {
+			reg.Counter("fleet_conn_timeouts_total").Inc()
+		}
+		m.emit("fleet.conn_timeout", slog.String("error", err.Error()))
+		err = fmt.Errorf("fleet: connection idle past %v: %w", m.opts.ReadTimeout, err)
+	}
+	return err
+}
+
+// ingestFrames is the frame loop; its deferred cleanup gracefully closes
+// whatever the connection still owned when it ended (EOF, frame corruption
+// or idle timeout alike).
+func (m *Manager) ingestFrames(br *byteReader, resp *responder) error {
 	var hdr [5]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return fmt.Errorf("fleet: short stream header: %w", err)
@@ -165,6 +301,7 @@ func (m *Manager) Ingest(r io.Reader) error {
 	// of tripping the before-open check.
 	failSession := func(sid string, is *ingestSession, err error) {
 		is.failed = true
+		resp.sendError(sid, err.Error())
 		m.emit("fleet.ingest_error",
 			slog.String("session", sid),
 			slog.String("error", err.Error()))
@@ -204,9 +341,11 @@ func (m *Manager) Ingest(r io.Reader) error {
 				return fmt.Errorf("fleet: duplicate open for session %q", sid)
 			}
 			if err := m.Open(sid); err != nil {
-				// The id may be live on another connection or invalid;
-				// either way this connection must not feed it.
+				// The id may be live on another connection, invalid, or
+				// refused by admission control; either way this connection
+				// must not feed it, and the client is told why.
 				owned[sid] = nil
+				resp.sendError(sid, err.Error())
 				m.emit("fleet.ingest_error",
 					slog.String("session", sid),
 					slog.String("error", err.Error()))
@@ -261,17 +400,31 @@ func (m *Manager) Ingest(r io.Reader) error {
 }
 
 // byteReader adapts any reader to the io.ByteReader binary.ReadUvarint
-// needs, without double-buffering an already-buffered one.
+// needs, without double-buffering an already-buffered one. When conn is
+// set, every read re-arms the idle deadline first, so a stalled client is
+// detected however far into a frame it stalled.
 type byteReader struct {
-	r   io.Reader
-	one [1]byte
+	r        io.Reader
+	one      [1]byte
+	deadline time.Duration
+	conn     deadlineReader
 }
 
 func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
 
-func (b *byteReader) Read(p []byte) (int, error) { return io.ReadFull(b.r, p) }
+func (b *byteReader) arm() {
+	if b.conn != nil {
+		b.conn.SetReadDeadline(time.Now().Add(b.deadline))
+	}
+}
+
+func (b *byteReader) Read(p []byte) (int, error) {
+	b.arm()
+	return io.ReadFull(b.r, p)
+}
 
 func (b *byteReader) ReadByte() (byte, error) {
+	b.arm()
 	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
 		return 0, err
 	}

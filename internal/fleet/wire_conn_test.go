@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"selftune/internal/daemon"
+	"selftune/internal/obs"
+)
+
+// listen returns a loopback listener and an accept helper for real net.Conns
+// (the deadline plumbing under test is net.Conn's SetReadDeadline).
+func listen(t *testing.T) (net.Listener, func() net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, func() net.Conn {
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return c
+	}
+}
+
+// TestIngestReadTimeoutClosesOnlyStalledConn stalls one connection mid-frame
+// while a second keeps trickling within the deadline: the stalled
+// connection's ingest returns the deadline error and its sessions are
+// released; the live connection and its session are untouched.
+func TestIngestReadTimeoutClosesOnlyStalledConn(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := New(Options{
+		Shards:      1,
+		Session:     daemon.Options{Window: 500},
+		ReadTimeout: 150 * time.Millisecond,
+		Reg:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	l, accept := listen(t)
+	serve := func() (net.Conn, chan error) {
+		errc := make(chan error, 1)
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sconn := accept()
+		go func() {
+			errc <- m.IngestConn(sconn)
+			sconn.Close()
+		}()
+		return conn, errc
+	}
+
+	// Connection 1: opens a session, sends part of a stream, stalls.
+	stalled, stalledErr := serve()
+	defer stalled.Close()
+	cw, err := NewConnWriter(stalled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Open("slow"); err != nil {
+		t.Fatal(err)
+	}
+	half := encodeSTRC(t, genTrace(t, "crc", 1_000))
+	if err := cw.Data("slow", half[:len(half)/2]); err != nil {
+		t.Fatal(err)
+	}
+	// ...and now connection 1 goes silent.
+
+	// Connection 2: trickles a whole stream in small chunks, each gap far
+	// inside the deadline, outliving connection 1's stall.
+	liveBytes := encodeSTRC(t, genTrace(t, "bcnt", 5_000))
+	live, liveErr := serve()
+	defer live.Close()
+	lw, err := NewConnWriter(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Open("live"); err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(liveBytes); off += 1 << 10 {
+		end := off + 1<<10
+		if end > len(liveBytes) {
+			end = len(liveBytes)
+		}
+		if err := lw.Data("live", liveBytes[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The stalled connection must have timed out by now (its deadline
+	// elapsed several times over during the trickle).
+	select {
+	case err := <-stalledErr:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("stalled ingest = %v, want a deadline error", err)
+		}
+		if !strings.Contains(err.Error(), "idle") {
+			t.Fatalf("deadline error does not name the idle timeout: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled connection's ingest never returned")
+	}
+	for _, id := range m.Sessions() {
+		if id == "slow" {
+			t.Fatal("stalled connection's session still live")
+		}
+	}
+
+	// The live connection finishes its stream untouched.
+	if err := lw.Close("live"); err != nil {
+		t.Fatal(err)
+	}
+	live.Close()
+	select {
+	case err := <-liveErr:
+		if err != nil {
+			t.Fatalf("live ingest = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live connection's ingest never returned")
+	}
+
+	var prom strings.Builder
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "fleet_conn_timeouts_total 1") {
+		t.Fatalf("timeout counter missing:\n%s", prom.String())
+	}
+	if !strings.Contains(prom.String(), `fleet_session_consumed{session="live"} 5000`) {
+		t.Fatalf("live session did not finish:\n%s", prom.String())
+	}
+}
+
+// TestIngestConnReportsErrorsToClient drives a rejected open and a corrupt
+// payload over one bidirectional connection and decodes the server's error
+// frames on the client side: the refusal carries its admission reason, the
+// payload failure its decode error, each stamped with its sid.
+func TestIngestConnReportsErrorsToClient(t *testing.T) {
+	m, err := New(Options{
+		Shards:           1,
+		Session:          daemon.Options{Window: 500},
+		AllocBudgetBytes: 2048, // room for exactly one session
+		EnforceBudget:    true,
+		PendingQueue:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	l, accept := listen(t)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	done := make(chan error, 1)
+	go func() {
+		sconn := accept()
+		done <- m.IngestConn(sconn)
+		sconn.Close()
+	}()
+
+	cw, err := NewConnWriter(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Open("first"); err != nil { // admitted
+		t.Fatal(err)
+	}
+	if err := cw.Open("second"); err != nil { // over budget: rejected
+		t.Fatal(err)
+	}
+	if err := cw.Data("first", []byte("not an STRC stream")); err != nil { // payload failure
+		t.Fatal(err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+
+	resps, err := ReadResponses(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ingest = %v, want nil (session-level failures only)", err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("responses = %+v, want 2 (rejection + payload failure)", resps)
+	}
+	if resps[0].SID != "second" || !strings.Contains(resps[0].Msg, "not admitted") {
+		t.Fatalf("rejection response = %+v", resps[0])
+	}
+	if resps[1].SID != "first" || resps[1].Msg == "" {
+		t.Fatalf("payload-failure response = %+v", resps[1])
+	}
+}
+
+// TestReadResponsesEmptyAndCorrupt pins the client decoder's edges: a server
+// that wrote nothing decodes as zero responses; junk is an error.
+func TestReadResponsesEmptyAndCorrupt(t *testing.T) {
+	resps, err := ReadResponses(bytes.NewReader(nil))
+	if err != nil || len(resps) != 0 {
+		t.Fatalf("empty response stream = %v, %v", resps, err)
+	}
+	if _, err := ReadResponses(strings.NewReader("JUNK?")); err == nil {
+		t.Fatal("bad response magic accepted")
+	}
+	if _, err := ReadResponses(strings.NewReader("STFW\x01\x02")); err == nil {
+		t.Fatal("non-error response frame accepted")
+	}
+}

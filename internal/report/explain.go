@@ -40,6 +40,13 @@ type SessionStory struct {
 	BestEnergy float64
 	Examined   int
 	Degraded   bool
+	// Budget is the capacity assignment (bytes) in force when the session's
+	// search began, 0 when the log records no constraint; BudgetExcluded is
+	// how many of the 27 configurations the budget removed from its space.
+	// Constrained re-searches are ordinary sessions, so MaxExamined counts
+	// them like any other.
+	Budget         int
+	BudgetExcluded int
 }
 
 // Story is a full event log explained: the per-session search trajectories
@@ -86,10 +93,15 @@ func Explain(evs []obs.RawEvent) *Story {
 	st := &Story{}
 	sessions := map[uint64]*SessionStory{}
 	order := []uint64{}
+	// The budget in force, tracked in stream order: a "daemon.budget" event
+	// constrains every session that begins after it. A budget set at
+	// construction (daemon.Options.BudgetBytes) emits no event, so the first
+	// session reads as unconstrained unless the log says otherwise.
+	curBudget, curExcluded := 0, 0
 	get := func(id uint64) *SessionStory {
 		ss, ok := sessions[id]
 		if !ok {
-			ss = &SessionStory{Session: id}
+			ss = &SessionStory{Session: id, Budget: curBudget, BudgetExcluded: curExcluded}
 			sessions[id] = ss
 			order = append(order, id)
 		}
@@ -98,6 +110,12 @@ func Explain(evs []obs.RawEvent) *Story {
 	seen := map[string]bool{}
 	for _, e := range evs {
 		key := fmt.Sprintf("%s/%d/%d/%d/%s", e.Name, e.Session, e.Window, e.Step, e.Config)
+		if e.Name == "fleet.realloc" {
+			// Fleet events carry no tuner coordinates; the allocation pair
+			// is what distinguishes one reallocation from a replayed copy.
+			key = fmt.Sprintf("%s/%s/%.0f/%.0f", e.Name, e.Str("sid"),
+				e.Float("budget_bytes"), e.Float("prev_bytes"))
+		}
 		if seen[key] {
 			st.Duplicates++
 			continue
@@ -128,9 +146,25 @@ func Explain(evs []obs.RawEvent) *Story {
 				e.Float("at"), e.Float("miss_rate"), e.Float("drift"),
 				e.Float("baseline_rate"), e.Float("threshold"), e.Config))
 		case "daemon.retune":
+			if e.Str("reason") == "budget" {
+				st.Notes = append(st.Notes, fmt.Sprintf(
+					"access %.0f: re-tuning from %s within the %.0f B budget (session %d begins)",
+					e.Float("at"), e.Config, e.Float("budget_bytes"), e.Session))
+			} else {
+				st.Notes = append(st.Notes, fmt.Sprintf(
+					"access %.0f: re-tuning from %s (session %d begins)",
+					e.Float("at"), e.Config, e.Session))
+			}
+		case "daemon.budget":
+			curBudget = int(e.Float("budget_bytes"))
+			curExcluded = int(e.Float("excluded"))
 			st.Notes = append(st.Notes, fmt.Sprintf(
-				"access %.0f: re-tuning from %s (session %d begins)",
-				e.Float("at"), e.Config, e.Session))
+				"access %.0f: budget set to %.0f B (was %.0f B; %.0f of 27 configurations excluded)",
+				e.Float("at"), e.Float("budget_bytes"), e.Float("prev_bytes"), e.Float("excluded")))
+		case "fleet.realloc":
+			st.Notes = append(st.Notes, fmt.Sprintf(
+				"fleet reallocation: budget %.0f B (was %.0f B); a constrained re-tune follows",
+				e.Float("budget_bytes"), e.Float("prev_bytes")))
 		case "daemon.watchdog":
 			st.Notes = append(st.Notes, fmt.Sprintf(
 				"access %.0f: watchdog abort after %.0f windows; parked on %s",
@@ -159,6 +193,9 @@ func (s *Story) String() string {
 	var b strings.Builder
 	for _, ss := range s.Sessions {
 		fmt.Fprintf(&b, "session %d", ss.Session)
+		if ss.Budget > 0 {
+			fmt.Fprintf(&b, " (budget %d B, %d configurations excluded)", ss.Budget, ss.BudgetExcluded)
+		}
 		if ss.Settled {
 			status := "settled on"
 			if ss.Degraded {

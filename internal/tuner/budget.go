@@ -1,0 +1,128 @@
+package tuner
+
+import "selftune/internal/cache"
+
+// This file is the budget-constrained face of the Figure 6 search: a fleet's
+// capacity allocator (internal/fleet/allocator) hands each session a maximum
+// footprint in bytes, and the session's search must never settle on — or even
+// probe — a configuration larger than that. The constraint is expressed as a
+// restriction of the Space the heuristic walks, so the search logic itself is
+// untouched: candidate sizes above the budget simply do not exist. A
+// constrained search is still a pure function of its measurement sequence,
+// so snapshot/resume (session.go) carries the budget and start alongside the
+// transcript and replays the identical restricted walk.
+
+// Constrain restricts the space to configurations of at most maxBytes total
+// capacity. The smallest size always survives — a cache must exist at some
+// size, and admission control (internal/fleet) is responsible for never
+// assigning a budget below the minimum footprint — so a budget under the
+// smallest size behaves as a budget of exactly that size. maxBytes <= 0
+// means unconstrained and returns the space unchanged. The start
+// configuration is clamped into the restricted space.
+func (s Space) Constrain(maxBytes int) Space {
+	if maxBytes <= 0 {
+		return s
+	}
+	out := s
+	out.Sizes = nil
+	for i, size := range s.Sizes {
+		if i == 0 || size <= maxBytes {
+			out.Sizes = append(out.Sizes, size)
+		}
+	}
+	minSize := out.Sizes[0]
+	inner := s.Valid
+	out.Valid = func(c cache.Config) bool {
+		if c.SizeBytes > maxBytes && c.SizeBytes != minSize {
+			return false
+		}
+		return inner(c)
+	}
+	out.Start = ClampToBudget(s.Start, maxBytes, s)
+	return out
+}
+
+// MinFootprintBytes is the smallest capacity any session can occupy — the
+// space's smallest candidate size. Admission control rejects budgets that
+// cannot give every session at least this much.
+func (s Space) MinFootprintBytes() int {
+	if len(s.Sizes) == 0 {
+		return 0
+	}
+	return s.Sizes[0]
+}
+
+// ClampToBudget maps a configuration into the budget: the largest candidate
+// size not above maxBytes (the smallest size when none fits), with
+// associativity reduced to the largest value realisable at that size and way
+// prediction dropped if the result is direct-mapped. It is how a constrained
+// re-search warm-starts "from the current configuration" when the current
+// configuration no longer fits the assignment. maxBytes <= 0 returns cfg
+// unchanged.
+func ClampToBudget(cfg cache.Config, maxBytes int, space Space) cache.Config {
+	if maxBytes <= 0 || cfg.SizeBytes <= maxBytes {
+		return cfg
+	}
+	size := space.Sizes[0]
+	for _, s := range space.Sizes {
+		if s <= maxBytes && s > size {
+			size = s
+		}
+	}
+	out := cfg
+	out.SizeBytes = size
+	for !space.Valid(out) {
+		// Reduce associativity toward direct-mapped; the smallest size is
+		// always realisable at 1 way with prediction off.
+		switch {
+		case out.WayPredict:
+			out.WayPredict = false
+		case out.Ways > 1:
+			ways := 1
+			for _, w := range space.Assocs {
+				if w < out.Ways && w > ways {
+					ways = w
+				}
+			}
+			out.Ways = ways
+		default:
+			// Line size is never the blocker in the paper's space, but be
+			// safe against exotic geometries.
+			if out.LineBytes != space.Lines[0] {
+				out.LineBytes = space.Lines[0]
+			} else {
+				return space.Start
+			}
+		}
+	}
+	return out
+}
+
+// ExcludedByBudget counts the configurations of the space that a budget of
+// maxBytes removes — the "configs excluded" number the explainer reports
+// alongside a constrained search. 0 when unconstrained.
+func ExcludedByBudget(space Space, maxBytes int) int {
+	if maxBytes <= 0 {
+		return 0
+	}
+	minSize := space.Sizes[0]
+	n := 0
+	for _, size := range space.Sizes {
+		if size <= maxBytes || size == minSize {
+			continue
+		}
+		for _, ways := range space.Assocs {
+			for _, line := range space.Lines {
+				c := cache.Config{SizeBytes: size, Ways: ways, LineBytes: line}
+				if space.Valid(c) {
+					n++
+				}
+				c.WayPredict = true
+				if space.Valid(c) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

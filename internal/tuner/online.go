@@ -50,6 +50,14 @@ type Online struct {
 	// measurement sequence, replaying history reconstructs the search
 	// exactly; Snapshot/ResumeOnline (session.go) build on this.
 	history []EvalResult
+
+	// maxBytes and start define the constrained space the session searches:
+	// maxBytes caps the footprint (0 = unconstrained) and start is the warm
+	// re-search entry point (zero value = the space's smallest
+	// configuration). Both are part of the snapshot so a resumed session
+	// replays the identical restricted walk.
+	maxBytes int
+	start    cache.Config
 }
 
 // Meter transforms a window's raw counters before they are priced — the
@@ -81,6 +89,17 @@ func NewOnlineMetered(c *cache.Configurable, p *energy.Params, window uint64, me
 // the search trajectory as data. Recording is strictly observational; a nil
 // (or disabled) recorder session behaves bit-identically to an observed one.
 func NewOnlineObserved(c *cache.Configurable, p *energy.Params, window uint64, meter Meter, rec obs.Recorder, session uint64) *Online {
+	return NewOnlineConstrained(c, p, window, meter, rec, session, 0, cache.Config{})
+}
+
+// NewOnlineConstrained is NewOnlineObserved with a capacity budget: the
+// search walks the paper's space restricted to configurations of at most
+// maxBytes (0 = unconstrained, see Space.Constrain), starting from start
+// instead of the smallest configuration when start is non-zero — the warm
+// re-search a fleet reallocation triggers. start must be a valid
+// configuration within the budget (ClampToBudget produces one); the live
+// cache is reconfigured to it before the first measurement window.
+func NewOnlineConstrained(c *cache.Configurable, p *energy.Params, window uint64, meter Meter, rec obs.Recorder, session uint64, maxBytes int, start cache.Config) *Online {
 	o := &Online{
 		cache:     c,
 		params:    p,
@@ -93,10 +112,12 @@ func NewOnlineObserved(c *cache.Configurable, p *energy.Params, window uint64, m
 		// re-missing once) out of the measurement, which would
 		// otherwise bias the sweep against growth steps.
 		warmup: window / 4,
-		req:    make(chan cache.Config),
-		resp:   make(chan EvalResult),
-		done:   make(chan SearchResult, 1),
-		quit:   make(chan struct{}),
+		req:      make(chan cache.Config),
+		resp:     make(chan EvalResult),
+		done:     make(chan SearchResult, 1),
+		quit:     make(chan struct{}),
+		maxBytes: maxBytes,
+		start:    start,
 	}
 	// The search logic runs in its own goroutine; Evaluate blocks until
 	// the measurement window completes. This reuses the exact heuristic
@@ -105,6 +126,19 @@ func NewOnlineObserved(c *cache.Configurable, p *energy.Params, window uint64, m
 	o.advance()
 	return o
 }
+
+// searchSpace is the (possibly budget-restricted, possibly warm-started)
+// space this session's heuristic walks.
+func (o *Online) searchSpace() Space {
+	sp := DefaultSpace().Constrain(o.maxBytes)
+	if o.start != (cache.Config{}) {
+		sp.Start = ClampToBudget(o.start, o.maxBytes, DefaultSpace())
+	}
+	return sp
+}
+
+// MaxBytes is the session's capacity budget, 0 when unconstrained.
+func (o *Online) MaxBytes() int { return o.maxBytes }
 
 // startSearch launches the search goroutine over eval. The evaluator is
 // wrapped to count measurements consumed (o.fed), which is the window
@@ -125,7 +159,7 @@ func (o *Online) startSearch(eval Evaluator) {
 				panic(r)
 			}
 		}()
-		res := SearchTraced(counted, PaperOrder, DefaultSpace(), o.traceStep)
+		res := SearchTraced(counted, PaperOrder, o.searchSpace(), o.traceStep)
 		o.done <- res
 		close(o.req)
 	}()

@@ -43,6 +43,12 @@ type SessionState struct {
 	// Finished and Aborted record a session that is no longer searching.
 	Finished bool
 	Aborted  bool
+	// MaxBytes is the capacity budget the search was constrained to, 0 when
+	// unconstrained. Start is the warm re-search entry configuration (zero
+	// value = the space's smallest configuration). Both are replayed on
+	// resume so the restricted walk continues identically.
+	MaxBytes int
+	Start    cache.Config
 }
 
 // AtWindowBoundary reports whether the session is exactly between
@@ -75,6 +81,8 @@ func (o *Online) Snapshot() (SessionState, error) {
 		SettleWB: o.settleWB,
 		Finished: o.finished,
 		Aborted:  o.aborted,
+		MaxBytes: o.maxBytes,
+		Start:    o.start,
 	}, nil
 }
 
@@ -82,13 +90,14 @@ func (o *Online) Snapshot() (SessionState, error) {
 // recorded transcript — a corrupt or mismatched snapshot.
 type resumeMismatch struct{ err error }
 
-// replaySearch reruns the heuristic over a recorded transcript and reports
-// the state it reaches. complete is true when the transcript settles the
-// search, in which case res is its result — recomputed, not stored, so it
+// replaySearch reruns the heuristic over a recorded transcript — in the same
+// (possibly budget-restricted) space the original session walked — and
+// reports the state it reaches. complete is true when the transcript settles
+// the search, in which case res is its result — recomputed, not stored, so it
 // cannot drift from the transcript. An incomplete transcript (the search
 // still wants more windows) is not an error; a transcript that diverges
 // from the heuristic's deterministic request sequence is.
-func replaySearch(history []EvalResult) (res SearchResult, complete bool, err error) {
+func replaySearch(history []EvalResult, space Space) (res SearchResult, complete bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			switch m := p.(type) {
@@ -105,7 +114,7 @@ func replaySearch(history []EvalResult) (res SearchResult, complete bool, err er
 		}
 	}()
 	i := 0
-	res = Search(EvaluatorFunc(func(cfg cache.Config) EvalResult {
+	res = SearchInSpace(EvaluatorFunc(func(cfg cache.Config) EvalResult {
 		if i >= len(history) {
 			panic(abortSession{})
 		}
@@ -115,7 +124,7 @@ func replaySearch(history []EvalResult) (res SearchResult, complete bool, err er
 		}
 		i++
 		return r
-	}), PaperOrder)
+	}), PaperOrder, space)
 	if i != len(history) {
 		return SearchResult{}, false, fmt.Errorf("tuner: resume transcript has %d windows but the search consumed only %d", len(history), i)
 	}
@@ -161,6 +170,8 @@ func ResumeOnlineObserved(c *cache.Configurable, p *energy.Params, st SessionSta
 		resp:      make(chan EvalResult),
 		done:      make(chan SearchResult, 1),
 		quit:      make(chan struct{}),
+		maxBytes:  st.MaxBytes,
+		start:     st.Start,
 	}
 	if st.Aborted {
 		o.aborted = true
@@ -170,7 +181,7 @@ func ResumeOnlineObserved(c *cache.Configurable, p *energy.Params, st SessionSta
 		// The transcript contains the whole search; recompute its result
 		// (including the Degraded path) instead of trusting a separately
 		// stored copy that could drift from it.
-		res, complete, err := replaySearch(st.History)
+		res, complete, err := replaySearch(st.History, o.searchSpace())
 		if err != nil {
 			return nil, err
 		}
