@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench bench-json check fuzz obs-smoke fleet-smoke
+.PHONY: build test race vet bench bench-json check fuzz obs-smoke fleet-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ obs-smoke:
 fleet-smoke:
 	bash scripts/fleet_smoke.sh
 
+# Self-healing smoke: the seeded network-chaos soak, then a reconnecting
+# client, bounded shutdown drain, and checkpoint scrub against real
+# binaries (see scripts/chaos_smoke.sh).
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
+
 # go test runs one -fuzz pattern per invocation, so each target gets its own.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadDinero -fuzztime=$(FUZZTIME) ./internal/trace/
@@ -41,6 +47,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -run='^$$' -fuzz=FuzzFastSimVsReference -fuzztime=$(FUZZTIME) ./internal/fastsim/
 	$(GO) test -run='^$$' -fuzz=FuzzIngest -fuzztime=$(FUZZTIME) ./internal/fleet/
+	$(GO) test -run='^$$' -fuzz=FuzzChaosnetFraming -fuzztime=$(FUZZTIME) ./internal/fleet/
 
 # check is the tier-1 gate: build, vet, and the full test suite — which
 # includes the checkpoint round-trip/corruption-recovery tests and the

@@ -31,6 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -76,6 +77,7 @@ func run() error {
 	enforce := flag.Bool("enforce", false, "make the allocation binding: sessions search only within their assigned budget, and opens past the budget park or reject (requires -alloc-budget)")
 	pendingQueue := flag.Int("pending-queue", 4, "enforced mode: over-budget opens park in a FIFO queue this deep until capacity frees; negative rejects immediately")
 	readTimeout := flag.Duration("read-timeout", 0, "close an ingest connection idle for this long (0 disables)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 0, "bound the graceful drain after SIGINT/SIGTERM: past the deadline live connections are force-closed and their sessions persist at the last consumed boundary (0 waits forever)")
 
 	obsAddr := flag.String("obs-addr", "", "serve /healthz, /metrics and /debug/pprof on this address")
 	obsLog := flag.String("obs-log", "", "append JSONL telemetry to this file (filter per session with stcexplain -session)")
@@ -86,6 +88,9 @@ func run() error {
 	traceFile := flag.String("trace", "", "client mode: recorded trace file to stream instead")
 	n := flag.Int("n", 2_000_000, "client mode: accesses to generate (synthetic profiles)")
 	chunk := flag.Int("chunk", 64<<10, "client mode: wire frame payload size in bytes")
+	retries := flag.Int("retries", 3, "client mode: delivery attempts across reconnects; each retry re-streams from byte 0 and the server's consumed-prefix skip keeps the effect exactly-once")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "client mode: first retry delay, doubling per attempt with deterministic jitter")
+	retrySeed := flag.Uint64("retry-seed", 0, "client mode: seed for the deterministic retry jitter")
 	fastsim := flag.Bool("fastsim", true, "replay through the fast kernels; -fastsim=false forces the reference path")
 	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -95,7 +100,8 @@ func run() error {
 	case *serve && *connect != "":
 		return fmt.Errorf("pick one of -serve or -connect")
 	case *connect != "":
-		return client(*connect, *session, *wl, *kernel, *traceFile, *n, *chunk)
+		return client(*connect, *session, *wl, *kernel, *traceFile, *n, *chunk,
+			*retries, *retryBackoff, *retrySeed)
 	case !*serve:
 		return fmt.Errorf("pick -serve or -connect (see -help)")
 	}
@@ -167,6 +173,8 @@ func run() error {
 	ofl.Notef(os.Stdout, "fleet ingest on %s (%d shards)\n", ln.Addr(), *shards)
 
 	var conns sync.WaitGroup
+	var liveMu sync.Mutex
+	live := map[net.Conn]struct{}{}
 	go func() {
 		<-ctx.Done()
 		ln.Close() // unblocks Accept
@@ -180,10 +188,18 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "stcd: accept:", err)
 			continue
 		}
+		liveMu.Lock()
+		live[conn] = struct{}{}
+		liveMu.Unlock()
 		conns.Add(1)
 		go func() {
 			defer conns.Done()
-			defer conn.Close()
+			defer func() {
+				liveMu.Lock()
+				delete(live, conn)
+				liveMu.Unlock()
+				conn.Close()
+			}()
 			// IngestConn reports admission rejections and per-session
 			// failures back to the client as error frames on the same
 			// connection; only frame-level failures surface here.
@@ -194,7 +210,36 @@ func run() error {
 	}
 
 	ofl.Notef(os.Stdout, "interrupted; draining connections and persisting sessions\n")
-	conns.Wait()
+	drained := make(chan struct{})
+	go func() {
+		conns.Wait()
+		close(drained)
+	}()
+	if *shutdownTimeout > 0 {
+		select {
+		case <-drained:
+		case <-time.After(*shutdownTimeout):
+			// The drain deadline passed: force-close whatever is still
+			// connected. Each ingest loop returns, and its deferred cleanup
+			// closes the connection's sessions gracefully — every consumed
+			// access is covered by the final persisted boundary.
+			liveMu.Lock()
+			stragglers := len(live)
+			for c := range live {
+				c.Close()
+			}
+			liveMu.Unlock()
+			rec.Record(obs.Event{Name: "fleet.drain_timeout", Fields: []slog.Attr{
+				slog.String("timeout", shutdownTimeout.String()),
+				slog.Int("conns", stragglers),
+			}})
+			fmt.Fprintf(os.Stderr, "stcd: drain exceeded %v; force-closed %d connections\n",
+				*shutdownTimeout, stragglers)
+			<-drained
+		}
+	} else {
+		<-drained
+	}
 	if err := m.Close(); err != nil {
 		return err
 	}
@@ -217,9 +262,12 @@ func run() error {
 	return nil
 }
 
-// client streams one trace source into a serving stcd and hangs up; the
-// server persists the session's final state when the stream ends.
-func client(addr, session, wl, kernel, traceFile string, n, chunk int) error {
+// client streams one trace source into a serving stcd through the
+// reconnecting retry client: a dropped connection or a server-side
+// quarantine redials and re-streams from byte 0 (the server's
+// consumed-prefix skip keeps the effect exactly-once), and delivery counts
+// as done only on the server's close acknowledgement.
+func client(addr, session, wl, kernel, traceFile string, n, chunk, retries int, backoff time.Duration, seed uint64) error {
 	if session == "" {
 		return fmt.Errorf("client mode needs -session")
 	}
@@ -227,52 +275,28 @@ func client(addr, session, wl, kernel, traceFile string, n, chunk int) error {
 	if err != nil {
 		return err
 	}
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	cw, err := fleet.NewConnWriter(conn)
-	if err != nil {
-		return err
-	}
-	if err := cw.Open(session); err != nil {
-		return err
-	}
-	// Render the trace to codec bytes and forward it in frames — the same
-	// path a client tailing a recorded trace file takes.
+	// Render the trace to codec bytes once — the same bytes every attempt
+	// re-streams — exactly the path a client tailing a recorded trace file
+	// takes.
 	var enc bytes.Buffer
 	if err := trace.Encode(&enc, accs); err != nil {
 		return err
 	}
-	if err := cw.Stream(session, &enc, chunk); err != nil {
-		return err
+	rc := &fleet.RetryClient{
+		Dial:        func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 10*time.Second) },
+		Seed:        seed,
+		MaxAttempts: retries,
+		BaseBackoff: backoff,
+		Chunk:       chunk,
 	}
-	if err := cw.Close(session); err != nil {
-		return err
+	rep, err := rc.Run(session, enc.Bytes())
+	for _, f := range rep.Failures {
+		fmt.Fprintln(os.Stderr, "stcd: attempt failed:", f)
 	}
-	// Half-close our side and drain the server's response stream: a serving
-	// stcd reports admission rejections and payload failures as error
-	// frames, so a refused open fails the client loudly instead of silently
-	// streaming into the void.
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.CloseWrite()
-	}
-	resps, err := fleet.ReadResponses(conn)
 	if err != nil {
-		return fmt.Errorf("reading server responses: %w", err)
+		return err
 	}
-	failed := false
-	for _, r := range resps {
-		fmt.Fprintf(os.Stderr, "stcd: server: session %q: %s\n", r.SID, r.Msg)
-		if r.SID == session {
-			failed = true
-		}
-	}
-	if failed {
-		return fmt.Errorf("the server refused or failed session %q (see errors above)", session)
-	}
-	fmt.Printf("streamed %d accesses as session %q\n", len(accs), session)
+	fmt.Printf("streamed %d accesses as session %q (%d attempt(s))\n", len(accs), session, rep.Attempts)
 	return nil
 }
 

@@ -7,6 +7,7 @@
 // daemon reads identically to an uninterrupted one.
 //
 // Usage: stcexplain [-session SID] [-max-examined N] [events.jsonl]
+//        stcexplain -scrub DIR [-scrub-gc]
 //
 // With no file argument the log is read from stdin. Fleet logs (stcd's
 // -obs-log) interleave many sessions, each event stamped with an "sid"
@@ -21,6 +22,14 @@
 // budget-reasoned re-tunes, fleet.realloc) render with their allocation and
 // excluded-configuration counts, and count toward -max-examined like any
 // other session.
+//
+// -scrub DIR switches to checkpoint-integrity mode: every retained
+// generation under DIR — a single daemon store, or a fleet tree with a
+// manifest, scrubbed session by session — is read and validated end to end,
+// and corrupt generations are reported with their failure. Adding -scrub-gc
+// deletes the corrupt ones, except when a store has no valid generation
+// left: the wreckage of an all-corrupt store is evidence, never garbage.
+// The exit status is non-zero while any corrupt generation remains on disk.
 package main
 
 import (
@@ -28,7 +37,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 
+	"selftune/internal/checkpoint"
 	"selftune/internal/obs"
 	"selftune/internal/report"
 )
@@ -43,7 +55,16 @@ func main() {
 func run() error {
 	maxExamined := flag.Int("max-examined", 0, "fail if any session examined more than this many configurations (0 disables)")
 	session := flag.String("session", "", "extract this session's story from a fleet log (sid stamp)")
+	scrub := flag.String("scrub", "", "validate every checkpoint generation under this store or fleet directory instead of reading a log")
+	scrubGC := flag.Bool("scrub-gc", false, "with -scrub: delete corrupt generations (never a store's last state)")
 	flag.Parse()
+
+	if *scrub != "" {
+		return runScrub(*scrub, *scrubGC)
+	}
+	if *scrubGC {
+		return fmt.Errorf("-scrub-gc needs -scrub DIR")
+	}
 
 	var in io.Reader = os.Stdin
 	switch flag.NArg() {
@@ -85,6 +106,66 @@ func run() error {
 	if *maxExamined > 0 && story.MaxExamined() > *maxExamined {
 		return fmt.Errorf("a session examined %d configurations, above the -max-examined gate of %d",
 			story.MaxExamined(), *maxExamined)
+	}
+	return nil
+}
+
+// runScrub validates a checkpoint directory — a fleet tree when a manifest
+// is present, a single store otherwise — and reports per generation.
+func runScrub(dir string, gc bool) error {
+	reps := map[string]*checkpoint.ScrubReport{}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+		fs, err := checkpoint.OpenFleetStore(dir, 0)
+		if err != nil {
+			return err
+		}
+		if reps, err = fs.Scrub(gc); err != nil {
+			return err
+		}
+	} else {
+		s, err := checkpoint.OpenStore(dir, 0)
+		if err != nil {
+			return err
+		}
+		rep, err := s.Scrub(gc)
+		if err != nil {
+			return err
+		}
+		reps[""] = rep
+	}
+
+	ids := make([]string, 0, len(reps))
+	for id := range reps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	remaining := 0
+	for _, id := range ids {
+		rep := reps[id]
+		label := "store"
+		if id != "" {
+			label = fmt.Sprintf("session %q", id)
+		}
+		fmt.Printf("%s: %d valid, %d corrupt, %d removed\n", label, len(rep.Valid), len(rep.Corrupt), len(rep.Removed))
+		removed := map[uint64]bool{}
+		for _, g := range rep.Removed {
+			removed[g] = true
+		}
+		for i, g := range rep.Corrupt {
+			verdict := "corrupt"
+			if removed[g] {
+				verdict = "removed"
+			} else {
+				remaining++
+			}
+			fmt.Printf("  generation %d: %s (%s)\n", g, verdict, rep.Errors[i])
+		}
+		if len(rep.Valid) == 0 && len(rep.Corrupt) > 0 {
+			fmt.Printf("  no valid generation remains; corrupt files kept as evidence\n")
+		}
+	}
+	if remaining > 0 {
+		return fmt.Errorf("%d corrupt generation(s) remain on disk", remaining)
 	}
 	return nil
 }

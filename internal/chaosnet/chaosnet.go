@@ -1,0 +1,178 @@
+// Package chaosnet injects seeded, deterministic network faults under real
+// net.Conn traffic: connections cut mid-frame after a drawn byte budget,
+// writes that land only a prefix before failing, and small injected
+// latencies that shake goroutine interleavings without touching any tuning
+// decision.
+//
+// Every fault is drawn up front from a splitmix64 stream rooted in a seed —
+// per connection, per direction — so a given connection sequence reproduces
+// its fault schedule bit for bit. Wrapping a listener derives each accepted
+// connection's seed from its accept ordinal: a harness that dials in a
+// deterministic order gets a deterministic storm. The package injects
+// faults only; it never reorders or corrupts delivered bytes, because the
+// properties soaked on top of it (exactly-once delivery, bit-identical
+// settles) need byte truncation to be the only lie the network tells.
+package chaosnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"selftune/internal/faults"
+)
+
+// ErrInjected marks every fault this package injects, so tests and logs can
+// tell a manufactured reset from a real one with errors.Is.
+var ErrInjected = errors.New("chaosnet: injected connection fault")
+
+// Options parameterises the fault model. The zero value injects nothing.
+type Options struct {
+	// Seed roots every fault decision.
+	Seed uint64
+	// DropRate is the per-connection probability its read path is cut: after
+	// a byte budget drawn uniformly from [1, MaxCutBytes], reads fail — a
+	// connection reset partway through whatever frame was in flight.
+	DropRate float64
+	// WriteDropRate is the same for the write path; the write that crosses
+	// the budget lands only a prefix on the wire (a partial write) and
+	// fails, so the peer sees a truncated response stream.
+	WriteDropRate float64
+	// MaxCutBytes bounds the drawn cut position (default 16 KiB). Budgets
+	// past a connection's actual traffic mean it survives untouched.
+	MaxCutBytes int
+	// LatencyRate is the per-operation probability of an injected delay,
+	// uniform in (0, MaxLatency] (default 1ms). Latency shakes scheduling
+	// only — it cannot change any stream-positioned decision.
+	LatencyRate float64
+	MaxLatency  time.Duration
+}
+
+// zero reports whether the options inject nothing.
+func (o Options) zero() bool {
+	return o.DropRate <= 0 && o.WriteDropRate <= 0 && o.LatencyRate <= 0
+}
+
+// Conn wraps one net.Conn with the fault plan drawn from seed. Read and
+// Write keep independent random streams, so the two directions can fault
+// concurrently without sharing state.
+type Conn struct {
+	net.Conn
+	readBudget  int64 // bytes until the read path cuts; negative = never
+	writeBudget int64
+	rlat, wlat  *faults.Rand
+	latRate     float64
+	maxLat      time.Duration
+}
+
+// WrapConn draws a fault plan for c from seed and opt. With zero options the
+// conn is returned unwrapped.
+func WrapConn(c net.Conn, seed uint64, opt Options) net.Conn {
+	if opt.zero() {
+		return c
+	}
+	max := opt.MaxCutBytes
+	if max <= 0 {
+		max = 16 << 10
+	}
+	plan := faults.NewRand(faults.Derive(seed, "plan"))
+	budget := func(rate float64) int64 {
+		if rate > 0 && plan.Float64() < rate {
+			return 1 + int64(plan.Intn(max))
+		}
+		return -1
+	}
+	cc := &Conn{
+		Conn:        c,
+		readBudget:  budget(opt.DropRate),
+		writeBudget: budget(opt.WriteDropRate),
+		latRate:     opt.LatencyRate,
+		maxLat:      opt.MaxLatency,
+	}
+	if cc.maxLat <= 0 {
+		cc.maxLat = time.Millisecond
+	}
+	cc.rlat = faults.NewRand(faults.Derive(seed, "lat-read"))
+	cc.wlat = faults.NewRand(faults.Derive(seed, "lat-write"))
+	return cc
+}
+
+// delay maybe sleeps, drawing from the direction's own stream.
+func (c *Conn) delay(r *faults.Rand) {
+	if c.latRate > 0 && r.Float64() < c.latRate {
+		time.Sleep(time.Duration(1 + r.Intn(int(c.maxLat))))
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.delay(c.rlat)
+	if c.readBudget == 0 {
+		return 0, fmt.Errorf("chaosnet: read past the injected reset: %w", ErrInjected)
+	}
+	if c.readBudget > 0 && int64(len(p)) > c.readBudget {
+		p = p[:c.readBudget]
+	}
+	n, err := c.Conn.Read(p)
+	if c.readBudget > 0 {
+		c.readBudget -= int64(n)
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.delay(c.wlat)
+	if c.writeBudget == 0 {
+		return 0, fmt.Errorf("chaosnet: write past the injected reset: %w", ErrInjected)
+	}
+	if c.writeBudget > 0 && int64(len(p)) > c.writeBudget {
+		// The defining partial write: a prefix reaches the wire, the rest
+		// never will, and the caller is told so.
+		n, err := c.Conn.Write(p[:c.writeBudget])
+		c.writeBudget -= int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("chaosnet: partial write of %d/%d bytes: %w", n, len(p), ErrInjected)
+	}
+	n, err := c.Conn.Write(p)
+	if c.writeBudget > 0 {
+		c.writeBudget -= int64(n)
+	}
+	return n, err
+}
+
+// CloseWrite forwards a half-close when the underlying connection supports
+// one (TCP does), so wrapped clients keep the stream-then-await-responses
+// shape.
+func (c *Conn) CloseWrite() error {
+	if hc, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+		return hc.CloseWrite()
+	}
+	return nil
+}
+
+// Listener wraps an accepting listener: the i-th accepted connection
+// (0-based) gets the fault plan drawn from (Seed, i). Harnesses that dial
+// sequentially therefore replay the same storm on every run.
+type Listener struct {
+	net.Listener
+	opt     Options
+	ordinal atomic.Uint64
+}
+
+// WrapListener wraps l with the fault model.
+func WrapListener(l net.Listener, opt Options) *Listener {
+	return &Listener{Listener: l, opt: opt}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	ord := l.ordinal.Add(1) - 1
+	return WrapConn(c, faults.Derive(l.opt.Seed, "conn", strconv.FormatUint(ord, 10)), l.opt), nil
+}

@@ -1,0 +1,190 @@
+package chaosnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a connected loopback TCP pair (net.Pipe is synchronous,
+// which deadlocks one-goroutine write-then-read tests).
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-done
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// drainUntilFault reads c until an injected fault (returning bytes read) or
+// EOF (returning -1 alongside the count).
+func drainUntilFault(t *testing.T, c net.Conn, faulted *bool) int {
+	t.Helper()
+	total := 0
+	buf := make([]byte, 113) // odd size so cuts land mid-read
+	for {
+		n, err := c.Read(buf)
+		total += n
+		if err != nil {
+			*faulted = errors.Is(err, ErrInjected)
+			if !*faulted && err != io.EOF {
+				t.Fatalf("unexpected read error: %v", err)
+			}
+			return total
+		}
+	}
+}
+
+// TestReadCutIsDeterministic pins the core contract: the same seed cuts the
+// read path at exactly the same byte position, run after run, and the bytes
+// delivered before the cut are untouched.
+func TestReadCutIsDeterministic(t *testing.T) {
+	opt := Options{Seed: 99, DropRate: 1, MaxCutBytes: 4096}
+	payload := make([]byte, 8192)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var positions []int
+	for run := 0; run < 2; run++ {
+		client, server := pipePair(t)
+		wrapped := WrapConn(server, 7, opt)
+		go func() {
+			client.Write(payload)
+			client.Close()
+		}()
+		got := make([]byte, 0, len(payload))
+		buf := make([]byte, 57)
+		for {
+			n, err := wrapped.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("run %d: read error %v, want an injected fault", run, err)
+				}
+				break
+			}
+		}
+		if len(got) == 0 || len(got) > opt.MaxCutBytes {
+			t.Fatalf("run %d: cut at %d bytes, want within (0, %d]", run, len(got), opt.MaxCutBytes)
+		}
+		for i, b := range got {
+			if b != byte(i) {
+				t.Fatalf("run %d: delivered byte %d corrupted", run, i)
+			}
+		}
+		positions = append(positions, len(got))
+	}
+	if positions[0] != positions[1] {
+		t.Errorf("cut positions %v differ across identical runs", positions)
+	}
+}
+
+// TestPartialWriteDeliversPrefix pins the write-path fault shape: the write
+// crossing the budget reports n < len(p) with ErrInjected, and exactly those
+// n bytes arrive at the peer.
+func TestPartialWriteDeliversPrefix(t *testing.T) {
+	client, server := pipePair(t)
+	wrapped := WrapConn(client, 3, Options{Seed: 11, WriteDropRate: 1, MaxCutBytes: 1024})
+	payload := make([]byte, 4096)
+	n, err := wrapped.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %d, %v, want an injected fault", n, err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("partial write landed %d bytes, want a strict prefix", n)
+	}
+	// Subsequent writes stay dead.
+	if _, err := wrapped.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after cut = %v, want an injected fault", err)
+	}
+	wrapped.Close()
+	got, err := io.ReadAll(server)
+	if err != nil || len(got) != n {
+		t.Fatalf("peer received %d bytes (%v), want the %d-byte prefix", len(got), err, n)
+	}
+}
+
+// TestZeroOptionsPassThrough pins that a zero fault model wraps nothing: the
+// same conn comes back, and full traffic flows.
+func TestZeroOptionsPassThrough(t *testing.T) {
+	client, server := pipePair(t)
+	if w := WrapConn(client, 1, Options{}); w != client {
+		t.Fatal("zero options should return the conn unwrapped")
+	}
+	go func() {
+		client.Write(make([]byte, 1<<16))
+		client.Close()
+	}()
+	got, err := io.ReadAll(server)
+	if err != nil || len(got) != 1<<16 {
+		t.Fatalf("passthrough moved %d bytes (%v), want %d", len(got), err, 1<<16)
+	}
+}
+
+// TestListenerDerivesPerConnSchedules pins that two listeners with the same
+// seed hand each accept ordinal the same fault plan — and different ordinals
+// different plans (with overwhelming probability under these rates).
+func TestListenerDerivesPerConnSchedules(t *testing.T) {
+	opt := Options{Seed: 42, DropRate: 1, MaxCutBytes: 2048}
+	cutsFor := func() []int {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		wl := WrapListener(l, opt)
+		var cuts []int
+		for ord := 0; ord < 3; ord++ {
+			done := make(chan int, 1)
+			go func() {
+				sc, err := wl.Accept()
+				if err != nil {
+					t.Error(err)
+					done <- 0
+					return
+				}
+				defer sc.Close()
+				var faulted bool
+				done <- drainUntilFault(t, sc, &faulted)
+			}()
+			c, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Write(make([]byte, 8192))
+			time.Sleep(10 * time.Millisecond)
+			c.Close()
+			cuts = append(cuts, <-done)
+		}
+		return cuts
+	}
+	a, b := cutsFor(), cutsFor()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("ordinal %d cut at %d then %d across identical listeners", i, a[i], b[i])
+		}
+	}
+	if a[0] == a[1] && a[1] == a[2] {
+		t.Errorf("all ordinals drew the same cut %v — per-conn derivation is broken", a)
+	}
+}

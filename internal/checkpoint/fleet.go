@@ -116,6 +116,26 @@ func (f *FleetStore) Sessions() []string {
 	return ids
 }
 
+// Scrub runs Store.Scrub over every session the manifest knows, keyed by
+// session ID. The per-session never-delete-the-last-valid-state rule applies
+// store by store; one session rotted to nothing does not stop the others
+// from being cleaned.
+func (f *FleetStore) Scrub(remove bool) (map[string]*ScrubReport, error) {
+	out := map[string]*ScrubReport{}
+	for _, id := range f.Sessions() {
+		s, err := OpenStore(f.SessionDir(id), f.keep)
+		if err != nil {
+			return out, fmt.Errorf("checkpoint: scrub %q: %w", id, err)
+		}
+		rep, err := s.Scrub(remove)
+		if err != nil {
+			return out, fmt.Errorf("checkpoint: scrub %q: %w", id, err)
+		}
+		out[id] = rep
+	}
+	return out, nil
+}
+
 // FleetState is the fleet-level durable state that lives beside the
 // per-session checkpoints: the capacity assignments in force, the parked
 // (admission-pending) sessions in FIFO order, and the miss-ratio-curve

@@ -1,0 +1,152 @@
+package checkpoint
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// corruptGen flips a byte near the end of a generation file (inside the CRC
+// frame's coverage).
+func corruptGen(t *testing.T, s *Store, gen uint64) {
+	t.Helper()
+	b, err := os.ReadFile(s.Path(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(s.Path(gen), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubReportsAndRemovesCorruption seeds a store with five generations,
+// rots two, and checks the scrub's verdict both ways: report-only leaves
+// every file in place; remove mode deletes exactly the corrupt ones and a
+// subsequent Load still recovers the newest valid generation.
+func TestScrubReportsAndRemovesCorruption(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := s.Save(&State{Consumed: i * 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corruptGen(t, s, 2)
+	corruptGen(t, s, 5)
+
+	rep, err := s.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{1, 3, 4}; !reflect.DeepEqual(rep.Valid, want) {
+		t.Fatalf("Valid = %v, want %v", rep.Valid, want)
+	}
+	if want := []uint64{2, 5}; !reflect.DeepEqual(rep.Corrupt, want) {
+		t.Fatalf("Corrupt = %v, want %v", rep.Corrupt, want)
+	}
+	if len(rep.Errors) != 2 || rep.Errors[0] == "" || rep.Errors[1] == "" {
+		t.Fatalf("Errors = %v, want one reason per corrupt generation", rep.Errors)
+	}
+	if rep.Removed != nil {
+		t.Fatalf("report-only scrub removed %v", rep.Removed)
+	}
+	for g := uint64(1); g <= 5; g++ {
+		if _, err := os.Stat(s.Path(g)); err != nil {
+			t.Fatalf("report-only scrub touched generation %d: %v", g, err)
+		}
+	}
+
+	rep, err = s.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{2, 5}; !reflect.DeepEqual(rep.Removed, want) {
+		t.Fatalf("Removed = %v, want %v", rep.Removed, want)
+	}
+	for _, g := range []uint64{2, 5} {
+		if _, err := os.Stat(s.Path(g)); !os.IsNotExist(err) {
+			t.Fatalf("corrupt generation %d survived remove-mode scrub", g)
+		}
+	}
+	st, gen, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 4 || st.Consumed != 4000 {
+		t.Fatalf("after scrub: recovered generation %d (consumed %d), want 4", gen, st.Consumed)
+	}
+}
+
+// TestScrubNeverDeletesTheLastEvidence pins the safety rule: when every
+// generation is corrupt, remove mode deletes nothing — the wreckage is what
+// an investigation needs, and scrubbing it away would silently reset the
+// session.
+func TestScrubNeverDeletesTheLastEvidence(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := s.Save(&State{Consumed: i * 1000}); err != nil {
+			t.Fatal(err)
+		}
+		corruptGen(t, s, i)
+	}
+	rep, err := s.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Valid) != 0 || len(rep.Corrupt) != 3 || rep.Removed != nil {
+		t.Fatalf("all-corrupt scrub = %+v, want 3 corrupt reported and nothing removed", rep)
+	}
+	for g := uint64(1); g <= 3; g++ {
+		if _, err := os.Stat(s.Path(g)); err != nil {
+			t.Fatalf("scrub deleted generation %d of an all-corrupt store", g)
+		}
+	}
+}
+
+// TestFleetScrubWalksEverySession rots one session's head inside a fleet
+// tree and checks the fleet-level scrub reports per session and cleans only
+// the rotten file.
+func TestFleetScrubWalksEverySession(t *testing.T) {
+	fs, err := OpenFleetStore(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := map[string]*Store{}
+	for _, id := range []string{"a", "b"} {
+		st, err := fs.Session(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[id] = st
+		for i := uint64(1); i <= 2; i++ {
+			if _, err := st.Save(&State{Consumed: i * 100}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	corruptGen(t, stores["b"], 2)
+
+	reps, err := fs.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("scrubbed %d sessions, want 2", len(reps))
+	}
+	if rep := reps["a"]; len(rep.Valid) != 2 || len(rep.Corrupt) != 0 {
+		t.Fatalf("clean session a scrub = %+v", rep)
+	}
+	if rep := reps["b"]; !reflect.DeepEqual(rep.Corrupt, []uint64{2}) || !reflect.DeepEqual(rep.Removed, []uint64{2}) {
+		t.Fatalf("rotten session b scrub = %+v, want generation 2 removed", rep)
+	}
+	st, gen, err := stores["b"].Load()
+	if err != nil || gen != 1 || st.Consumed != 100 {
+		t.Fatalf("b after scrub: generation %d (%v), want 1", gen, err)
+	}
+}

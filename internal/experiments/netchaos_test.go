@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"selftune/internal/chaosnet"
+)
+
+// TestNetChaosFaultFree pins the harness itself: with no faults armed every
+// session delivers on its first attempt and settles bit-identical to solo —
+// the soak cannot perturb what it measures.
+func TestNetChaosFaultFree(t *testing.T) {
+	out, err := NetChaos(NetChaosOptions{
+		Benches: []string{"crc", "bcnt"},
+		N:       12_000,
+		Window:  500,
+		Seed:    1,
+		Shards:  2,
+		Dir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equivalent {
+		t.Fatalf("fault-free soak not equivalent: %s", out.Mismatch)
+	}
+	for _, s := range out.Sessions {
+		if !s.Delivered || s.Attempts != 1 || !s.Identical {
+			t.Errorf("%s: delivered=%v attempts=%d identical=%v, want clean first-attempt delivery",
+				s.ID, s.Delivered, s.Attempts, s.Identical)
+		}
+	}
+}
+
+// TestNetChaosSoak is the acceptance matrix: across seeds and shard counts,
+// under mid-frame resets, truncated response streams, injected latency and
+// a worker panic victim, every session settles bit-identical to its
+// fault-free solo run or fails typed with a clean durable prefix.
+func TestNetChaosSoak(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, shards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("seed%d-shards%d", seed, shards), func(t *testing.T) {
+				t.Parallel()
+				out, err := NetChaos(NetChaosOptions{
+					Benches: []string{"crc", "bcnt", "bilv"},
+					N:       12_000,
+					Window:  500,
+					Seed:    seed,
+					Shards:  shards,
+					Dir:     t.TempDir(),
+					Net: chaosnet.Options{
+						DropRate:      0.6,
+						WriteDropRate: 0.3,
+						MaxCutBytes:   24_000,
+						LatencyRate:   0.001,
+					},
+					Victims: map[string]uint64{"crc": 10},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !out.Equivalent {
+					t.Fatalf("soak violated the self-healing contract: %s", out.Mismatch)
+				}
+				for _, s := range out.Sessions {
+					if !s.Delivered {
+						t.Errorf("%s: not delivered after %d attempts: %v", s.ID, s.Attempts, s.Failures)
+					}
+				}
+				// The victim's panic forces at least one reconnect, so the
+				// storm demonstrably bit even if every cut missed.
+				if out.TotalAttempts <= len(out.Sessions) {
+					t.Errorf("total attempts %d across %d sessions: no fault ever landed",
+						out.TotalAttempts, len(out.Sessions))
+				}
+			})
+		}
+	}
+}
+
+// TestNetChaosStickyVictimFailsTyped drives a permanent fault through the
+// whole stack: the session never delivers, every attempt's failure is
+// typed, the durable state is a clean prefix of the solo history — and the
+// healthy sibling on the same fleet is untouched.
+func TestNetChaosStickyVictimFailsTyped(t *testing.T) {
+	out, err := NetChaos(NetChaosOptions{
+		Benches:       []string{"crc", "bcnt"},
+		N:             12_000,
+		Window:        500,
+		Seed:          7,
+		Shards:        1, // one worker: containment is the point
+		Dir:           t.TempDir(),
+		Retries:       4,
+		StickyVictims: map[string]uint64{"bcnt": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equivalent {
+		t.Fatalf("sticky-victim soak violated the contract: %s", out.Mismatch)
+	}
+	for _, s := range out.Sessions {
+		switch s.ID {
+		case "bcnt":
+			if s.Delivered {
+				t.Error("sticky victim delivered; its fault re-trips every life")
+			}
+			if s.Attempts != 4 || len(s.Failures) != 4 {
+				t.Errorf("victim attempts=%d failures=%d, want 4/4", s.Attempts, len(s.Failures))
+			}
+		case "crc":
+			if !s.Delivered || !s.Identical {
+				t.Errorf("healthy sibling delivered=%v identical=%v, want clean delivery", s.Delivered, s.Identical)
+			}
+		}
+	}
+}

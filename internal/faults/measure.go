@@ -132,6 +132,38 @@ func StatsMeter(seed uint64, noiseRate, noiseMag, stuckRate float64) func(cfg ca
 	}
 }
 
+// PanicMeter builds a Meter-shaped readout that panics exactly once, on the
+// n-th readout (1-based) of the meter's lifetime, and reads clean otherwise
+// — the stand-in for a measurement datapath crashing inside a shard worker.
+// Because readouts happen at deterministic stream positions (one per
+// measurement window and probe), the panic lands at a reproducible point;
+// and because the count keeps running after the trip, a session revived
+// from checkpoint replays past the crash site cleanly, exactly like real
+// transient corruption. Counts are atomic so inspection under the race
+// detector is safe, but a meter instance belongs to one session.
+func PanicMeter(n uint64) func(cfg cache.Config, st cache.Stats) cache.Stats {
+	var count atomic.Uint64
+	return func(cfg cache.Config, st cache.Stats) cache.Stats {
+		if count.Add(1) == n {
+			panic(fmt.Sprintf("faults: injected meter panic at readout %d", n))
+		}
+		return st
+	}
+}
+
+// PanicMeterSticky is PanicMeter with a permanent fault: every readout from
+// the n-th on panics, so a revived session re-trips at the same stream
+// position each life — the path that exhausts the revive cap into Failed.
+func PanicMeterSticky(n uint64) func(cfg cache.Config, st cache.Stats) cache.Stats {
+	var count atomic.Uint64
+	return func(cfg cache.Config, st cache.Stats) cache.Stats {
+		if count.Add(1) >= n {
+			panic(fmt.Sprintf("faults: injected sticky meter panic at readout %d", n))
+		}
+		return st
+	}
+}
+
 // faultySim perturbs a simulator's counter readout (and optionally crashes
 // its replay) while leaving the underlying cache behaviour untouched.
 type faultySim struct {

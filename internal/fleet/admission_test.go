@@ -214,6 +214,67 @@ func TestParkedSessionCloseDiscards(t *testing.T) {
 	}
 }
 
+// TestParkedMidQueueCloseAdmitsSurvivor closes a parked session from the
+// middle of the pending queue: the close reports no spurious error, the
+// queue keeps FIFO order over the survivors, and freeing the admitted
+// session admits the survivor — not the closed ghost — which then consumes
+// normally.
+func TestParkedMidQueueCloseAdmitsSurvivor(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := New(Options{
+		Shards:           1,
+		Session:          daemon.Options{Window: 500},
+		AllocBudgetBytes: 2048, // exactly one admitted session
+		EnforceBudget:    true,
+		PendingQueue:     2,
+		Rec:              obs.NewJSONL(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := m.Open(id); err != nil {
+			t.Fatalf("open %q: %v", id, err)
+		}
+	}
+	if got := m.Pending(); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("Pending() = %v, want [b c]", got)
+	}
+	// Close the middle of the queue: no sticky error, no health error —
+	// a parked session that did nothing wrong closes clean.
+	if err := m.CloseSession("b"); err != nil {
+		t.Fatalf("close parked b: %v", err)
+	}
+	if got := m.Pending(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("Pending() after mid-queue close = %v, want [c]", got)
+	}
+	// Freeing the admitted session admits the survivor, which consumes.
+	if err := m.CloseSession("a"); err != nil {
+		t.Fatalf("close a: %v", err)
+	}
+	if got := m.Pending(); len(got) != 0 {
+		t.Fatalf("Pending() after a closed = %v, want empty", got)
+	}
+	if err := m.Submit("c", genTrace(t, "bcnt", 2_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Quiesce("c"); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := m.Session("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dc.Consumed(); got != 2_000 {
+		t.Fatalf("admitted survivor consumed %d, want 2000", got)
+	}
+	evs := fleetEvents(t, &buf, "fleet.admit")
+	if len(evs) != 1 || evs[0].Str("sid") != "c" {
+		t.Fatalf("want exactly one fleet.admit for c, got %d", len(evs))
+	}
+}
+
 // TestOverloadNeverWedges hammers admission control past every limit and
 // asserts the fleet stays live: opens either admit, park or reject (never
 // hang), submissions to every surviving session flow, and the fleet closes

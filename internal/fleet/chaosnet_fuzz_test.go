@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"selftune/internal/chaosnet"
+	"selftune/internal/daemon"
+	"selftune/internal/trace"
+)
+
+// FuzzChaosnetFraming drives the connection handler through a
+// fault-injecting chaosnet conn: fuzzer-chosen wire bytes, cut and delayed
+// at seed-chosen positions on both directions. The truncations chaosnet
+// manufactures land anywhere — inside a frame header, a varint, a payload,
+// a response — and whatever is left of the framing, the manager must absorb
+// it without panicking, deadlocking, or leaking live sessions.
+func FuzzChaosnetFraming(f *testing.F) {
+	valid := func(build func(cw *ConnWriter)) []byte {
+		var b bytes.Buffer
+		cw, _ := NewConnWriter(&b)
+		build(cw)
+		return b.Bytes()
+	}
+	f.Add([]byte("STFW\x01"), uint64(1))
+	f.Add(valid(func(cw *ConnWriter) {
+		cw.Open("s")
+		var tr bytes.Buffer
+		trace.Encode(&tr, []trace.Access{{Addr: 4}, {Addr: 8, Kind: trace.DataRead}})
+		cw.Data("s", tr.Bytes())
+		cw.Close("s")
+	}), uint64(2))
+	f.Add(valid(func(cw *ConnWriter) {
+		cw.Open("a")
+		cw.Data("a", []byte("garbage payload"))
+		cw.Open("b")
+	}), uint64(3))
+	f.Add([]byte("JUNK"), uint64(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		m, err := New(Options{Shards: 1, QueueDepth: 256, Session: daemon.Options{Window: 64, MaxEvents: 8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+
+		client, server := net.Pipe()
+		conn := chaosnet.WrapConn(server, seed, chaosnet.Options{
+			DropRate:      0.75,
+			WriteDropRate: 0.5,
+			MaxCutBytes:   1 << 9,
+		})
+		go func() {
+			// The server may die mid-stream (cut or framing error) without
+			// draining; its Close below unblocks this write.
+			client.Write(data)
+			client.Close()
+		}()
+		// Drain responses so server-side writes never block on the pipe.
+		go io.Copy(io.Discard, client)
+
+		_ = m.IngestConn(conn)
+		conn.Close()
+		if got := m.Sessions(); len(got) != 0 {
+			t.Fatalf("chaosnet ingest leaked live sessions: %v", got)
+		}
+	})
+}

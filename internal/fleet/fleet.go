@@ -108,6 +108,23 @@ type Options struct {
 	// (net.Conn does). 0 — the default — disables the deadline, which
 	// deterministic in-process tests rely on.
 	ReadTimeout time.Duration
+
+	// MaxRevives caps in-process revivals per session: a quarantined
+	// session that has already revived this many times goes to Failed
+	// instead of quarantining again. Default 3; negative disables revival
+	// entirely, so every failure is terminal.
+	MaxRevives int
+	// ReviveBackoffBatches is the quarantine backoff base, counted in
+	// submissions to the quarantined session (never wall-clock — the house
+	// determinism invariant): the first quarantine holds for this many
+	// Submit calls, doubling on each subsequent quarantine of the same
+	// session. Default 2.
+	ReviveBackoffBatches int
+	// Configure, when non-nil, adjusts one session's daemon options after
+	// the fleet fills the template, at open and at every revival — the
+	// fault-injection seam for the chaos harness and a per-tenant tuning
+	// knob. Dir, Keep, Reg and Rec stay fleet-managed regardless.
+	Configure func(id string, o *daemon.Options)
 }
 
 func (o *Options) fill() {
@@ -128,6 +145,12 @@ func (o *Options) fill() {
 	}
 	if o.PendingQueue == 0 {
 		o.PendingQueue = 4
+	}
+	if o.MaxRevives == 0 {
+		o.MaxRevives = 3
+	}
+	if o.ReviveBackoffBatches <= 0 {
+		o.ReviveBackoffBatches = 2
 	}
 }
 
@@ -164,14 +187,17 @@ type Manager struct {
 	// admission-control unit (enforce mode).
 	minBytes int
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	pending  []*session // parked sessions, FIFO admission order (enforce mode)
-	closed   bool
-	seq      uint64 // fleet-event ordinal (Step coordinate)
-	rejected uint64 // opens refused by admission control
-	unparked uint64 // sessions admitted from the pending queue
-	reports  []SessionReport
+	mu          sync.Mutex
+	sessions    map[string]*session
+	pending     []*session // parked sessions, FIFO admission order (enforce mode)
+	closed      bool
+	seq         uint64 // fleet-event ordinal (Step coordinate)
+	rejected    uint64 // opens refused by admission control
+	unparked    uint64 // sessions admitted from the pending queue
+	failed      int    // live sessions in Failed state (free their admission slot)
+	quarantined int    // live sessions in Quarantined state (keep their slot)
+	panics      uint64 // worker panics contained so far
+	reports     []SessionReport
 
 	// restored carries the assignments a previous life persisted
 	// (checkpoint.FleetState), consumed as each session re-opens so its
@@ -190,15 +216,26 @@ type Manager struct {
 type session struct {
 	id    string
 	shard *shard
-	d     *daemon.Daemon
+	sopts daemon.Options // the daemon configuration revival rebuilds from
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	inFlight int    // submitted accesses the worker has not consumed yet
-	skip     uint64 // resumed sessions: accesses of the re-streamed prefix left to discard
+	d        *daemon.Daemon // swapped by revival; snapshot under mu before use
+	inFlight int            // submitted accesses the worker has not consumed yet
+	skip     uint64         // resumed sessions: accesses of the re-streamed prefix left to discard
 	shed     uint64
-	err      error // sticky failure; set by the worker
 	closed   bool
+
+	// The health state machine (see Health). cause is the failure that
+	// left Active; backoff is the submissions still to discard before
+	// revival; epoch increments at every revival so batches enqueued
+	// against a dead daemon are discarded instead of corrupting the
+	// revived one's stream position.
+	health  Health
+	cause   error
+	revives int
+	backoff int
+	epoch   uint64
 
 	// parked marks a session waiting in the admission queue: submitted
 	// batches buffer in buf (with the normal inFlight backpressure) and
@@ -219,6 +256,7 @@ type session struct {
 type item struct {
 	s     *session
 	accs  []trace.Access
+	epoch uint64 // session epoch at enqueue; stale data items are discarded
 	close bool
 	done  chan error // close items only
 }
@@ -334,6 +372,14 @@ func (m *Manager) Open(id string) error {
 			sopts.BudgetBytes = b
 		}
 	}
+	if cfg := m.opts.Configure; cfg != nil {
+		cfg(id, &sopts)
+		// The hook cannot take over the fleet-managed fields.
+		sopts.Dir = ""
+		sopts.Keep = m.opts.Keep
+		sopts.Reg = nil
+		sopts.Rec = obs.With(m.opts.Rec, slog.String("sid", id))
+	}
 	if m.store != nil {
 		if _, err := m.store.Session(id); err != nil { // registers in the manifest
 			return err
@@ -356,7 +402,7 @@ func (m *Manager) Open(id string) error {
 	if err != nil {
 		return fmt.Errorf("fleet: open %q: %w", id, err)
 	}
-	s := &session{id: id, shard: m.shards[shardOf(id, len(m.shards))], d: d, skip: d.Consumed()}
+	s := &session{id: id, shard: m.shards[shardOf(id, len(m.shards))], d: d, skip: d.Consumed(), sopts: sopts}
 	s.cond = sync.NewCond(&s.mu)
 	s.budget = sopts.BudgetBytes
 
@@ -373,7 +419,9 @@ func (m *Manager) Open(id string) error {
 	}
 	parked := false
 	if m.opts.EnforceBudget {
-		admitted := len(m.sessions) - len(m.pending)
+		// Failed sessions hold no capacity: they are live (their report and
+		// health remain queryable) but stop counting against admission.
+		admitted := len(m.sessions) - len(m.pending) - m.failed
 		switch {
 		case (admitted+1)*m.minBytes <= m.opts.AllocBudgetBytes:
 			// Admitted: the budget covers every session's minimum
@@ -439,9 +487,16 @@ func (m *Manager) lookup(id string) (*session, error) {
 // whole trace after a fleet restart without double-feeding. Submit blocks
 // while the session's in-flight accesses exceed QueueDepth (backpressure),
 // unless Shed is set, in which case the whole batch is dropped and counted
-// instead. A sticky session failure (persistence or ingest error) is
-// returned on every subsequent Submit. Per session, submitters must be
-// serialised — concurrent Submits to one session have no defined order.
+// instead.
+//
+// A session out of Active returns *HealthError. Quarantined submissions are
+// discarded while they tick the batch-count backoff down; the call that
+// exhausts it revives the session from its last good checkpoint and returns
+// a *HealthError with Revived set — the submitter then re-streams the trace
+// from byte 0 and the consumed-prefix skip keeps the effect exactly-once.
+// Failed is terminal and every submission reports it. Per session,
+// submitters must be serialised — concurrent Submits to one session have no
+// defined order.
 func (m *Manager) Submit(id string, accs []trace.Access) error {
 	s, err := m.lookup(id)
 	if err != nil {
@@ -453,6 +508,9 @@ func (m *Manager) Submit(id string, accs []trace.Access) error {
 		s.mu.Unlock()
 		return fmt.Errorf("fleet: session %q is closed", id)
 	}
+	if s.health != Active {
+		return m.submitUnhealthy(s)
+	}
 	if s.skip > 0 {
 		n := uint64(len(accs))
 		if n > s.skip {
@@ -462,9 +520,8 @@ func (m *Manager) Submit(id string, accs []trace.Access) error {
 		accs = accs[n:]
 	}
 	if len(accs) == 0 {
-		err := s.err
 		s.mu.Unlock()
-		return err
+		return nil
 	}
 	if m.opts.Shed && s.inFlight+len(accs) > m.opts.QueueDepth {
 		s.shed += uint64(len(accs))
@@ -486,10 +543,10 @@ func (m *Manager) Submit(id string, accs []trace.Access) error {
 			return fmt.Errorf("fleet: session %q is closed", id)
 		}
 	}
-	if s.err != nil {
-		err := s.err
-		s.mu.Unlock()
-		return err
+	if s.health != Active {
+		// The worker quarantined the session while this submitter waited
+		// out backpressure; the batch joins the discard-and-tick flow.
+		return m.submitUnhealthy(s)
 	}
 	s.inFlight += len(accs)
 	depth := s.inFlight
@@ -510,7 +567,7 @@ func (m *Manager) Submit(id string, accs []trace.Access) error {
 	// s.mu, so its close item can never be overtaken by a data batch that
 	// passed the closed check earlier. (Lock order s.mu → shard.mu is safe:
 	// the worker never holds both.)
-	s.shard.enqueue(item{s: s, accs: accs})
+	s.shard.enqueue(item{s: s, accs: accs, epoch: s.epoch})
 	s.mu.Unlock()
 	if reg := m.opts.Reg; reg != nil {
 		reg.GaugeWith("fleet_session_queue", "session", id).Set(float64(depth))
@@ -518,26 +575,180 @@ func (m *Manager) Submit(id string, accs []trace.Access) error {
 	return nil
 }
 
-// sticky returns the session's sticky error under its lock.
-func (s *session) sticky() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
+// healthErr builds the typed error for a session out of Active, nil
+// otherwise. Callers hold s.mu.
+func (s *session) healthErrLocked() error {
+	if s.health == Active {
+		return nil
+	}
+	e := &HealthError{SID: s.id, State: s.health}
+	if s.cause != nil {
+		e.Cause = s.cause.Error()
+	}
+	if s.health == Quarantined {
+		e.ReviveInBatches = s.backoff
+	}
+	return e
 }
 
-// fail records a session's first failure.
-func (s *session) fail(err error) {
+// healthErr is healthErrLocked taking the lock.
+func (s *session) healthErr() error {
 	s.mu.Lock()
-	if s.err == nil {
-		s.err = err
+	defer s.mu.Unlock()
+	return s.healthErrLocked()
+}
+
+// submitUnhealthy handles a Submit to a session out of Active. Called with
+// s.mu held; releases it. The payload is always discarded. Failed reports
+// the terminal error; Quarantined ticks the batch-count backoff and — on the
+// call that exhausts it — revives the session.
+func (m *Manager) submitUnhealthy(s *session) error {
+	if s.health == Failed {
+		err := s.healthErrLocked()
+		s.mu.Unlock()
+		return err
 	}
+	s.backoff--
+	if s.backoff > 0 {
+		err := s.healthErrLocked()
+		s.mu.Unlock()
+		return err
+	}
+	return m.revive(s)
+}
+
+// revive rebuilds a quarantined session's daemon from its last good
+// checkpoint generation (or from scratch when persistence is off — still
+// equivalence-preserving, just more replay) and returns it to Active.
+// Called with s.mu held; releases it. The returned *HealthError has Revived
+// set: the caller must re-stream from byte 0.
+func (m *Manager) revive(s *session) error {
+	sopts := s.sopts
+	sopts.BudgetBytes = s.budget
+	cause := s.cause
+	revives := s.revives + 1
 	s.mu.Unlock()
+
+	d, err := daemon.New(sopts)
+	if err != nil {
+		// The checkpoint store itself is unusable: terminal.
+		s.mu.Lock()
+		s.health = Failed
+		s.cause = fmt.Errorf("revive: %w (after %v)", err, cause)
+		fcause := s.cause
+		herr := s.healthErrLocked()
+		s.mu.Unlock()
+		m.mu.Lock()
+		m.quarantined--
+		m.mu.Unlock()
+		m.noteFailed(s, fcause)
+		return herr
+	}
+
+	s.mu.Lock()
+	if s.closed || s.health != Quarantined {
+		s.mu.Unlock()
+		d.Kill()
+		return fmt.Errorf("fleet: session %q is closed", s.id)
+	}
+	s.d = d
+	s.health = Active
+	s.cause = nil
+	s.revives = revives
+	s.epoch++ // batches enqueued against the dead daemon are now stale
+	s.skip = d.Consumed()
+	// ResumeSession prefers the checkpointed budget; if a reallocation
+	// landed after the last persist, re-stage it for the worker.
+	s.budgetDirty = d.Budget() != s.budget
+	s.mu.Unlock()
+
+	m.mu.Lock()
+	m.quarantined--
+	m.mu.Unlock()
+	if reg := m.opts.Reg; reg != nil {
+		reg.Counter("fleet_revives_total").Inc()
+	}
+	m.emit("fleet.revive",
+		slog.String("sid", s.id),
+		slog.Int("revives", revives),
+		slog.Bool("recovered", d.Recovered()),
+		slog.Uint64("consumed", d.Consumed()),
+		slog.String("cause", cause.Error()))
+	m.gauges()
+	return &HealthError{SID: s.id, State: Active, Cause: cause.Error(), Revived: true}
+}
+
+// quarantine moves an Active session out of service after a worker failure:
+// its daemon is killed (the last good checkpoint generation stays on disk),
+// and the session either waits out a batch-count backoff before revival or
+// — once the revive cap is exhausted — goes to Failed for good. Called by
+// the shard worker with no locks held.
+func (m *Manager) quarantine(s *session, cause error) {
+	s.mu.Lock()
+	if s.health != Active {
+		s.mu.Unlock()
+		return
+	}
+	d := s.d
+	terminal := m.opts.MaxRevives < 0 || s.revives >= m.opts.MaxRevives
+	s.cause = cause
+	if terminal {
+		s.health = Failed
+	} else {
+		s.health = Quarantined
+		// Deterministic batch-count backoff, doubling per revival.
+		s.backoff = m.opts.ReviveBackoffBatches << s.revives
+	}
+	backoff := s.backoff
+	revives := s.revives
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	// Release the daemon's search goroutine; it is never stepped again.
+	// Durable state stays whatever the periodic checkpoints wrote.
+	d.Kill()
+
+	if terminal {
+		m.noteFailed(s, cause)
+		return
+	}
+	m.mu.Lock()
+	m.quarantined++
+	m.mu.Unlock()
+	if reg := m.opts.Reg; reg != nil {
+		reg.Counter("fleet_quarantines_total").Inc()
+	}
+	m.emit("fleet.quarantine",
+		slog.String("sid", s.id),
+		slog.String("error", cause.Error()),
+		slog.Int("revive_after", backoff),
+		slog.Int("revives", revives))
+	m.gauges()
+}
+
+// noteFailed records a session's terminal failure: the reasoned event, the
+// counters, and — because a failed session holds no capacity — the admission
+// slot release (parked sessions may now fit) and a replan over the
+// survivors.
+func (m *Manager) noteFailed(s *session, cause error) {
+	m.mu.Lock()
+	m.failed++
+	m.mu.Unlock()
+	if reg := m.opts.Reg; reg != nil {
+		reg.Counter("fleet_sessions_failed_total").Inc()
+	}
+	m.emit("fleet.session_failed",
+		slog.String("sid", s.id),
+		slog.String("error", cause.Error()))
+	m.gauges()
+	m.admitPending()
+	m.replan()
+	m.persistState()
 }
 
 // CloseSession flushes the session through its shard (all submitted
 // batches are consumed first — the queue is FIFO), persists the final
-// boundary snapshot, releases the session, and reports its sticky error if
-// it failed along the way.
+// boundary snapshot, releases the session, and reports its health error if
+// it left Active along the way.
 func (m *Manager) CloseSession(id string) error {
 	s, err := m.lookup(id)
 	if err != nil {
@@ -559,6 +770,9 @@ func (m *Manager) CloseSession(id string) error {
 	err = <-done
 
 	rep := m.report(s)
+	s.mu.Lock()
+	d, health := s.d, s.health
+	s.mu.Unlock()
 	m.mu.Lock()
 	delete(m.sessions, id)
 	for i, p := range m.pending {
@@ -567,12 +781,18 @@ func (m *Manager) CloseSession(id string) error {
 			break
 		}
 	}
+	switch health {
+	case Failed:
+		m.failed--
+	case Quarantined:
+		m.quarantined--
+	}
 	m.reports = append(m.reports, rep)
 	m.mu.Unlock()
 	m.emit("fleet.close",
 		slog.String("session", id),
-		slog.Uint64("consumed", s.d.Consumed()),
-		slog.Uint64("windows", s.d.Windows()))
+		slog.Uint64("consumed", d.Consumed()),
+		slog.Uint64("windows", d.Windows()))
 	m.gauges()
 	m.admitPending()
 	m.replan()
@@ -580,29 +800,35 @@ func (m *Manager) CloseSession(id string) error {
 	if err != nil {
 		return fmt.Errorf("fleet: close %q: %w", id, err)
 	}
-	return s.sticky()
+	return s.healthErr()
 }
 
 // report captures a session's shutdown summary (called after its worker
 // quiesced it).
 func (m *Manager) report(s *session) SessionReport {
+	s.mu.Lock()
+	d := s.d
+	shed := s.shed
+	health := s.health
+	revives := s.revives
+	s.mu.Unlock()
 	rep := SessionReport{
 		ID:       s.id,
-		Consumed: s.d.Consumed(),
-		Windows:  s.d.Windows(),
-		Retunes:  s.d.Retunes(),
-		Budget:   s.d.Budget(),
+		Consumed: d.Consumed(),
+		Windows:  d.Windows(),
+		Retunes:  d.Retunes(),
+		Budget:   d.Budget(),
+		Health:   health,
+		Revives:  revives,
+		Shed:     shed,
 	}
-	if out := s.d.Settled(); out != nil {
+	if out := d.Settled(); out != nil {
 		rep.SettledBytes = out.Cfg.SizeBytes
 		rep.Degraded = out.Degraded
 	}
-	if res, ok := s.d.Session().LastResult(); ok {
+	if res, ok := d.Session().LastResult(); ok {
 		rep.MissesPerWindow = float64(res.Best.Stats.Misses)
 	}
-	s.mu.Lock()
-	rep.Shed = s.shed
-	s.mu.Unlock()
 	return rep
 }
 
@@ -615,7 +841,7 @@ func (m *Manager) admitPending() {
 	var admit []*session
 	m.mu.Lock()
 	for len(m.pending) > 0 {
-		admitted := len(m.sessions) - len(m.pending)
+		admitted := len(m.sessions) - len(m.pending) - m.failed
 		if (admitted+1)*m.minBytes > m.opts.AllocBudgetBytes {
 			break
 		}
@@ -630,7 +856,7 @@ func (m *Manager) admitPending() {
 		if len(s.buf) > 0 {
 			// inFlight already counts the buffered accesses; the worker
 			// decrements as it consumes them.
-			s.shard.enqueue(item{s: s, accs: s.buf})
+			s.shard.enqueue(item{s: s, accs: s.buf, epoch: s.epoch})
 			s.buf = nil
 		}
 		s.cond.Broadcast()
@@ -681,13 +907,29 @@ func (m *Manager) Sessions() []string {
 }
 
 // Session returns the live session's daemon for status inspection. The
-// daemon is owned by its shard worker; callers must not Step it.
+// daemon is owned by its shard worker; callers must not Step it. Revival
+// replaces the daemon, so hold the result no longer than the inspection.
 func (m *Manager) Session(id string) (*daemon.Daemon, error) {
 	s, err := m.lookup(id)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.d, nil
+}
+
+// Health reports the session's health state; the error is a lookup
+// failure. The typed *HealthError with the cause comes back from Submit
+// and CloseSession.
+func (m *Manager) Health(id string) (Health, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return Active, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health, nil
 }
 
 // Shed reports the accesses dropped for the session under shed mode.
@@ -779,7 +1021,10 @@ func (m *Manager) Kill() {
 		sh.wg.Wait()
 	}
 	for _, s := range ss {
-		s.d.Kill()
+		s.mu.Lock()
+		d := s.d
+		s.mu.Unlock()
+		d.Kill()
 	}
 }
 
@@ -801,6 +1046,10 @@ type SessionReport struct {
 	// one measurement window — the fleet A/B experiment's metric.
 	MissesPerWindow float64
 	Shed            uint64
+	// Health is the session's final health state; Revives counts how many
+	// times it came back from quarantine along the way.
+	Health  Health
+	Revives int
 }
 
 // Report is the fleet's shutdown summary: every closed session plus the
@@ -814,6 +1063,8 @@ type Report struct {
 	// sessions admitted from the pending queue.
 	Rejected uint64
 	Unparked uint64
+	// WorkerPanics counts panics contained by shard workers.
+	WorkerPanics uint64
 	// Sessions holds one report per closed session, sorted by ID.
 	Sessions []SessionReport
 	// TotalMissesPerWindow and SettledBytesTotal sum the per-session
@@ -827,11 +1078,12 @@ type Report struct {
 func (m *Manager) Report() Report {
 	m.mu.Lock()
 	r := Report{
-		Enforced:    m.opts.EnforceBudget,
-		BudgetBytes: m.opts.AllocBudgetBytes,
-		Rejected:    m.rejected,
-		Unparked:    m.unparked,
-		Sessions:    append([]SessionReport(nil), m.reports...),
+		Enforced:     m.opts.EnforceBudget,
+		BudgetBytes:  m.opts.AllocBudgetBytes,
+		Rejected:     m.rejected,
+		Unparked:     m.unparked,
+		WorkerPanics: m.panics,
+		Sessions:     append([]SessionReport(nil), m.reports...),
 	}
 	m.mu.Unlock()
 	sort.Slice(r.Sessions, func(i, j int) bool { return r.Sessions[i].ID < r.Sessions[j].ID })
@@ -874,52 +1126,104 @@ func (m *Manager) work(sh *shard) {
 // process runs one work item on the worker goroutine.
 func (m *Manager) process(it item) {
 	s := it.s
+	// Snapshot the daemon and liveness under s.mu: revival swaps s.d and
+	// bumps the epoch, so a batch enqueued against a dead daemon (stale
+	// epoch) is discarded here instead of corrupting the revived stream's
+	// position. Close items always act on the current daemon.
+	s.mu.Lock()
+	d := s.d
+	live := s.health == Active && it.epoch == s.epoch
+	var dirty bool
+	var b int
+	if live && !it.close {
+		dirty, b = s.budgetDirty, s.budget
+		s.budgetDirty = false
+	}
+	s.mu.Unlock()
 	if it.close {
-		it.done <- s.d.Close()
+		it.done <- m.runClose(s, d)
 		return
 	}
-	failed := s.sticky() != nil
-	if !failed {
-		// Apply a staged reallocation at the batch start: the worker owns
-		// the daemon, so this is the one point where changing the budget
-		// is serialised with Step. SetBudget no-ops when unchanged.
-		s.mu.Lock()
-		dirty, b := s.budgetDirty, s.budget
-		s.budgetDirty = false
-		s.mu.Unlock()
+	var failure error
+	if live {
 		if dirty {
-			s.d.SetBudget(b)
+			// Apply a staged reallocation at the batch start: the worker
+			// owns the daemon, so this is the one point where changing the
+			// budget is serialised with Step. SetBudget no-ops when
+			// unchanged.
+			d.SetBudget(b)
 		}
-		for _, a := range it.accs {
-			if err := s.d.Step(a.Addr, a.IsWrite()); err != nil {
-				s.fail(err)
-				m.emit("fleet.session_failed",
-					slog.String("session", s.id),
-					slog.String("error", err.Error()))
-				failed = true
-				break
-			}
-			// Per-access so a settle followed by a re-tune inside one
-			// batch is still captured; the guard is two pointer loads.
-			m.maybeProfile(s)
-		}
+		failure = m.runBatch(s, d, it.accs)
 	}
 	s.mu.Lock()
 	s.inFlight -= len(it.accs)
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	if !failed {
-		m.observe(s)
+	if failure != nil {
+		m.quarantine(s, failure)
+	} else if live {
+		m.observe(s, d)
 	}
 }
 
+// runBatch steps one batch on the shard worker, converting a panic anywhere
+// under Step — tuner, meter, persistence — into an error on this session
+// only: the worker survives and keeps serving its other tenants.
+func (m *Manager) runBatch(s *session, d *daemon.Daemon, accs []trace.Access) (failure error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.notePanic(s, r)
+			failure = fmt.Errorf("fleet: worker panic: %v", r)
+		}
+	}()
+	for _, a := range accs {
+		if err := d.Step(a.Addr, a.IsWrite()); err != nil {
+			return err
+		}
+		// Per-access so a settle followed by a re-tune inside one batch is
+		// still captured; the guard is two pointer loads.
+		m.maybeProfile(s, d)
+	}
+	return nil
+}
+
+// runClose closes the daemon on the worker, converting a panic inside the
+// final persist-and-release into an error so one session's poisoned close
+// cannot take down the shard worker and every other tenant pinned to it.
+// The daemon is killed on the way out; durable state stays at the last good
+// checkpoint generation.
+func (m *Manager) runClose(s *session, d *daemon.Daemon) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.notePanic(s, r)
+			d.Kill()
+			err = fmt.Errorf("fleet: worker panic during close: %v", r)
+		}
+	}()
+	return d.Close()
+}
+
+// notePanic records a contained worker panic: the fleet counter, the
+// session-stamped event.
+func (m *Manager) notePanic(s *session, r any) {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+	if reg := m.opts.Reg; reg != nil {
+		reg.Counter("fleet_worker_panics_total").Inc()
+	}
+	m.emit("fleet.worker_panic",
+		slog.String("sid", s.id),
+		slog.Int("shard", s.shard.id),
+		slog.String("panic", fmt.Sprint(r)))
+}
+
 // observe refreshes the session's labelled gauges (once per batch).
-func (m *Manager) observe(s *session) {
+func (m *Manager) observe(s *session, d *daemon.Daemon) {
 	reg := m.opts.Reg
 	if reg == nil {
 		return
 	}
-	d := s.d
 	reg.GaugeWith("fleet_session_consumed", "session", s.id).Set(float64(d.Consumed()))
 	reg.GaugeWith("fleet_session_windows", "session", s.id).Set(float64(d.Windows()))
 	reg.GaugeWith("fleet_session_retunes", "session", s.id).Set(float64(d.Retunes()))
@@ -939,15 +1243,15 @@ func (m *Manager) observe(s *session) {
 
 // maybeProfile refreshes the session's allocator profile when a new search
 // has settled since the last look.
-func (m *Manager) maybeProfile(s *session) {
+func (m *Manager) maybeProfile(s *session, d *daemon.Daemon) {
 	if m.opts.AllocBudgetBytes <= 0 {
 		return
 	}
-	out := s.d.Settled()
+	out := d.Settled()
 	if out == nil || out.Degraded || out.At == s.profiledAt {
 		return
 	}
-	res, ok := s.d.Session().LastResult()
+	res, ok := d.Session().LastResult()
 	if !ok {
 		return
 	}
@@ -1053,7 +1357,10 @@ func (m *Manager) replan() {
 	m.mu.Lock()
 	live := make([]*session, 0, len(m.sessions))
 	for _, s := range m.sessions {
-		if !s.parked {
+		s.mu.Lock()
+		ok := !s.parked && s.health != Failed // failed sessions hold no capacity
+		s.mu.Unlock()
+		if ok {
 			live = append(live, s)
 		}
 	}
@@ -1144,12 +1451,13 @@ func (m *Manager) persistState() {
 	st := &checkpoint.FleetState{Assignments: map[string]int{}}
 	m.mu.Lock()
 	for id, s := range m.sessions {
-		if s.parked {
-			continue
-		}
 		s.mu.Lock()
 		b := s.budget
+		skip := s.parked || s.health == Failed
 		s.mu.Unlock()
+		if skip {
+			continue
+		}
 		if b > 0 {
 			st.Assignments[id] = b
 		}
@@ -1187,8 +1495,12 @@ func (m *Manager) gauges() {
 	m.mu.Lock()
 	n := len(m.sessions)
 	pending := len(m.pending)
+	quarantined := m.quarantined
+	failed := m.failed
 	m.mu.Unlock()
 	reg.Gauge("fleet_sessions").Set(float64(n))
 	reg.Gauge("fleet_sessions_pending").Set(float64(pending))
+	reg.Gauge("fleet_sessions_quarantined").Set(float64(quarantined))
+	reg.Gauge("fleet_sessions_failed").Set(float64(failed))
 	reg.Gauge("fleet_shards").Set(float64(len(m.shards)))
 }

@@ -1,0 +1,77 @@
+package fleet
+
+import "fmt"
+
+// Health is a session's lifecycle state in the self-healing state machine.
+//
+//	Active ──failure──▶ Quarantined ──backoff elapsed──▶ Active (revived)
+//	                        │
+//	                        └──revive cap exhausted──▶ Failed (terminal)
+//
+// A failure is a worker panic (contained per session by the shard worker) or
+// a Step/persistence error. Quarantine kills the session's daemon; the
+// last good checkpoint generation is untouched, so revival is daemon
+// recovery — the same replay-from-boundary path a process restart takes.
+// The backoff is counted in submitted batches, never wall-clock: the house
+// determinism invariant demands that every state transition sit at a
+// reproducible stream position.
+type Health int
+
+const (
+	// Active sessions consume submissions normally.
+	Active Health = iota
+	// Quarantined sessions discard submissions while a batch-count backoff
+	// elapses; the submission that exhausts it revives the session from its
+	// last good checkpoint (the submitter then re-streams from byte 0 and
+	// the consumed-prefix skip keeps the effect exactly-once).
+	Quarantined
+	// Failed is terminal: the revive cap is exhausted (or revival itself
+	// failed). A failed session stops counting against the admission
+	// budget; closing it releases its slot entirely.
+	Failed
+)
+
+func (h Health) String() string {
+	switch h {
+	case Active:
+		return "active"
+	case Quarantined:
+		return "quarantined"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// HealthError reports a submission refused (or a revival performed) by the
+// health state machine. It is typed so callers — and, with a wire error
+// code, remote clients — can tell the retryable states from the terminal
+// one.
+type HealthError struct {
+	// SID is the session.
+	SID string
+	// State is the session's health after this call.
+	State Health
+	// Cause is the failure that put the session out of Active.
+	Cause string
+	// ReviveInBatches is how many more submissions the quarantine backoff
+	// needs before revival (Quarantined only).
+	ReviveInBatches int
+	// Revived marks the submission that performed the revival: the session
+	// is Active again, this call's payload was discarded, and the submitter
+	// must re-stream the trace from byte 0 — the consumed-prefix skip
+	// discards what the revived checkpoint already covers.
+	Revived bool
+}
+
+func (e *HealthError) Error() string {
+	switch {
+	case e.Revived:
+		return fmt.Sprintf("fleet: session %q revived from checkpoint after %s; re-stream from byte 0", e.SID, e.Cause)
+	case e.State == Quarantined:
+		return fmt.Sprintf("fleet: session %q quarantined (%s); revives after %d more submissions", e.SID, e.Cause, e.ReviveInBatches)
+	default:
+		return fmt.Sprintf("fleet: session %q failed: %s", e.SID, e.Cause)
+	}
+}

@@ -19,13 +19,18 @@ import (
 //	open:  0x01, uvarint sid length, sid bytes
 //	data:  0x02, uvarint sid length, sid bytes, uvarint n, n payload bytes
 //	close: 0x03, uvarint sid length, sid bytes
-//	error: 0x04, uvarint sid length, sid bytes, uvarint n, n message bytes
+//	error: 0x04, uvarint sid length, sid bytes, uvarint n, 1 code byte + n-1 message bytes
+//	done:  0x05, uvarint sid length, sid bytes
 //
-// The error frame flows server→client only (IngestConn): the server opens
-// its own header stream lazily before its first frame and reports admission
-// rejections and per-session failures with the sid and a human-readable
-// reason, so a client learns *why* its session died instead of inferring it
-// from silence.
+// The error and done frames flow server→client only (IngestConn): the
+// server opens its own header stream lazily before its first frame. An
+// error frame reports an admission rejection or per-session failure with
+// the sid, a one-byte error code (see ErrCode*) and a human-readable
+// reason, so a client learns *why* its session died — and, from the code,
+// whether a reconnect-and-re-stream can heal it. A done frame acknowledges
+// a close frame the server completed cleanly, which is what lets a
+// reconnecting client distinguish "delivered" from "the connection died
+// after my last write" (version 2 added the code byte and the done frame).
 //
 // A session's concatenated data payloads form exactly one STRC trace stream
 // (magic, version, varint-coded records — the on-disk codec is the wire
@@ -38,18 +43,52 @@ import (
 var wireMagic = [4]byte{'S', 'T', 'F', 'W'}
 
 const (
-	wireVersion = 1
+	wireVersion = 2
 
 	frameOpen  = 0x01
 	frameData  = 0x02
 	frameClose = 0x03
 	frameError = 0x04
+	frameDone  = 0x05
 
 	// maxSIDLen and maxPayload bound hostile allocations; both are far
 	// above anything a real client sends.
 	maxSIDLen  = 1 << 10
 	maxPayload = 1 << 22
 )
+
+// Error-frame codes classify server→client failures so a client can tell
+// the retryable states from the terminal ones without parsing messages.
+const (
+	// ErrCodeGeneric is any failure without a more specific class —
+	// payload corruption, a persistence error, a duplicate open.
+	ErrCodeGeneric = 0
+	// ErrCodeAdmission marks an open refused by admission control
+	// (*AdmissionError); retrying cannot help until capacity frees.
+	ErrCodeAdmission = 1
+	// ErrCodeQuarantined marks a session quarantined after a contained
+	// failure: the server closed it at its last good checkpoint, and a
+	// reconnect that re-opens and re-streams from byte 0 resumes it.
+	ErrCodeQuarantined = 2
+	// ErrCodeFailed marks a session in the terminal Failed state.
+	ErrCodeFailed = 3
+)
+
+// errCode classifies a server-side failure for the wire.
+func errCode(err error) byte {
+	var aerr *AdmissionError
+	if errors.As(err, &aerr) {
+		return ErrCodeAdmission
+	}
+	var herr *HealthError
+	if errors.As(err, &herr) {
+		if herr.State == Failed {
+			return ErrCodeFailed
+		}
+		return ErrCodeQuarantined
+	}
+	return ErrCodeGeneric
+}
 
 // ConnWriter is the client half: it frames session opens, trace bytes and
 // closes onto one writer.
@@ -146,51 +185,114 @@ type responder struct {
 	err      error // first write failure; silently drops the rest
 }
 
-// sendError reports one session's failure to the client.
-func (r *responder) sendError(sid, msg string) {
+// header writes the lazy response-stream header. Callers hold r.mu.
+func (r *responder) header() bool {
+	if r.err != nil {
+		return false
+	}
+	if !r.wroteHdr {
+		if _, err := r.w.Write(append(wireMagic[:], wireVersion)); err != nil {
+			r.err = err
+			return false
+		}
+		r.wroteHdr = true
+	}
+	return true
+}
+
+// sendError reports one session's failure to the client, classified by err.
+func (r *responder) sendError(sid string, code byte, msg string) {
 	if r == nil || r.w == nil || sid == "" {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.err != nil {
+	if !r.header() {
 		return
-	}
-	if !r.wroteHdr {
-		if _, err := r.w.Write(append(wireMagic[:], wireVersion)); err != nil {
-			r.err = err
-			return
-		}
-		r.wroteHdr = true
 	}
 	buf := []byte{frameError}
 	var ln [binary.MaxVarintLen64]byte
 	buf = append(buf, ln[:binary.PutUvarint(ln[:], uint64(len(sid)))]...)
 	buf = append(buf, sid...)
 	msgb := []byte(msg)
-	if len(msgb) > maxPayload {
-		msgb = msgb[:maxPayload]
+	if len(msgb) > maxPayload-1 {
+		msgb = msgb[:maxPayload-1]
 	}
-	buf = append(buf, ln[:binary.PutUvarint(ln[:], uint64(len(msgb)))]...)
+	buf = append(buf, ln[:binary.PutUvarint(ln[:], uint64(len(msgb)+1))]...)
+	buf = append(buf, code)
 	buf = append(buf, msgb...)
+	_, r.err = r.w.Write(buf)
+}
+
+// sendDone acknowledges a close frame the server completed cleanly.
+func (r *responder) sendDone(sid string) {
+	if r == nil || r.w == nil || sid == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.header() {
+		return
+	}
+	buf := []byte{frameDone}
+	var ln [binary.MaxVarintLen64]byte
+	buf = append(buf, ln[:binary.PutUvarint(ln[:], uint64(len(sid)))]...)
+	buf = append(buf, sid...)
 	_, r.err = r.w.Write(buf)
 }
 
 // WireError is one server→client error frame, decoded.
 type WireError struct {
 	SID string
-	Msg string
+	// Code classifies the failure (ErrCode*).
+	Code byte
+	Msg  string
+}
+
+// Retryable reports whether a reconnect that re-opens the session and
+// re-streams from byte 0 can heal this failure.
+func (e WireError) Retryable() bool { return e.Code == ErrCodeQuarantined }
+
+// Responses is a server's decoded response stream.
+type Responses struct {
+	// Errors holds the error frames, in arrival order.
+	Errors []WireError
+	// Done lists the sessions whose close frames the server completed
+	// cleanly — the per-session delivery acknowledgement.
+	Done []string
+}
+
+// Acked reports whether the server acknowledged sid's close.
+func (r *Responses) Acked(sid string) bool {
+	for _, id := range r.Done {
+		if id == sid {
+			return true
+		}
+	}
+	return false
 }
 
 // ReadResponses drains the server's response stream until EOF and returns
-// the error frames it carried. A server that had nothing to report writes
+// the error frames it carried (done acknowledgements are skipped; use
+// ReadResponseStream for those). A server that had nothing to report writes
 // no bytes at all, which decodes as zero responses.
 func ReadResponses(r io.Reader) ([]WireError, error) {
+	rs, err := ReadResponseStream(r)
+	if rs == nil {
+		return nil, err
+	}
+	return rs.Errors, err
+}
+
+// ReadResponseStream drains the server's response stream until EOF and
+// returns the error frames and done acknowledgements it carried.
+func ReadResponseStream(r io.Reader) (*Responses, error) {
 	br := newByteReader(r)
+	out := &Responses{}
 	var hdr [5]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		if err == io.EOF {
-			return nil, nil
+			return out, nil
 		}
 		return nil, fmt.Errorf("fleet: short response header: %w", err)
 	}
@@ -200,7 +302,6 @@ func ReadResponses(r io.Reader) ([]WireError, error) {
 	if hdr[4] != wireVersion {
 		return nil, fmt.Errorf("fleet: unsupported response version %d", hdr[4])
 	}
-	var out []WireError
 	for {
 		kind, err := br.ReadByte()
 		if err == io.EOF {
@@ -209,18 +310,28 @@ func ReadResponses(r io.Reader) ([]WireError, error) {
 		if err != nil {
 			return out, err
 		}
-		if kind != frameError {
+		if kind != frameError && kind != frameDone {
 			return out, fmt.Errorf("fleet: unexpected response frame type 0x%02x", kind)
 		}
 		sid, err := readString(br, maxSIDLen)
 		if err != nil {
 			return out, fmt.Errorf("fleet: bad response frame: %w", err)
 		}
-		msg, err := readBytes(br, maxPayload)
-		if err != nil {
-			return out, fmt.Errorf("fleet: bad response frame: %w", err)
+		switch kind {
+		case frameError:
+			payload, err := readBytes(br, maxPayload)
+			if err != nil {
+				return out, fmt.Errorf("fleet: bad response frame: %w", err)
+			}
+			we := WireError{SID: sid}
+			if len(payload) > 0 {
+				we.Code = payload[0]
+				we.Msg = string(payload[1:])
+			}
+			out.Errors = append(out.Errors, we)
+		case frameDone:
+			out.Done = append(out.Done, sid)
 		}
-		out = append(out, WireError{SID: sid, Msg: string(msg)})
 	}
 }
 
@@ -301,10 +412,13 @@ func (m *Manager) ingestFrames(br *byteReader, resp *responder) error {
 	// of tripping the before-open check.
 	failSession := func(sid string, is *ingestSession, err error) {
 		is.failed = true
-		resp.sendError(sid, err.Error())
+		resp.sendError(sid, errCode(err), err.Error())
 		m.emit("fleet.ingest_error",
 			slog.String("session", sid),
 			slog.String("error", err.Error()))
+		// Closing at the last good checkpoint is what makes a quarantined
+		// session's failure retryable over the wire: the client's re-open
+		// resumes from that checkpoint and re-streams from byte 0.
 		if cerr := m.CloseSession(sid); cerr != nil {
 			m.emit("fleet.ingest_error",
 				slog.String("session", sid),
@@ -345,7 +459,7 @@ func (m *Manager) ingestFrames(br *byteReader, resp *responder) error {
 				// refused by admission control; either way this connection
 				// must not feed it, and the client is told why.
 				owned[sid] = nil
-				resp.sendError(sid, err.Error())
+				resp.sendError(sid, errCode(err), err.Error())
 				m.emit("fleet.ingest_error",
 					slog.String("session", sid),
 					slog.String("error", err.Error()))
@@ -383,15 +497,25 @@ func (m *Manager) ingestFrames(br *byteReader, resp *responder) error {
 			if is == nil || is.failed {
 				continue // rejected open / already closed by failSession
 			}
+			clean := true
 			if err := is.dec.Finish(); err != nil {
+				clean = false
+				resp.sendError(sid, errCode(err), err.Error())
 				m.emit("fleet.ingest_error",
 					slog.String("session", sid),
 					slog.String("error", err.Error()))
 			}
 			if err := m.CloseSession(sid); err != nil {
+				clean = false
+				resp.sendError(sid, errCode(err), err.Error())
 				m.emit("fleet.ingest_error",
 					slog.String("session", sid),
 					slog.String("error", err.Error()))
+			}
+			if clean {
+				// The delivery acknowledgement a reconnecting client keys
+				// exactly-once success off.
+				resp.sendDone(sid)
 			}
 		default:
 			return fmt.Errorf("fleet: unknown frame type 0x%02x", kind)

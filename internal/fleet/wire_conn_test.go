@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"net"
 	"os"
@@ -208,8 +209,163 @@ func TestIngestConnReportsErrorsToClient(t *testing.T) {
 	if resps[0].SID != "second" || !strings.Contains(resps[0].Msg, "not admitted") {
 		t.Fatalf("rejection response = %+v", resps[0])
 	}
+	if resps[0].Code != ErrCodeAdmission || resps[0].Retryable() {
+		t.Fatalf("rejection should carry the terminal admission code, got %+v", resps[0])
+	}
 	if resps[1].SID != "first" || resps[1].Msg == "" {
 		t.Fatalf("payload-failure response = %+v", resps[1])
+	}
+	if resps[1].Code != ErrCodeGeneric {
+		t.Fatalf("payload failure should carry the generic code, got %+v", resps[1])
+	}
+}
+
+// dataFrameHeader hand-rolls a data frame's header claiming n payload bytes
+// — without the payload — so tests can park or kill a connection inside a
+// frame.
+func dataFrameHeader(sid string, n uint64) []byte {
+	buf := []byte{frameData}
+	var ln [10]byte
+	buf = append(buf, ln[:binary.PutUvarint(ln[:], uint64(len(sid)))]...)
+	buf = append(buf, sid...)
+	buf = append(buf, ln[:binary.PutUvarint(ln[:], n)]...)
+	return buf
+}
+
+// TestIngestMidFrameStallAndResetIsolation parks one connection inside a
+// data frame (header promises bytes that never come) and resets another at
+// the same point, while a third session streams normally: the stalled
+// connection dies on the idle deadline, the reset one on the truncated
+// frame, both their sessions are released — and the live session never
+// notices either.
+func TestIngestMidFrameStallAndResetIsolation(t *testing.T) {
+	m, err := New(Options{
+		Shards:      1,
+		Session:     daemon.Options{Window: 500},
+		ReadTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	l, accept := listen(t)
+	serve := func() (net.Conn, chan error) {
+		errc := make(chan error, 1)
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sconn := accept()
+		go func() {
+			errc <- m.IngestConn(sconn)
+			sconn.Close()
+		}()
+		return conn, errc
+	}
+
+	// Connection 1: opens a session, promises a 5000-byte payload, sends
+	// 100 bytes of it, and goes silent inside the frame.
+	stalled, stalledErr := serve()
+	defer stalled.Close()
+	sw, err := NewConnWriter(stalled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Open("stall"); err != nil {
+		t.Fatal(err)
+	}
+	payload := encodeSTRC(t, genTrace(t, "crc", 2_000))
+	if _, err := stalled.Write(dataFrameHeader("stall", 5_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stalled.Write(payload[:100]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Connection 2: same shape, but the connection resets mid-frame.
+	reset, resetErr := serve()
+	rw, err := NewConnWriter(reset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Open("reset"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reset.Write(dataFrameHeader("reset", 5_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reset.Write(payload[:100]); err != nil {
+		t.Fatal(err)
+	}
+	reset.Close()
+
+	// Connection 3: a full healthy stream, trickled so it outlives both
+	// failures.
+	liveBytes := encodeSTRC(t, genTrace(t, "bcnt", 5_000))
+	live, liveErr := serve()
+	defer live.Close()
+	lw, err := NewConnWriter(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Open("live"); err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(liveBytes); off += 1 << 10 {
+		end := off + 1<<10
+		if end > len(liveBytes) {
+			end = len(liveBytes)
+		}
+		if err := lw.Data("live", liveBytes[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+
+	// The reset connection fails on the truncated frame.
+	select {
+	case err := <-resetErr:
+		if err == nil || !strings.Contains(err.Error(), "bad data frame") {
+			t.Fatalf("reset ingest = %v, want a truncated-frame error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reset connection's ingest never returned")
+	}
+	// The stalled connection fails on the idle deadline, mid-frame.
+	select {
+	case err := <-stalledErr:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("stalled ingest = %v, want a deadline error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled connection's ingest never returned")
+	}
+	for _, id := range m.Sessions() {
+		if id == "stall" || id == "reset" {
+			t.Fatalf("dead connection's session %q still live", id)
+		}
+	}
+
+	// The live session finishes untouched, bit-for-bit.
+	if err := lw.Close("live"); err != nil {
+		t.Fatal(err)
+	}
+	live.Close()
+	select {
+	case err := <-liveErr:
+		if err != nil {
+			t.Fatalf("live ingest = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live connection's ingest never returned")
+	}
+	// The live session was closed by its connection's cleanup; its durable
+	// absence plus a clean re-open path is covered elsewhere — here it is
+	// enough that its ingest completed without error and the dead sessions
+	// are gone.
+	if got := m.Sessions(); len(got) != 0 {
+		t.Fatalf("sessions still live after all connections ended: %v", got)
 	}
 }
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Chaos smoke: the self-healing surfaces, end to end. First the seeded
+# network-chaos soak (fault-injected TCP must yield sessions that are either
+# bit-identical to fault-free runs or typed failures), then the operator
+# pieces on real binaries: a reconnecting client delivering through stcd, a
+# bounded shutdown drain, and checkpoint scrubbing of an injected
+# corruption.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'kill "${pid:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+# 1. The in-process soak: seeded cuts/partial writes/latency over real
+#    loopback TCP, three seeds x shard counts, plus the sticky-victim
+#    typed-failure leg.
+go test ./internal/experiments/ -run 'TestNetChaos' -count=1
+
+go build -o "$tmp/stcd" ./cmd/stcd
+go build -o "$tmp/stcexplain" ./cmd/stcexplain
+
+# 2. A fleet with a bounded drain and dense checkpointing (the scrub leg
+#    below wants several generations on disk).
+"$tmp/stcd" -serve -addr 127.0.0.1:0 -dir "$tmp/fleet" -window 1000 \
+    -checkpoint-every 1 -keep 8 -shutdown-timeout 5s \
+    -obs-addr 127.0.0.1:0 -obs-log "$tmp/events.jsonl" \
+    >"$tmp/stcd.out" 2>&1 &
+pid=$!
+
+ingest="" obs=""
+for _ in $(seq 1 100); do
+    ingest="$(sed -n 's|.*fleet ingest on \([0-9.:]*\) .*|\1|p' "$tmp/stcd.out" | head -1)"
+    obs="$(sed -n 's|.*endpoints on http://\([^/]*\)/.*|\1|p' "$tmp/stcd.out" | head -1)"
+    [ -n "$ingest" ] && [ -n "$obs" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "stcd exited early:"; cat "$tmp/stcd.out"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ingest" ] && [ -n "$obs" ] || { echo "stcd never announced its addresses"; cat "$tmp/stcd.out"; exit 1; }
+echo "stcd ingest on $ingest, observability on $obs"
+
+# The client is the reconnecting one now: it must report how many delivery
+# attempts the stream took (one, on a healthy network).
+"$tmp/stcd" -connect "$ingest" -session crc -workload crc -n 100000 \
+    -retries 5 -retry-seed 7 >"$tmp/client.out" 2>&1 \
+    || { echo "client failed:"; cat "$tmp/client.out"; exit 1; }
+grep -q '1 attempt(s)' "$tmp/client.out" \
+    || { echo "client did not report its attempt count:"; cat "$tmp/client.out"; exit 1; }
+
+settled=""
+for _ in $(seq 1 300); do
+    curl -s "http://$obs/metrics" >"$tmp/metrics.txt" || true
+    if grep -q 'fleet_session_consumed{session="crc"} 100000' "$tmp/metrics.txt" \
+        && grep -q 'fleet_session_tuning{session="crc"} 0' "$tmp/metrics.txt"; then
+        settled=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$settled" ] || { echo "session never consumed+settled; metrics:"; cat "$tmp/metrics.txt"; exit 1; }
+
+# 3. The bounded drain: with no stragglers the TERM must complete well
+#    inside the 5s deadline, without a force-close event.
+kill -TERM "$pid"
+wait "$pid" || { echo "stcd exited non-zero on graceful drain:"; cat "$tmp/stcd.out"; exit 1; }
+grep -q 'drain_timeout' "$tmp/events.jsonl" 2>/dev/null \
+    && { echo "clean drain emitted a drain_timeout event"; exit 1; }
+
+# 4. Scrub: rot the newest generation, then verify report mode fails loudly
+#    without touching the file, gc mode removes it, and a re-scrub is clean.
+gen="$(ls "$tmp/fleet/sessions/s-crc/"ckpt-*.stck | sort | tail -1)"
+[ -n "$gen" ] || { echo "no checkpoint generations on disk"; exit 1; }
+count_before="$(ls "$tmp/fleet/sessions/s-crc/"ckpt-*.stck | wc -l)"
+[ "$count_before" -ge 2 ] || { echo "want >=2 generations for the scrub leg, got $count_before"; exit 1; }
+printf 'CORRUPT!' | dd of="$gen" bs=1 seek=16 conv=notrunc status=none
+
+if "$tmp/stcexplain" -scrub "$tmp/fleet" >"$tmp/scrub.out" 2>&1; then
+    echo "scrub of a rotted store exited zero:"; cat "$tmp/scrub.out"; exit 1
+fi
+grep -q 'corrupt' "$tmp/scrub.out" || { echo "scrub did not report the corruption:"; cat "$tmp/scrub.out"; exit 1; }
+[ -f "$gen" ] || { echo "report-only scrub deleted the corrupt generation"; exit 1; }
+
+"$tmp/stcexplain" -scrub "$tmp/fleet" -scrub-gc >"$tmp/scrub-gc.out" 2>&1 \
+    || { echo "scrub-gc failed:"; cat "$tmp/scrub-gc.out"; exit 1; }
+[ ! -f "$gen" ] || { echo "scrub-gc left the corrupt generation behind"; exit 1; }
+"$tmp/stcexplain" -scrub "$tmp/fleet" >/dev/null \
+    || { echo "re-scrub after gc still reports corruption"; exit 1; }
+
+echo "chaos smoke: OK"
