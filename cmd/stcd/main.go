@@ -23,7 +23,11 @@
 //
 // Client mode (-connect) replays one trace source into a serving stcd:
 // open a session, stream the trace, hang up. Run several clients to
-// populate a fleet.
+// populate a fleet. -trace-tag rides in the session's open frame and is
+// stamped onto the server-side session events, tying a client's delivery
+// attempts to the server's story; -obs-addr additionally serves /statusz,
+// a JSON snapshot of the live fleet (per-session health, budgets, queue
+// depths, shard workers, the pending queue and the allocator).
 package main
 
 import (
@@ -79,7 +83,7 @@ func run() error {
 	readTimeout := flag.Duration("read-timeout", 0, "close an ingest connection idle for this long (0 disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 0, "bound the graceful drain after SIGINT/SIGTERM: past the deadline live connections are force-closed and their sessions persist at the last consumed boundary (0 waits forever)")
 
-	obsAddr := flag.String("obs-addr", "", "serve /healthz, /metrics and /debug/pprof on this address")
+	obsAddr := flag.String("obs-addr", "", "serve /healthz, /metrics, /statusz and /debug/pprof on this address")
 	obsLog := flag.String("obs-log", "", "append JSONL telemetry to this file (filter per session with stcexplain -session)")
 
 	session := flag.String("session", "", "client mode: session ID to stream as")
@@ -91,6 +95,7 @@ func run() error {
 	retries := flag.Int("retries", 3, "client mode: delivery attempts across reconnects; each retry re-streams from byte 0 and the server's consumed-prefix skip keeps the effect exactly-once")
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "client mode: first retry delay, doubling per attempt with deterministic jitter")
 	retrySeed := flag.Uint64("retry-seed", 0, "client mode: seed for the deterministic retry jitter")
+	traceTag := flag.String("trace-tag", "", "client mode: opaque tag carried in the session's open frame; the server stamps it onto the session's events for end-to-end correlation")
 	fastsim := flag.Bool("fastsim", true, "replay through the fast kernels; -fastsim=false forces the reference path")
 	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -100,8 +105,8 @@ func run() error {
 	case *serve && *connect != "":
 		return fmt.Errorf("pick one of -serve or -connect")
 	case *connect != "":
-		return client(*connect, *session, *wl, *kernel, *traceFile, *n, *chunk,
-			*retries, *retryBackoff, *retrySeed)
+		return client(*connect, *session, *wl, *kernel, *traceFile, *traceTag, *n, *chunk,
+			*retries, *retryBackoff, *retrySeed, ofl.Recorder(os.Stderr))
 	case !*serve:
 		return fmt.Errorf("pick -serve or -connect (see -help)")
 	}
@@ -153,12 +158,12 @@ func run() error {
 				"sessions": reg.Gauge("fleet_sessions").Value(),
 				"shards":   reg.Gauge("fleet_shards").Value(),
 			}}
-		}))
+		}, obs.WithStatusz(func() any { return m.Statusz() })))
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		ofl.Notef(os.Stdout, "observability endpoints on http://%s/ (healthz, metrics, debug/pprof)\n", laddr)
+		ofl.Notef(os.Stdout, "observability endpoints on http://%s/ (healthz, metrics, statusz, debug/pprof)\n", laddr)
 		go func() {
 			if serr := <-errc; serr != nil {
 				fmt.Fprintln(os.Stderr, "stcd: obs server:", serr)
@@ -267,7 +272,7 @@ func run() error {
 // quarantine redials and re-streams from byte 0 (the server's
 // consumed-prefix skip keeps the effect exactly-once), and delivery counts
 // as done only on the server's close acknowledgement.
-func client(addr, session, wl, kernel, traceFile string, n, chunk, retries int, backoff time.Duration, seed uint64) error {
+func client(addr, session, wl, kernel, traceFile, tag string, n, chunk, retries int, backoff time.Duration, seed uint64, rec obs.Recorder) error {
 	if session == "" {
 		return fmt.Errorf("client mode needs -session")
 	}
@@ -288,6 +293,8 @@ func client(addr, session, wl, kernel, traceFile string, n, chunk, retries int, 
 		MaxAttempts: retries,
 		BaseBackoff: backoff,
 		Chunk:       chunk,
+		Trace:       tag,
+		Rec:         rec,
 	}
 	rep, err := rc.Run(session, enc.Bytes())
 	for _, f := range rep.Failures {

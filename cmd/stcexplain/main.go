@@ -6,8 +6,9 @@
 // deduplicated by their deterministic coordinates, so the story of a crashed
 // daemon reads identically to an uninterrupted one.
 //
-// Usage: stcexplain [-session SID] [-max-examined N] [events.jsonl]
-//        stcexplain -scrub DIR [-scrub-gc]
+// Usage: stcexplain [-session SID] [-max-examined N] [-timeline] [events.jsonl]
+//
+//	stcexplain -scrub DIR [-scrub-gc]
 //
 // With no file argument the log is read from stdin. Fleet logs (stcd's
 // -obs-log) interleave many sessions, each event stamped with an "sid"
@@ -22,6 +23,13 @@
 // budget-reasoned re-tunes, fleet.realloc) render with their allocation and
 // excluded-configuration counts, and count toward -max-examined like any
 // other session.
+//
+// -timeline renders the session's span tree (the ".begin"/".end" event
+// pairs spans emit) as a text timeline instead of the search story. Bar
+// widths are the spans' deterministic work units — never wall-clock, which
+// the telemetry contract keeps out of event logs entirely — so the timeline
+// of a crashed-and-resumed daemon is byte-identical to an uninterrupted
+// one. The exit status is non-zero when the log carries no span events.
 //
 // -scrub DIR switches to checkpoint-integrity mode: every retained
 // generation under DIR — a single daemon store, or a fleet tree with a
@@ -46,38 +54,45 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "stcexplain:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	maxExamined := flag.Int("max-examined", 0, "fail if any session examined more than this many configurations (0 disables)")
-	session := flag.String("session", "", "extract this session's story from a fleet log (sid stamp)")
-	scrub := flag.String("scrub", "", "validate every checkpoint generation under this store or fleet directory instead of reading a log")
-	scrubGC := flag.Bool("scrub-gc", false, "with -scrub: delete corrupt generations (never a store's last state)")
-	flag.Parse()
+// run is main with its seams exposed (arguments, stdin, stdout), so the exit
+// behaviors — unknown session, span-free timeline, the -max-examined gate —
+// are pinned by in-process tests instead of a built binary.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fl := flag.NewFlagSet("stcexplain", flag.ContinueOnError)
+	maxExamined := fl.Int("max-examined", 0, "fail if any session examined more than this many configurations (0 disables)")
+	session := fl.String("session", "", "extract this session's story from a fleet log (sid stamp)")
+	timeline := fl.Bool("timeline", false, "render the session's span tree as a work-unit timeline instead of the search story")
+	scrub := fl.String("scrub", "", "validate every checkpoint generation under this store or fleet directory instead of reading a log")
+	scrubGC := fl.Bool("scrub-gc", false, "with -scrub: delete corrupt generations (never a store's last state)")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
 
 	if *scrub != "" {
-		return runScrub(*scrub, *scrubGC)
+		return runScrub(stdout, *scrub, *scrubGC)
 	}
 	if *scrubGC {
 		return fmt.Errorf("-scrub-gc needs -scrub DIR")
 	}
 
-	var in io.Reader = os.Stdin
-	switch flag.NArg() {
+	in := stdin
+	switch fl.NArg() {
 	case 0:
 	case 1:
-		f, err := os.Open(flag.Arg(0))
+		f, err := os.Open(fl.Arg(0))
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		in = f
 	default:
-		return fmt.Errorf("at most one log file argument (got %d)", flag.NArg())
+		return fmt.Errorf("at most one log file argument (got %d)", fl.NArg())
 	}
 
 	evs, err := obs.ReadEvents(in)
@@ -98,8 +113,16 @@ func run() error {
 			return fmt.Errorf("fleet log interleaves %d sessions %v; pick one with -session", len(sids), sids)
 		}
 	}
+	if *timeline {
+		out := report.Timeline(evs)
+		if out == "" {
+			return fmt.Errorf("the log contains no span events (no .begin/.end pairs)")
+		}
+		fmt.Fprint(stdout, out)
+		return nil
+	}
 	story := report.Explain(evs)
-	fmt.Print(story.String())
+	fmt.Fprint(stdout, story.String())
 	if story.Steps() == 0 {
 		return fmt.Errorf("the log contains no search trajectory (no tuner.step events)")
 	}
@@ -112,7 +135,7 @@ func run() error {
 
 // runScrub validates a checkpoint directory — a fleet tree when a manifest
 // is present, a single store otherwise — and reports per generation.
-func runScrub(dir string, gc bool) error {
+func runScrub(stdout io.Writer, dir string, gc bool) error {
 	reps := map[string]*checkpoint.ScrubReport{}
 	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
 		fs, err := checkpoint.OpenFleetStore(dir, 0)
@@ -146,7 +169,7 @@ func runScrub(dir string, gc bool) error {
 		if id != "" {
 			label = fmt.Sprintf("session %q", id)
 		}
-		fmt.Printf("%s: %d valid, %d corrupt, %d removed\n", label, len(rep.Valid), len(rep.Corrupt), len(rep.Removed))
+		fmt.Fprintf(stdout, "%s: %d valid, %d corrupt, %d removed\n", label, len(rep.Valid), len(rep.Corrupt), len(rep.Removed))
 		removed := map[uint64]bool{}
 		for _, g := range rep.Removed {
 			removed[g] = true
@@ -158,10 +181,10 @@ func runScrub(dir string, gc bool) error {
 			} else {
 				remaining++
 			}
-			fmt.Printf("  generation %d: %s (%s)\n", g, verdict, rep.Errors[i])
+			fmt.Fprintf(stdout, "  generation %d: %s (%s)\n", g, verdict, rep.Errors[i])
 		}
 		if len(rep.Valid) == 0 && len(rep.Corrupt) > 0 {
-			fmt.Printf("  no valid generation remains; corrupt files kept as evidence\n")
+			fmt.Fprintf(stdout, "  no valid generation remains; corrupt files kept as evidence\n")
 		}
 	}
 	if remaining > 0 {

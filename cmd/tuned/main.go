@@ -47,7 +47,7 @@ func run() error {
 	keep := flag.Int("keep", 4, "checkpoint generations to retain")
 	phase := flag.Float64("phase-threshold", 0.02, "absolute miss-rate drift that triggers a re-tune")
 	watchdog := flag.Uint64("watchdog", 64, "abort a session that has not settled after this many windows")
-	obsAddr := flag.String("obs-addr", "", "serve /healthz, /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
+	obsAddr := flag.String("obs-addr", "", "serve /healthz, /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
 	obsLog := flag.String("obs-log", "", "append JSONL telemetry events to this file (feed it to stcexplain)")
 	obsWait := flag.Duration("obs-wait", 0, "keep the -obs-addr endpoints up this long after the stream ends")
 	fastsim := flag.Bool("fastsim", true, "replay through the fast kernels (bit-identical to the reference simulators); -fastsim=false forces the reference path")
@@ -115,12 +115,12 @@ func run() error {
 				"retunes":  reg.Gauge("daemon_retunes_total").Value(),
 				"tuning":   reg.Gauge("daemon_tuning").Value(),
 			}}
-		}))
+		}, obs.WithStatusz(func() any { return d.Statusz() })))
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		ofl.Notef(os.Stdout, "observability endpoints on http://%s/ (healthz, metrics, debug/pprof)\n", laddr)
+		ofl.Notef(os.Stdout, "observability endpoints on http://%s/ (healthz, metrics, statusz, debug/pprof)\n", laddr)
 		go func() {
 			if serr := <-errc; serr != nil {
 				fmt.Fprintln(os.Stderr, "tuned: obs server:", serr)

@@ -19,6 +19,7 @@ package daemon
 import (
 	"context"
 	"fmt"
+	"log/slog"
 
 	"selftune/internal/cache"
 	"selftune/internal/checkpoint"
@@ -76,6 +77,12 @@ type Options struct {
 	// windows, retunes, checkpoints, dropped events, tuning flag,
 	// settled miss rate), refreshed at every window boundary.
 	Reg *obs.Registry
+	// Hists receives the wall-clock latency distributions (search,
+	// checkpoint persist, shutdown drain). nil with a non-nil Reg
+	// auto-registers the default families on Reg; nil with a nil Reg
+	// records no latency. The fleet manager passes one shared set so all
+	// its sessions aggregate into the same families.
+	Hists *SessionHists
 }
 
 func (o *Options) fill() {
@@ -111,6 +118,8 @@ type Daemon struct {
 
 	boundaries  uint64 // boundary snapshots since the last persist
 	checkpoints uint64 // snapshots persisted this process lifetime
+
+	status statusCell // /statusz snapshot, rebuilt at boundaries
 }
 
 // New builds a daemon, recovering from the newest valid checkpoint in
@@ -119,6 +128,9 @@ type Daemon struct {
 // startup (Store.GC), which never removes the last loadable generation.
 func New(opts Options) (*Daemon, error) {
 	opts.fill()
+	if opts.Reg != nil && opts.Hists == nil {
+		opts.Hists = NewSessionHists(opts.Reg)
+	}
 	d := &Daemon{opts: opts}
 	if opts.Dir != "" {
 		st, err := checkpoint.OpenStore(opts.Dir, opts.Keep)
@@ -149,9 +161,11 @@ func New(opts Options) (*Daemon, error) {
 	return d, nil
 }
 
-// gauges refreshes the registry's view of the daemon. Gauge stores are
-// atomic, so a concurrent /metrics scrape reads a coherent value.
+// gauges refreshes the registry's view of the daemon (and the /statusz
+// snapshot). Gauge stores are atomic, so a concurrent /metrics scrape reads
+// a coherent value.
 func (d *Daemon) gauges() {
+	d.snapshotStatus()
 	reg := d.opts.Reg
 	if reg == nil {
 		return
@@ -201,12 +215,20 @@ func (d *Daemon) step(addr uint32, write bool) (bool, error) {
 	return true, nil
 }
 
-// persist writes one snapshot and records the act.
+// persist writes one snapshot and records the act. The "daemon.persist"
+// span is a lifecycle pair like daemon.checkpoint: its coordinates are
+// deterministic stream positions, but how often it appears depends on the
+// persist cadence, so crash-equivalence comparisons exclude it. Its
+// wall-clock lands only in the persist histogram.
 func (d *Daemon) persist(st *checkpoint.State) error {
+	sp := d.sess.span("daemon.persist", d.opts.Hists.persist())
 	gen, err := d.store.Save(st)
 	if err != nil {
 		return err
 	}
+	sp.End(
+		slog.Uint64("work", d.boundaries),
+		slog.String("unit", "boundaries"))
 	d.boundaries = 0
 	d.checkpoints++
 	d.sess.NoteCheckpoint(gen)
@@ -248,6 +270,10 @@ func (d *Daemon) Run(ctx context.Context, src trace.Source) error {
 // consuming until the next boundary (or the stream's end) and only then
 // takes the final snapshot.
 func (d *Daemon) drain(ctx context.Context, src trace.Source) error {
+	// The drain span's coordinates depend on where cancellation landed in
+	// the stream — a lifecycle pair (like daemon.persist), not a decision.
+	sp := d.sess.span("daemon.drain", d.opts.Hists.drain())
+	var drained uint64
 	for !d.sess.AtBoundary() {
 		a, ok := src.Next()
 		if !ok {
@@ -256,7 +282,11 @@ func (d *Daemon) drain(ctx context.Context, src trace.Source) error {
 		if _, err := d.step(a.Addr, a.IsWrite()); err != nil {
 			return err
 		}
+		drained++
 	}
+	sp.End(
+		slog.Uint64("work", drained),
+		slog.String("unit", "accesses"))
 	if err := d.Close(); err != nil {
 		return err
 	}

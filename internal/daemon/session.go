@@ -3,6 +3,7 @@ package daemon
 import (
 	"fmt"
 	"log/slog"
+	"time"
 
 	"selftune/internal/cache"
 	"selftune/internal/checkpoint"
@@ -65,6 +66,11 @@ type Session struct {
 	// material); hasResult distinguishes it from the zero value.
 	lastResult tuner.SearchResult
 	hasResult  bool
+
+	// searchT0 marks when the current search started, wall-clock. It feeds
+	// only the search-latency histogram (opts.Hists) — never an event or a
+	// checkpoint — so it is deliberately not part of the snapshot.
+	searchT0 time.Time
 }
 
 // NewSession starts a fresh stream loop. opts is filled with the same
@@ -101,6 +107,10 @@ func ResumeSession(opts Options, st *checkpoint.State) (*Session, error) {
 			return nil, fmt.Errorf("daemon: recover: %w", err)
 		}
 		s.search = o
+		// The resumed search's latency clock restarts here: the histogram
+		// then reports this life's wall-clock, which is the only honest
+		// number a restarted process has.
+		s.searchT0 = time.Now()
 	}
 	s.settled = st.Settled
 	s.consumed = st.Consumed
@@ -129,7 +139,21 @@ func (s *Session) newSearch() *tuner.Online {
 // newSearchFrom is newSearch warm-started at start (the budget-change
 // re-search path; zero value cold-starts).
 func (s *Session) newSearchFrom(start cache.Config) *tuner.Online {
+	s.searchT0 = time.Now()
 	return tuner.NewOnlineConstrained(s.cache, s.opts.Params, s.opts.Window, s.opts.Meter, s.opts.Rec, s.retunes, s.budget, start)
+}
+
+// span opens a deterministic span at the session's current coordinates (the
+// same scheme emit uses). The caller Ends it with work-unit fields; the
+// histogram, if any, receives the wall-clock duration.
+func (s *Session) span(name string, hist *obs.Histogram) obs.Span {
+	return obs.BeginSpan(s.rec, hist, obs.Event{
+		Name:    name,
+		Session: s.retunes,
+		Window:  s.windows,
+		Step:    s.consumed,
+		Config:  s.cache.Config().String(),
+	})
 }
 
 // emit records one session event. Coordinates are deterministic stream
@@ -229,6 +253,7 @@ func (s *Session) Step(addr uint32, write bool) (boundary bool, err error) {
 
 // settle records a finished search's outcome and switches to observing.
 func (s *Session) settle() {
+	s.opts.Hists.search().ObserveSince(s.searchT0)
 	res := s.search.Result()
 	s.lastResult = res
 	s.hasResult = true
@@ -311,6 +336,7 @@ func (s *Session) Budget() int { return s.budget }
 // and parks the cache on SafeConfig — a wedged search must not hold the
 // cache at whatever half-swept configuration it was probing.
 func (s *Session) watchdog() {
+	s.opts.Hists.search().ObserveSince(s.searchT0)
 	s.search.Close()
 	s.search = nil
 	safe := tuner.SafeConfig()

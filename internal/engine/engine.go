@@ -178,6 +178,12 @@ type Engine[C comparable] struct {
 
 	met Counters
 
+	// hist, when non-nil (set by Publish), receives each replay's
+	// wall-clock duration. Latency lives only on the metrics surface; the
+	// replay events above carry deterministic work units (accesses), never
+	// the clock — the telemetry-inertness contract.
+	hist *obs.Histogram
+
 	// forced pins the kernel chosen at construction (WithFastSim /
 	// WithReferenceSim); empty means follow the package flag per call.
 	forced string
@@ -207,12 +213,16 @@ type Counters struct {
 func (e *Engine[C]) Counters() *Counters { return &e.met }
 
 // Publish registers the engine's counters on a metrics registry under the
-// given prefix (e.g. "selftune_engine_").
+// given prefix (e.g. "selftune_engine_"), plus the replay-latency histogram
+// (prefix + "replay_seconds"). Like Rec and Retry, call it before the first
+// Evaluate.
 func (e *Engine[C]) Publish(reg *obs.Registry, prefix string) {
 	reg.Func(prefix+"memo_hits_total", func() float64 { return float64(e.met.MemoHits.Load()) })
 	reg.Func(prefix+"memo_misses_total", func() float64 { return float64(e.met.MemoMisses.Load()) })
 	reg.Func(prefix+"retries_total", func() float64 { return float64(e.met.Retries.Load()) })
 	reg.Func(prefix+"panics_total", func() float64 { return float64(e.met.Panics.Load()) })
+	reg.Describe(prefix+"replay_seconds", "Wall-clock duration of one memo-miss trace replay.")
+	e.hist = reg.Histogram(prefix + "replay_seconds")
 }
 
 // rec normalises the recorder for event emission; hot paths guard on
@@ -341,7 +351,11 @@ func (e *Engine[C]) lead(ctx context.Context, key simKey[C], wg *sync.WaitGroup)
 		rec.Record(obs.Event{Name: "engine.replay.start", Config: fmt.Sprint(key.cfg),
 			Fields: []slog.Attr{slog.Int("accesses", len(e.accs))}})
 	}
+	t0 := time.Now()
 	r, err := e.replay(ctx, key)
+	if err == nil {
+		e.hist.ObserveSince(t0)
+	}
 	if err != nil {
 		// Cancelled mid-replay: nothing to publish. Waiters loop and
 		// observe their own context.

@@ -80,9 +80,12 @@ func TestCountersReevaluate(t *testing.T) {
 }
 
 // A no-op recorder must add zero allocations to the memoised Evaluate hot
-// path. This is the test gate for the benchmark below.
+// path — including with the metrics registry (replay histogram and counter
+// funcs) published, the configuration every long-running daemon uses. This
+// is the test gate for the benchmark below.
 func TestEvaluateNopRecorderZeroAlloc(t *testing.T) {
 	e := obsTestEngine(2_000)
+	e.Publish(obs.NewRegistry(), "engine_")
 	cfg := cache.MinConfig()
 	e.Evaluate(cfg) // populate the memo
 	allocs := testing.AllocsPerRun(1000, func() {
@@ -90,6 +93,15 @@ func TestEvaluateNopRecorderZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("memoised Evaluate with a no-op recorder allocates %v per op", allocs)
+	}
+}
+
+// The replay histogram itself must be allocation-free on the miss path's
+// Observe call (the same budget a disabled recorder gets).
+func TestReplayHistogramZeroAllocObserve(t *testing.T) {
+	h := obs.NewRegistry().Histogram("engine_replay_seconds")
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(3.2e-4) }); allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op", allocs)
 	}
 }
 
@@ -131,9 +143,12 @@ func TestEngineEventsMatchReplays(t *testing.T) {
 }
 
 // BenchmarkEvaluateNopRecorder pins the zero-allocation contract under
-// `make bench`: the memoised Evaluate path with telemetry disabled.
+// `make bench`: the memoised Evaluate path with telemetry disabled, the
+// replay histogram registered and the counters published — the full flight
+// deck armed, events off.
 func BenchmarkEvaluateNopRecorder(b *testing.B) {
 	e := obsTestEngine(2_000)
+	e.Publish(obs.NewRegistry(), "engine_")
 	cfg := cache.MinConfig()
 	e.Evaluate(cfg)
 	b.ReportAllocs()

@@ -44,7 +44,7 @@ func TestFromResults(t *testing.T) {
 		{Cfg: cache.Config{SizeBytes: 4096}, Stats: cache.Stats{Accesses: 10_000, Misses: 2_000}},
 		{Cfg: cache.Config{SizeBytes: 4096}, Stats: cache.Stats{Accesses: 10_000, Misses: 1_500}}, // better at same size
 		{Cfg: cache.Config{SizeBytes: 2048}, Stats: cache.Stats{Accesses: 10_000, Misses: 4_000}},
-		{Cfg: cache.Config{SizeBytes: 8192}, Stats: cache.Stats{Accesses: 0}},                     // unusable: no accesses
+		{Cfg: cache.Config{SizeBytes: 8192}, Stats: cache.Stats{Accesses: 0}}, // unusable: no accesses
 	}
 	p, ok := FromResults("s1", rs)
 	if !ok {
@@ -163,7 +163,7 @@ func TestGreedyStopsWhenCurvesFlatten(t *testing.T) {
 	// stays unassigned.
 	a := curve("a", 10_000, 2048, 0.2, 8192, 0.2)
 	b := curve("b", 10_000, 2048, 0.1, 8192, 0.1)
-	plan, err := Greedy(1 << 20, 2048, []Profile{a, b})
+	plan, err := Greedy(1<<20, 2048, []Profile{a, b})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -180,6 +180,7 @@ type Manager struct {
 	opts  Options
 	rec   obs.Recorder
 	store *checkpoint.FleetStore // nil when persistence is disabled
+	hists *fleetHists            // nil when Reg is nil; wall-clock latency only
 
 	shards []*shard
 
@@ -259,17 +260,21 @@ type item struct {
 	epoch uint64 // session epoch at enqueue; stale data items are discarded
 	close bool
 	done  chan error // close items only
+	// enq is the wall-clock enqueue instant, feeding only the queue-wait
+	// histogram — never an event or a decision (the determinism contract).
+	enq time.Time
 }
 
 // shard is one worker goroutine and its FIFO queue.
 type shard struct {
-	id   int
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []item
-	stop bool
-	kill bool // abandon queued work immediately (Manager.Kill)
-	wg   sync.WaitGroup
+	id     int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []item
+	served uint64 // items dequeued by the worker so far (/statusz)
+	stop   bool
+	kill   bool // abandon queued work immediately (Manager.Kill)
+	wg     sync.WaitGroup
 }
 
 // shardOf deterministically assigns a session ID to one of n shards
@@ -293,6 +298,9 @@ func New(opts Options) (*Manager, error) {
 		profiles: map[string]allocator.Profile{},
 		restored: map[string]int{},
 		minBytes: tuner.DefaultSpace().MinFootprintBytes(),
+	}
+	if opts.Reg != nil {
+		m.hists = newFleetHists(opts.Reg)
 	}
 	if opts.Dir != "" {
 		fs, err := checkpoint.OpenFleetStore(opts.Dir, opts.Keep)
@@ -347,6 +355,23 @@ func (m *Manager) emit(name string, fields ...slog.Attr) {
 	m.rec.Record(obs.Event{Name: name, Step: step, Fields: fields})
 }
 
+// beginSpan opens a fleet-level span: its begin and end events share one
+// fleet ordinal (the Step coordinate), which — with the name and fields —
+// derives the span id joining the pair. Like emit, the ordinal is arrival
+// order, operational rather than deterministic; wall-clock goes only to
+// hist. When the recorder is disabled no ordinal is consumed, matching
+// emit's accounting.
+func (m *Manager) beginSpan(name string, hist *obs.Histogram, fields ...slog.Attr) obs.Span {
+	var step uint64
+	if m.rec.Enabled() {
+		m.mu.Lock()
+		step = m.seq
+		m.seq++
+		m.mu.Unlock()
+	}
+	return obs.BeginSpan(m.rec, hist, obs.Event{Name: name, Step: step, Fields: fields})
+}
+
 // Open creates (or, when a checkpoint exists under the fleet directory,
 // resumes) the session and pins it to its shard. Opening an existing live
 // session is an error.
@@ -356,15 +381,30 @@ func (m *Manager) emit(name string, fields ...slog.Attr) {
 // replanned around it); one it cannot is parked in the bounded FIFO pending
 // queue — it buffers submitted accesses and starts consuming when capacity
 // frees — and an open past the queue's bound returns *AdmissionError.
-func (m *Manager) Open(id string) error {
+func (m *Manager) Open(id string) error { return m.OpenTraced(id, "") }
+
+// OpenTraced is Open carrying a client-chosen trace tag: when non-empty, the
+// tag is stamped onto every one of the session's events (alongside sid) and
+// echoed in the fleet.open record, so a client can correlate its own
+// delivery attempts with the server-side session story. An empty tag is
+// exactly Open — the session's event stream stays bit-identical to a solo
+// daemon run, which is why the tag is opt-in per session rather than a
+// fleet-wide default.
+func (m *Manager) OpenTraced(id, trce string) error {
 	if id == "" {
 		return fmt.Errorf("fleet: empty session id")
+	}
+	stamp := func() obs.Recorder {
+		if trce == "" {
+			return obs.With(m.opts.Rec, slog.String("sid", id))
+		}
+		return obs.With(m.opts.Rec, slog.String("sid", id), slog.String("trace", trce))
 	}
 	sopts := m.opts.Session
 	sopts.Dir = ""
 	sopts.Keep = m.opts.Keep
 	sopts.Reg = nil
-	sopts.Rec = obs.With(m.opts.Rec, slog.String("sid", id))
+	sopts.Rec = stamp()
 	if m.opts.EnforceBudget {
 		if b, ok := m.opts.Assignments[id]; ok {
 			sopts.BudgetBytes = b
@@ -378,7 +418,7 @@ func (m *Manager) Open(id string) error {
 		sopts.Dir = ""
 		sopts.Keep = m.opts.Keep
 		sopts.Reg = nil
-		sopts.Rec = obs.With(m.opts.Rec, slog.String("sid", id))
+		sopts.Rec = stamp()
 	}
 	if m.store != nil {
 		if _, err := m.store.Session(id); err != nil { // registers in the manifest
@@ -453,11 +493,16 @@ func (m *Manager) Open(id string) error {
 	}
 	m.sessions[id] = s
 	m.mu.Unlock()
-	m.emit("fleet.open",
+	openFields := []slog.Attr{
 		slog.String("session", id),
 		slog.Int("shard", s.shard.id),
 		slog.Bool("recovered", d.Recovered()),
-		slog.Uint64("consumed", d.Consumed()))
+		slog.Uint64("consumed", d.Consumed()),
+	}
+	if trce != "" {
+		openFields = append(openFields, slog.String("trace", trce))
+	}
+	m.emit("fleet.open", openFields...)
 	if parked {
 		m.emit("fleet.park", slog.String("sid", id))
 	}
@@ -1094,8 +1139,10 @@ func (m *Manager) Report() Report {
 	return r
 }
 
-// enqueue appends one work item to the shard's FIFO queue.
+// enqueue appends one work item to the shard's FIFO queue, stamping the
+// enqueue instant the queue-wait histogram measures from.
 func (sh *shard) enqueue(it item) {
+	it.enq = time.Now()
 	sh.mu.Lock()
 	sh.q = append(sh.q, it)
 	sh.cond.Signal()
@@ -1118,7 +1165,9 @@ func (m *Manager) work(sh *shard) {
 		}
 		it := sh.q[0]
 		sh.q = sh.q[1:]
+		sh.served++
 		sh.mu.Unlock()
+		m.hists.wait().ObserveSince(it.enq)
 		m.process(it)
 	}
 }
@@ -1153,7 +1202,16 @@ func (m *Manager) process(it item) {
 			// unchanged.
 			d.SetBudget(b)
 		}
+		// The batch span carries the session attr (not sid): its ordinal
+		// and timing are fleet-operational, not part of the session's
+		// deterministic story.
+		sp := m.beginSpan("fleet.batch", m.hists.span(),
+			slog.String("session", s.id),
+			slog.Int("shard", s.shard.id))
 		failure = m.runBatch(s, d, it.accs)
+		sp.End(slog.Uint64("work", uint64(len(it.accs))),
+			slog.String("unit", "accesses"),
+			slog.Bool("ok", failure == nil))
 	}
 	s.mu.Lock()
 	s.inFlight -= len(it.accs)

@@ -3,10 +3,12 @@ package fleet
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"net"
 	"time"
 
 	"selftune/internal/faults"
+	"selftune/internal/obs"
 )
 
 // RetryClient delivers one session's STRC trace to a fleet server and
@@ -39,6 +41,15 @@ type RetryClient struct {
 	Chunk int
 	// Sleep replaces time.Sleep between attempts (tests). nil sleeps.
 	Sleep func(time.Duration)
+	// Trace is an opaque tag carried in the session's open frame (v3): the
+	// server stamps it onto the session's events and echoes it in
+	// fleet.open, tying this client's delivery attempts to the server-side
+	// session story. Empty means untagged.
+	Trace string
+	// Rec receives one "client.attempt" event per delivery attempt (the
+	// attempt ordinal is the Step coordinate), tagged with the session and
+	// Trace. nil records nothing.
+	Rec obs.Recorder
 }
 
 // RetryReport summarises one delivery.
@@ -69,10 +80,21 @@ func (c *RetryClient) Run(sid string, stream []byte) (*RetryReport, error) {
 		sleep = time.Sleep
 	}
 	r := faults.NewRand(faults.Derive(c.Seed, "retry", sid))
+	rec := obs.OrNop(c.Rec)
 	var last error
 	for a := 0; a < attempts; a++ {
 		rep.Attempts++
 		err, terminal := c.attempt(sid, stream)
+		if rec.Enabled() {
+			fields := []slog.Attr{slog.String("session", sid), slog.Bool("ok", err == nil)}
+			if c.Trace != "" {
+				fields = append(fields, slog.String("trace", c.Trace))
+			}
+			if err != nil {
+				fields = append(fields, slog.String("error", err.Error()), slog.Bool("terminal", terminal))
+			}
+			rec.Record(obs.Event{Name: "client.attempt", Step: uint64(a), Fields: fields})
+		}
 		if err == nil {
 			return rep, nil
 		}
@@ -107,7 +129,7 @@ func (c *RetryClient) attempt(sid string, stream []byte) (err error, terminal bo
 	if err != nil {
 		return err, false
 	}
-	if err := cw.Open(sid); err != nil {
+	if err := cw.OpenTrace(sid, c.Trace); err != nil {
 		return err, false
 	}
 	if err := cw.Stream(sid, bytes.NewReader(stream), c.Chunk); err != nil {

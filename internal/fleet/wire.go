@@ -16,7 +16,7 @@ import (
 // The fleet wire protocol multiplexes many sessions' trace streams over one
 // connection. A stream is the "STFW" magic plus a version byte, then frames:
 //
-//	open:  0x01, uvarint sid length, sid bytes
+//	open:  0x01, uvarint sid length, sid bytes, uvarint t, t trace bytes (v3; v2 has no trace field)
 //	data:  0x02, uvarint sid length, sid bytes, uvarint n, n payload bytes
 //	close: 0x03, uvarint sid length, sid bytes
 //	error: 0x04, uvarint sid length, sid bytes, uvarint n, 1 code byte + n-1 message bytes
@@ -30,7 +30,10 @@ import (
 // whether a reconnect-and-re-stream can heal it. A done frame acknowledges
 // a close frame the server completed cleanly, which is what lets a
 // reconnecting client distinguish "delivered" from "the connection died
-// after my last write" (version 2 added the code byte and the done frame).
+// after my last write" (version 2 added the code byte and the done frame;
+// version 3 added the open frame's trace tag — an opaque client-chosen
+// string the server stamps onto the session's events for end-to-end
+// correlation; empty means untagged). The server ingests versions 2 and 3.
 //
 // A session's concatenated data payloads form exactly one STRC trace stream
 // (magic, version, varint-coded records — the on-disk codec is the wire
@@ -43,7 +46,10 @@ import (
 var wireMagic = [4]byte{'S', 'T', 'F', 'W'}
 
 const (
-	wireVersion = 2
+	wireVersion = 3
+	// wireVersionMin is the oldest stream version the server still ingests
+	// (v2 lacks only the open frame's trace field).
+	wireVersionMin = 2
 
 	frameOpen  = 0x01
 	frameData  = 0x02
@@ -118,7 +124,9 @@ func (c *ConnWriter) frame(kind byte, sid string, payload []byte) error {
 	hdr[0] = kind
 	n := 1 + binary.PutUvarint(hdr[1:], uint64(len(sid)))
 	buf := append(hdr[:n], sid...)
-	if kind == frameData {
+	if kind == frameData || kind == frameOpen {
+		// Open frames carry the uvarint-prefixed trace tag since v3 (empty
+		// for an untagged session), with the same shape as a data payload.
 		var ln [binary.MaxVarintLen64]byte
 		buf = append(buf, ln[:binary.PutUvarint(ln[:], uint64(len(payload)))]...)
 		buf = append(buf, payload...)
@@ -127,8 +135,18 @@ func (c *ConnWriter) frame(kind byte, sid string, payload []byte) error {
 	return c.err
 }
 
-// Open announces a session.
+// Open announces an untagged session.
 func (c *ConnWriter) Open(sid string) error { return c.frame(frameOpen, sid, nil) }
+
+// OpenTrace announces a session carrying a client-chosen trace tag the
+// server stamps onto the session's events ("" is exactly Open).
+func (c *ConnWriter) OpenTrace(sid, trce string) error {
+	if len(trce) > maxSIDLen {
+		c.err = fmt.Errorf("fleet: trace tag length %d out of range", len(trce))
+		return c.err
+	}
+	return c.frame(frameOpen, sid, []byte(trce))
+}
 
 // Data carries a chunk of the session's STRC stream (any byte boundary).
 func (c *ConnWriter) Data(sid string, chunk []byte) error {
@@ -299,7 +317,7 @@ func ReadResponseStream(r io.Reader) (*Responses, error) {
 	if [4]byte(hdr[:4]) != wireMagic {
 		return nil, fmt.Errorf("fleet: bad response magic %q", hdr[:4])
 	}
-	if hdr[4] != wireVersion {
+	if hdr[4] < wireVersionMin || hdr[4] > wireVersion {
 		return nil, fmt.Errorf("fleet: unsupported response version %d", hdr[4])
 	}
 	for {
@@ -388,8 +406,9 @@ func (m *Manager) ingestFrames(br *byteReader, resp *responder) error {
 	if [4]byte(hdr[:4]) != wireMagic {
 		return fmt.Errorf("fleet: bad stream magic %q", hdr[:4])
 	}
-	if hdr[4] != wireVersion {
-		return fmt.Errorf("fleet: unsupported stream version %d", hdr[4])
+	ver := hdr[4]
+	if ver < wireVersionMin || ver > wireVersion {
+		return fmt.Errorf("fleet: unsupported stream version %d", ver)
 	}
 
 	owned := map[string]*ingestSession{}
@@ -451,10 +470,20 @@ func (m *Manager) ingestFrames(br *byteReader, resp *responder) error {
 		}
 		switch kind {
 		case frameOpen:
+			var trce string
+			if ver >= 3 {
+				// v3 opens carry the uvarint-prefixed trace tag; a v2
+				// stream's open ends at the sid (untagged).
+				tb, err := readBytes(br, maxSIDLen)
+				if err != nil {
+					return fmt.Errorf("fleet: bad open frame: %w", err)
+				}
+				trce = string(tb)
+			}
 			if _, dup := owned[sid]; dup {
 				return fmt.Errorf("fleet: duplicate open for session %q", sid)
 			}
-			if err := m.Open(sid); err != nil {
+			if err := m.OpenTraced(sid, trce); err != nil {
 				// The id may be live on another connection, invalid, or
 				// refused by admission control; either way this connection
 				// must not feed it, and the client is told why.
@@ -467,10 +496,14 @@ func (m *Manager) ingestFrames(br *byteReader, resp *responder) error {
 			}
 			owned[sid] = &ingestSession{dec: &trace.StreamDecoder{}}
 		case frameData:
+			t0 := time.Now()
 			payload, err := readBytes(br, maxPayload)
 			if err != nil {
 				return fmt.Errorf("fleet: bad data frame: %w", err)
 			}
+			// Transport latency only: the payload read has no deterministic
+			// work unit, so it is histogram-only (no span twin).
+			m.hists.read().ObserveSince(t0)
 			is, ok := owned[sid]
 			if !ok {
 				return fmt.Errorf("fleet: data for session %q before open", sid)

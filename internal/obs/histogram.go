@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution with atomic, allocation-free
+// observation — the home for every wall-clock duration in the system. The
+// determinism contract (package comment) forbids wall-clock values in event
+// logs and checkpoints; latency distributions therefore live only here, on
+// the /metrics surface, where two runs of the same work are allowed to
+// differ.
+//
+// Buckets are log-spaced powers of two from 1µs to ~134s (29 bounds plus the
+// implicit +Inf), chosen once at construction so Observe never allocates:
+// the hot paths it instruments (per-frame conn reads, per-batch replays) run
+// under the same zero-allocation budget as a disabled Recorder.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	n      atomic.Uint64
+}
+
+// histBounds are the default log-spaced upper bounds, in seconds: 2^k µs for
+// k = 0..27 (1µs .. ~134s). Fixed rather than configurable so every family
+// in the fleet is directly comparable and the exposition is deterministic in
+// shape.
+var histBounds = func() []float64 {
+	b := make([]float64, 28)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+func newHistogram() *Histogram {
+	return &Histogram{bounds: histBounds, counts: make([]atomic.Uint64, len(histBounds)+1)}
+}
+
+// Observe records one value. Safe for concurrent use; performs no
+// allocation (a linear scan over 28 bounds beats a binary search at this
+// size and keeps the code branch-predictable for the common small values).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the wall-clock seconds elapsed since t0 — the span
+// helper's path for latency. A nil receiver is a no-op so call sites never
+// nil-check an optional histogram.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return bitsFloat(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts (one per bound, plus +Inf last),
+// the total count and the sum, read bucket-by-bucket without locking — a
+// scrape racing writers may be slightly torn across buckets, which the
+// Prometheus exposition model tolerates.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cum[i] = acc
+	}
+	return cum, h.n.Load(), h.Sum()
+}
+
+func (h *Histogram) kind() string   { return "histogram" }
+func (h *Histogram) value() float64 { return float64(h.n.Load()) }
+
+// Histogram returns the histogram registered under name, creating it (with
+// the fixed log-spaced buckets) on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.lookup(name, func() metric { return newHistogram() }).(*Histogram)
+	if !ok {
+		panic("obs: metric " + name + " already registered with a different type")
+	}
+	return h
+}
+
+// HistogramWith returns the histogram for one labelled series of the family
+// name, creating it on first use (see CounterWith for label semantics).
+func (r *Registry) HistogramWith(name string, labels ...string) *Histogram {
+	return r.Histogram(seriesName(name, labels))
+}

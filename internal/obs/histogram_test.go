@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(0)    // below the first bound -> first bucket
+	h.Observe(1e-6) // exactly the first bound (le is inclusive)
+	h.Observe(3e-6) // third bucket (2e-6 < v <= 4e-6)
+	h.Observe(1e9)  // beyond every bound -> +Inf bucket
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 0+1e-6+3e-6+1e9 {
+		t.Fatalf("Sum = %v", got)
+	}
+	cum, n, _ := h.snapshot()
+	if n != 4 {
+		t.Fatalf("snapshot count = %d", n)
+	}
+	if cum[0] != 2 {
+		t.Errorf("first bucket cumulative = %d, want 2 (0 and 1e-6)", cum[0])
+	}
+	if cum[1] != 2 {
+		t.Errorf("second bucket cumulative = %d, want 2", cum[1])
+	}
+	if cum[2] != 3 {
+		t.Errorf("third bucket cumulative = %d, want 3", cum[2])
+	}
+	if last := cum[len(cum)-1]; last != 4 {
+		t.Errorf("+Inf cumulative = %d, want 4", last)
+	}
+	// Cumulative counts never decrease.
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts decrease at %d: %v", i, cum)
+		}
+	}
+}
+
+func TestHistogramPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("req_seconds", "request latency")
+	r.HistogramWith("req_seconds", "shard", "0").Observe(1.5e-6)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP req_seconds request latency\n",
+		"# TYPE req_seconds histogram\n",
+		`req_seconds_bucket{shard="0",le="1e-06"} 0` + "\n",
+		`req_seconds_bucket{shard="0",le="2e-06"} 1` + "\n",
+		`req_seconds_bucket{shard="0",le="+Inf"} 1` + "\n",
+		`req_seconds_sum{shard="0"} 1.5e-06` + "\n",
+		`req_seconds_count{shard="0"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One HELP and one TYPE line for the family, not one per series.
+	if n := strings.Count(out, "# TYPE req_seconds "); n != 1 {
+		t.Errorf("%d TYPE lines for req_seconds, want 1", n)
+	}
+}
+
+func TestHistogramUnlabelledProm(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("plain").Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`plain_bucket{le="+Inf"} 1` + "\n",
+		"plain_sum 0.5\n",
+		"plain_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramKindCollision pins that re-registering a histogram family
+// name as a counter (or vice versa) panics like every other kind collision.
+func TestHistogramKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind collision")
+		}
+	}()
+	r.Counter("x")
+}
+
+// TestConcurrentLabelledMetrics hammers CounterWith/GaugeWith/HistogramWith
+// from many goroutines (run under -race in CI) while a scraper renders the
+// registry, pinning that series creation, observation and exposition are
+// safe together.
+func TestConcurrentLabelledMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("c", "a counter")
+	r.Describe("h", "a histogram")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := string(rune('a' + g%4)) // deliberate cross-goroutine sharing
+			for i := 0; i < 500; i++ {
+				r.CounterWith("c", "s", id).Inc()
+				r.GaugeWith("g", "s", id).Set(float64(i))
+				r.HistogramWith("h", "s", id).Observe(float64(i) * 1e-6)
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := r.WriteProm(&b); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	total := uint64(0)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		total += r.CounterWith("c", "s", id).Value()
+	}
+	if total != 8*500 {
+		t.Errorf("counter total = %d, want %d", total, 8*500)
+	}
+	hTotal := uint64(0)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		hTotal += r.HistogramWith("h", "s", id).Count()
+	}
+	if hTotal != 8*500 {
+		t.Errorf("histogram total = %d, want %d", hTotal, 8*500)
+	}
+}
+
+// unescapeLabel inverts escapeLabel for the round-trip test.
+func unescapeLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			i++
+			switch v[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(v[i])
+			}
+			continue
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// TestLabelEscapingRoundTrip pins that every tricky label value survives
+// escape -> exposition -> unescape unchanged, and that distinct raw values
+// never collide after escaping (a collision would silently merge two
+// tenants' series).
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		"plain",
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		`all\"of
+them\\`,
+		`trailing\`,
+		"",
+	}
+	seen := map[string]string{}
+	for _, v := range values {
+		esc := escapeLabel(v)
+		if strings.ContainsAny(esc, "\n") {
+			t.Errorf("escaped %q still contains a raw newline: %q", v, esc)
+		}
+		if got := unescapeLabel(esc); got != v {
+			t.Errorf("round trip %q -> %q -> %q", v, esc, got)
+		}
+		if prev, dup := seen[esc]; dup {
+			t.Errorf("values %q and %q escape to the same %q", prev, v, esc)
+		}
+		seen[esc] = v
+	}
+	// And through the full series-name path: two values differing only in
+	// escaping must name different series.
+	a := seriesName("m", []string{"k", `x\n`})
+	b := seriesName("m", []string{"k", "x\n"})
+	if a == b {
+		t.Errorf("series collision: %q", a)
+	}
+}

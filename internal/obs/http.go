@@ -15,17 +15,47 @@ type Health struct {
 	Values map[string]float64 `json:"values,omitempty"`
 }
 
+// MuxOption customises NewMux.
+type MuxOption func(*muxConfig)
+
+type muxConfig struct {
+	statusz func() any
+}
+
+// WithStatusz adds a /statusz endpoint serving the JSON encoding of fn()'s
+// return value — a one-shot human-and-script-readable snapshot of the live
+// process (for a fleet: per-session health, epochs, budgets, queue depths,
+// shard workers, pending queue and allocator state). fn must be safe to call
+// from any goroutine and should return an independent snapshot, never live
+// mutable state.
+func WithStatusz(fn func() any) MuxOption {
+	return func(c *muxConfig) { c.statusz = fn }
+}
+
 // NewMux builds the operational endpoint mux:
 //
 //	/healthz      200 with a small JSON status (health() snapshot, nil ok)
 //	/metrics      the registry in Prometheus text format
+//	/statusz      JSON introspection snapshot (with WithStatusz)
 //	/debug/vars   expvar (Go runtime memstats etc.)
 //	/debug/pprof  the standard profiling handlers
 //
 // Everything served here reads atomics or scrape-time snapshots, so it is
 // safe alongside a running daemon.
-func NewMux(reg *Registry, health func() Health) *http.ServeMux {
+func NewMux(reg *Registry, health func() Health, opts ...MuxOption) *http.ServeMux {
+	var cfg muxConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
+	if cfg.statusz != nil {
+		mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(cfg.statusz())
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		h := Health{Status: "ok"}
 		if health != nil {

@@ -61,7 +61,7 @@ var Nop Recorder = nopRecorder{}
 type nopRecorder struct{}
 
 func (nopRecorder) Enabled() bool { return false }
-func (nopRecorder) Record(Event) {}
+func (nopRecorder) Record(Event)  {}
 
 // OrNop normalises a possibly nil recorder so call sites never nil-check.
 func OrNop(r Recorder) Recorder {

@@ -18,6 +18,7 @@ import (
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]metric
+	help    map[string]string // family -> one-line description
 }
 
 type metric interface {
@@ -27,7 +28,18 @@ type metric interface {
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{metrics: map[string]metric{}}
+	return &Registry{metrics: map[string]metric{}, help: map[string]string{}}
+}
+
+// Describe registers a one-line description for a metric family, emitted as
+// the family's # HELP line by WriteProm. Call it once where the family's
+// metrics are created; later calls overwrite (families are described by
+// their owner, not negotiated). Newlines are flattened to spaces because the
+// text format is line-oriented.
+func (r *Registry) Describe(family, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[family] = strings.ReplaceAll(help, "\n", " ")
 }
 
 // Counter is a monotonically increasing uint64.
@@ -184,7 +196,9 @@ func (r *Registry) lookup(name string, mk func() metric) metric {
 
 // WriteProm renders every metric in Prometheus text exposition format,
 // sorted by series name so the output is deterministic. Labelled series of
-// one family share a single # TYPE line, as the format requires.
+// one family share a single # TYPE line (and # HELP line, when the family
+// has been Described), as the format requires. Histogram families render as
+// cumulative _bucket series plus _sum and _count.
 func (r *Registry) WriteProm(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.metrics))
@@ -205,10 +219,31 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for i, n := range names {
 		snap[i] = r.metrics[n]
 	}
+	help := make(map[string]string, len(r.help))
+	for f, h := range r.help {
+		help[f] = h
+	}
 	r.mu.Unlock()
 	lastFamily := ""
 	for i, n := range names {
 		m := snap[i]
+		if fam := family(n); fam != lastFamily {
+			lastFamily = fam
+			if h, ok := help[fam]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, m.kind()); err != nil {
+				return err
+			}
+		}
+		if h, ok := m.(*Histogram); ok {
+			if err := writePromHistogram(w, n, h); err != nil {
+				return err
+			}
+			continue
+		}
 		v := m.value()
 		var val string
 		if m.kind() == "counter" || v == float64(int64(v)) {
@@ -216,17 +251,42 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		} else {
 			val = strconv.FormatFloat(v, 'g', -1, 64)
 		}
-		if fam := family(n); fam != lastFamily {
-			lastFamily = fam
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, m.kind()); err != nil {
-				return err
-			}
-		}
 		if _, err := fmt.Fprintf(w, "%s %s\n", n, val); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writePromHistogram renders one histogram series (whose name may carry a
+// label block) as its cumulative _bucket lines plus _sum and _count. The le
+// label is appended after any existing labels; bounds format with %g so
+// 0.001 renders as "0.001", not "1e-03".
+func writePromHistogram(w io.Writer, series string, h *Histogram) error {
+	fam := family(series)
+	inner := ""
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		inner = series[i+1:len(series)-1] + ","
+	}
+	cum, count, sum := h.snapshot()
+	for i, c := range cum {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", fam, inner, le, c); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if inner != "" {
+		suffix = "{" + strings.TrimSuffix(inner, ",") + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, suffix, strconv.FormatFloat(sum, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, count)
+	return err
 }
 
 func floatBits(f float64) uint64 { return math.Float64bits(f) }

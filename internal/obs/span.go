@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"log/slog"
+	"strconv"
+	"time"
+)
+
+// Span support: begin/end event pairs that give the event log causal
+// structure without breaking its determinism. A span's identifier is a pure
+// function of the begin event's coordinates (name, session, window, step,
+// config) — never time, never randomness — so a killed-and-resumed daemon
+// re-emits bit-identical span events for the work it re-executes. The
+// duration that reaches the event log is a deterministic work unit (accesses
+// replayed, configurations examined, window boundaries persisted), carried
+// by the end event's fields; the matching wall-clock duration goes only to a
+// Histogram, where two runs of the same work are allowed to differ.
+
+// SpanID derives the deterministic span identifier from a span's name and
+// begin coordinates: the hex form of an FNV-1a 64 hash over all five. Two
+// spans of the same name at the same coordinates are the same span — which
+// is exactly what kill/resume re-execution needs.
+func SpanID(name string, session, window, step uint64, config string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator, so ("ab","c") != ("a","bc")
+		h *= prime64
+	}
+	mixU := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(name)
+	mixU(session)
+	mixU(window)
+	mixU(step)
+	mix(config)
+	return strconv.FormatUint(h, 16)
+}
+
+// Span is one in-flight begin/end pair. The zero value is inert; construct
+// with BeginSpan. Span is a value type so the disabled path (Nop recorder,
+// nil histogram) allocates nothing.
+type Span struct {
+	rec  Recorder
+	hist *Histogram
+	e    Event // the begin coordinates; Name is the span name
+	id   string
+	t0   time.Time
+}
+
+// BeginSpan opens a span named e.Name at e's coordinates, emitting
+// "<name>.begin" (with the derived span id and e.Fields) when rec is
+// enabled, and arming a wall-clock timer when hist is non-nil. Either side
+// may be absent: a histogram-only span measures latency with no event-log
+// footprint, an event-only span adds causal structure with no clock.
+func BeginSpan(rec Recorder, hist *Histogram, e Event) Span {
+	s := Span{rec: OrNop(rec), hist: hist, e: e}
+	if hist != nil {
+		s.t0 = time.Now()
+	}
+	if s.rec.Enabled() {
+		s.id = SpanID(e.Name, e.Session, e.Window, e.Step, e.Config)
+		be := e
+		be.Name = e.Name + ".begin"
+		be.Fields = append([]slog.Attr{slog.String("span", s.id)}, e.Fields...)
+		s.rec.Record(be)
+	}
+	return s
+}
+
+// End closes the span: the elapsed wall-clock goes to the histogram (if
+// any), and "<name>.end" is emitted at the begin coordinates with the span
+// id plus fields — which must carry the deterministic work-unit duration
+// (e.g. slog.Uint64("work", n), slog.String("unit", "accesses")), never a
+// clock reading.
+func (s Span) End(fields ...slog.Attr) {
+	s.hist.ObserveSince(s.t0)
+	if s.rec.Enabled() {
+		ee := s.e
+		ee.Name = s.e.Name + ".end"
+		ee.Fields = append([]slog.Attr{slog.String("span", s.id)}, fields...)
+		s.rec.Record(ee)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"testing"
+)
+
+// capture is a recorder that stores every event, for span-shape assertions.
+type capture struct {
+	mu sync.Mutex
+	ev []Event
+}
+
+func (c *capture) Enabled() bool { return true }
+func (c *capture) Record(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ev = append(c.ev, e)
+}
+
+func TestSpanIDIsPureAndSeparated(t *testing.T) {
+	a := SpanID("daemon.search", 1, 2, 3, "8KB_2W_32B")
+	b := SpanID("daemon.search", 1, 2, 3, "8KB_2W_32B")
+	if a != b {
+		t.Fatalf("same coordinates, different ids: %s vs %s", a, b)
+	}
+	if a == SpanID("daemon.search", 1, 2, 4, "8KB_2W_32B") {
+		t.Error("step change did not change the id")
+	}
+	if a == SpanID("daemon.drain", 1, 2, 3, "8KB_2W_32B") {
+		t.Error("name change did not change the id")
+	}
+	// Field separation: shifting a byte across the name/config boundary must
+	// not produce the same hash.
+	if SpanID("ab", 0, 0, 0, "c") == SpanID("a", 0, 0, 0, "bc") {
+		t.Error("name/config field boundary is not separated")
+	}
+}
+
+func TestSpanBeginEndEvents(t *testing.T) {
+	var c capture
+	sp := BeginSpan(&c, nil, Event{
+		Name: "daemon.search", Session: 2, Window: 7, Step: 0, Config: "cfg",
+		Fields: []slog.Attr{slog.String("reason", "drift")},
+	})
+	sp.End(slog.Uint64("work", 5), slog.String("unit", "configs"))
+
+	if len(c.ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(c.ev))
+	}
+	begin, end := c.ev[0], c.ev[1]
+	if begin.Name != "daemon.search.begin" || end.Name != "daemon.search.end" {
+		t.Fatalf("names %q / %q", begin.Name, end.Name)
+	}
+	if begin.Session != 2 || begin.Window != 7 || begin.Config != "cfg" {
+		t.Errorf("begin coordinates not preserved: %+v", begin)
+	}
+	if end.Session != 2 || end.Window != 7 || end.Config != "cfg" {
+		t.Errorf("end emitted at different coordinates: %+v", end)
+	}
+	id := SpanID("daemon.search", 2, 7, 0, "cfg")
+	for _, e := range c.ev {
+		if len(e.Fields) == 0 || e.Fields[0].Key != "span" || e.Fields[0].Value.String() != id {
+			t.Errorf("%s: first field %v, want span=%s", e.Name, e.Fields, id)
+		}
+	}
+	if begin.Fields[1].Key != "reason" {
+		t.Errorf("begin lost its payload fields: %v", begin.Fields)
+	}
+	if end.Fields[1].Key != "work" || end.Fields[1].Value.Uint64() != 5 {
+		t.Errorf("end lost its work-unit fields: %v", end.Fields)
+	}
+}
+
+// TestSpanHistogramOnly pins that a span with a histogram but a disabled
+// recorder records latency and emits nothing — the shape fleet transport
+// paths use.
+func TestSpanHistogramOnly(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	sp := BeginSpan(Nop, h, Event{Name: "fleet.batch"})
+	sp.End()
+	if h.Count() != 1 {
+		t.Fatalf("histogram saw %d observations, want 1", h.Count())
+	}
+}
+
+// TestSpanDisabledAllocs pins the zero-cost contract: a span over a disabled
+// recorder with no histogram allocates nothing.
+func TestSpanDisabledAllocs(t *testing.T) {
+	e := Event{Name: "daemon.search", Session: 1}
+	if n := testing.AllocsPerRun(100, func() {
+		sp := BeginSpan(Nop, nil, e)
+		sp.End()
+	}); n != 0 {
+		t.Errorf("disabled span allocates %v times per op, want 0", n)
+	}
+}

@@ -1,0 +1,158 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"selftune/internal/obs"
+)
+
+// SpanNode is one reconstructed span: a ".begin"/".end" event pair joined by
+// the span id, nested under the span that was open when it began. Work and
+// Unit come from the end event's deterministic work-unit payload — a span
+// tree rendered from two runs of the same stream is identical, because
+// nothing here ever saw a clock.
+type SpanNode struct {
+	// Name is the span name with the ".begin"/".end" suffix stripped.
+	Name string
+	// Session, Window, Step and Config are the begin event's deterministic
+	// coordinates.
+	Session, Window, Step uint64
+	Config                string
+	// Work and Unit are the end event's work-unit payload ("configs",
+	// "accesses", "boundaries"); Closed is false when the log ended (or the
+	// process died) before the end event — the span renders as unclosed
+	// rather than being dropped, because an interrupted span is exactly
+	// what a timeline reader is hunting.
+	Work   float64
+	Unit   string
+	Closed bool
+
+	Children []*SpanNode
+}
+
+// SpanTree pairs span events from one session's log (in log order) into a
+// forest. Duplicate begin/end events from kill/resume re-execution carry
+// identical span ids (the id is a pure function of the event coordinates)
+// and collapse into one node, the same dedup-by-coordinates contract the
+// rest of stcexplain applies. An end without a begin (a log truncated at
+// the head) is skipped.
+func SpanTree(evs []obs.RawEvent) []*SpanNode {
+	var roots []*SpanNode
+	var stack []*SpanNode
+	open := map[string]*SpanNode{}
+	begun := map[string]bool{}
+	ended := map[string]bool{}
+	for _, ev := range evs {
+		id := ev.Str("span")
+		if id == "" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(ev.Name, ".begin"):
+			if begun[id] {
+				continue // kill/resume re-emission of the same span
+			}
+			begun[id] = true
+			n := &SpanNode{
+				Name:    strings.TrimSuffix(ev.Name, ".begin"),
+				Session: ev.Session,
+				Window:  ev.Window,
+				Step:    ev.Step,
+				Config:  ev.Config,
+			}
+			if len(stack) > 0 {
+				p := stack[len(stack)-1]
+				p.Children = append(p.Children, n)
+			} else {
+				roots = append(roots, n)
+			}
+			stack = append(stack, n)
+			open[id] = n
+		case strings.HasSuffix(ev.Name, ".end"):
+			if ended[id] {
+				continue
+			}
+			n, ok := open[id]
+			if !ok {
+				continue
+			}
+			ended[id] = true
+			delete(open, id)
+			n.Closed = true
+			n.Work = ev.Float("work")
+			n.Unit = ev.Str("unit")
+			// Pop to (and including) n; anything still above it on the
+			// stack is an unclosed child the crash interrupted.
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i] == n {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	return roots
+}
+
+// timelineBarMax is the widest bar, in characters.
+const timelineBarMax = 30
+
+// Timeline renders the session's span tree as a text timeline. Bar widths
+// are scaled from each span's deterministic work units (per unit kind, so a
+// 7-config search and a 4000-access drain do not fight over one scale) —
+// never from wall-clock, which lives only in the /metrics histograms. The
+// output is therefore bit-identical across runs of the same stream and
+// golden-testable. An empty string means the log carries no span events.
+func Timeline(evs []obs.RawEvent) string {
+	roots := SpanTree(evs)
+	if len(roots) == 0 {
+		return ""
+	}
+	type row struct {
+		n     *SpanNode
+		depth int
+	}
+	var rows []row
+	maxWork := map[string]float64{}
+	var walk func(ns []*SpanNode, depth int)
+	walk = func(ns []*SpanNode, depth int) {
+		for _, n := range ns {
+			rows = append(rows, row{n, depth})
+			if n.Work > maxWork[n.Unit] {
+				maxWork[n.Unit] = n.Work
+			}
+			walk(n.Children, depth+1)
+		}
+	}
+	walk(roots, 0)
+
+	prefix := func(r row) string {
+		return fmt.Sprintf("%s%s s%d w%d", strings.Repeat("  ", r.depth), r.n.Name, r.n.Session, r.n.Window)
+	}
+	width := 0
+	for _, r := range rows {
+		if w := len(prefix(r)); w > width {
+			width = w
+		}
+	}
+	var b strings.Builder
+	b.WriteString("span timeline (bar widths are deterministic work units, not wall-clock)\n")
+	for _, r := range rows {
+		n := r.n
+		fmt.Fprintf(&b, "%-*s  ", width, prefix(r))
+		if !n.Closed {
+			b.WriteString("[ unclosed ]\n")
+			continue
+		}
+		bar := 0
+		if n.Work > 0 && maxWork[n.Unit] > 0 {
+			bar = int(n.Work/maxWork[n.Unit]*timelineBarMax + 0.5)
+			if bar < 1 {
+				bar = 1
+			}
+		}
+		fmt.Fprintf(&b, "|%-*s| %g %s\n", timelineBarMax, strings.Repeat("#", bar), n.Work, n.Unit)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"bytes"
+	"log/slog"
+	"testing"
+
+	"selftune/internal/obs"
+)
+
+// spanLog scripts a session's span events through the real recorder path:
+// two searches (the second twice the first's work), a nested persist, a
+// kill/resume re-emission of the first pair, and an unclosed drain.
+func spanLog(t *testing.T) []obs.RawEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := obs.NewJSONL(&buf)
+
+	search := obs.BeginSpan(rec, nil, obs.Event{Name: "tuner.search", Session: 0, Window: 0,
+		Fields: []slog.Attr{slog.Int("budget_bytes", 0)}})
+	persist := obs.BeginSpan(rec, nil, obs.Event{Name: "daemon.persist", Session: 0, Window: 1, Step: 1000, Config: "cfg-a"})
+	persist.End(slog.Uint64("work", 2), slog.String("unit", "boundaries"))
+	search.End(slog.Uint64("work", 7), slog.String("unit", "configs"))
+
+	// Kill/resume re-executes the window: the identical span pair re-emits
+	// and must collapse into the one node above.
+	again := obs.BeginSpan(rec, nil, obs.Event{Name: "tuner.search", Session: 0, Window: 0,
+		Fields: []slog.Attr{slog.Int("budget_bytes", 0)}})
+	again.End(slog.Uint64("work", 7), slog.String("unit", "configs"))
+
+	search2 := obs.BeginSpan(rec, nil, obs.Event{Name: "tuner.search", Session: 1, Window: 3,
+		Fields: []slog.Attr{slog.Int("budget_bytes", 4096)}})
+	search2.End(slog.Uint64("work", 14), slog.String("unit", "configs"))
+
+	// A drain the crash interrupted: begin with no end.
+	obs.BeginSpan(rec, nil, obs.Event{Name: "daemon.drain", Session: 1, Window: 4, Step: 9000, Config: "cfg-b"})
+
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	roots := SpanTree(spanLog(t))
+	if len(roots) != 3 {
+		t.Fatalf("got %d roots, want 3 (re-emitted pair must collapse)", len(roots))
+	}
+	s0 := roots[0]
+	if s0.Name != "tuner.search" || !s0.Closed || s0.Work != 7 || s0.Unit != "configs" {
+		t.Fatalf("first search: %+v", s0)
+	}
+	if len(s0.Children) != 1 || s0.Children[0].Name != "daemon.persist" {
+		t.Fatalf("persist not nested under the first search: %+v", s0.Children)
+	}
+	if c := s0.Children[0]; c.Work != 2 || c.Unit != "boundaries" || c.Window != 1 || c.Step != 1000 {
+		t.Fatalf("persist node: %+v", c)
+	}
+	if s2 := roots[1]; s2.Work != 14 || s2.Session != 1 {
+		t.Fatalf("second search: %+v", s2)
+	}
+	if drain := roots[2]; drain.Closed || drain.Name != "daemon.drain" {
+		t.Fatalf("unclosed drain: %+v", drain)
+	}
+}
+
+// TestTimelineGolden pins the rendered timeline byte for byte: the widths
+// are work units (per unit kind), so the output is deterministic across
+// runs and platforms.
+func TestTimelineGolden(t *testing.T) {
+	got := Timeline(spanLog(t))
+	want := "" +
+		"span timeline (bar widths are deterministic work units, not wall-clock)\n" +
+		"tuner.search s0 w0      |###############               | 7 configs\n" +
+		"  daemon.persist s0 w1  |##############################| 2 boundaries\n" +
+		"tuner.search s1 w3      |##############################| 14 configs\n" +
+		"daemon.drain s1 w4      [ unclosed ]\n"
+	if got != want {
+		t.Errorf("timeline diverged:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTimelineEmptyWithoutSpans(t *testing.T) {
+	evs := []obs.RawEvent{{Name: "tuner.step", Fields: map[string]any{}}}
+	if out := Timeline(evs); out != "" {
+		t.Fatalf("timeline from a span-free log: %q", out)
+	}
+}

@@ -58,6 +58,14 @@ type Online struct {
 	// replays the identical restricted walk.
 	maxBytes int
 	start    cache.Config
+
+	// searchSpan is the deterministic "tuner.search" begin/end pair wrapping
+	// the whole search: begun at construction (window 0, step 0 of this
+	// session ordinal), ended at settle with the work-unit duration
+	// (configurations examined). A resumed session re-begins the span at the
+	// identical coordinates, so kill/resume re-emits bit-identical span
+	// events and coordinate deduplication reconstructs one span.
+	searchSpan obs.Span
 }
 
 // Meter transforms a window's raw counters before they are priced — the
@@ -111,7 +119,7 @@ func NewOnlineConstrained(c *cache.Configurable, p *energy.Params, window uint64
 		// transition transient (blocks stranded by the remapping
 		// re-missing once) out of the measurement, which would
 		// otherwise bias the sweep against growth steps.
-		warmup: window / 4,
+		warmup:   window / 4,
 		req:      make(chan cache.Config),
 		resp:     make(chan EvalResult),
 		done:     make(chan SearchResult, 1),
@@ -122,9 +130,23 @@ func NewOnlineConstrained(c *cache.Configurable, p *energy.Params, window uint64
 	// The search logic runs in its own goroutine; Evaluate blocks until
 	// the measurement window completes. This reuses the exact heuristic
 	// implementation for the online hardware behaviour.
+	o.beginSearchSpan()
 	o.startSearch(EvaluatorFunc(o.liveEvaluate))
 	o.advance()
 	return o
+}
+
+// beginSearchSpan opens the session's "tuner.search" span. It must run
+// before the search goroutine can emit its first "tuner.step" (i.e. before
+// startSearch for a fresh session, and before the transcript replay for a
+// resumed one) so the begin event always precedes the steps it encloses.
+func (o *Online) beginSearchSpan() {
+	o.searchSpan = obs.BeginSpan(o.rec, nil, obs.Event{
+		Name:    "tuner.search",
+		Session: o.sessionID,
+		Window:  o.fed,
+		Fields:  []slog.Attr{slog.Int("budget_bytes", o.maxBytes)},
+	})
 }
 
 // searchSpace is the (possibly budget-restricted, possibly warm-started)
@@ -232,6 +254,12 @@ func (o *Online) finish(res SearchResult) {
 	o.result = res
 	o.finished = true
 	o.apply(res.Best.Cfg)
+	// Close the search span first: its end (work units, not wall-clock)
+	// precedes the settle decision it explains.
+	o.searchSpan.End(
+		slog.Uint64("work", uint64(res.NumExamined())),
+		slog.String("unit", "configs"),
+		slog.Uint64("windows", o.fed))
 	if o.rec.Enabled() {
 		fields := []slog.Attr{
 			slog.Float64("energy", res.Best.Energy),

@@ -202,6 +202,10 @@ func ResumeOnlineObserved(c *cache.Configurable, p *energy.Params, st SessionSta
 	// completes the search, is a corrupt snapshot and fails construction.
 	mismatch := make(chan error, 1)
 	idx := 0
+	// Re-begin the search span before the transcript replay: coordinates
+	// (session ordinal, window 0) match the first life's begin exactly, so
+	// the re-emitted span event is bit-identical and dedupes away.
+	o.beginSearchSpan()
 	o.startSearch(EvaluatorFunc(func(cfg cache.Config) EvalResult {
 		if idx < len(st.History) {
 			r := st.History[idx]

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the observability surface: start the tuning
-# daemon with telemetry armed on a short trace, scrape /healthz and
-# /metrics while it serves, render the emitted event log with stcexplain,
-# and fail on any non-200 response, empty metrics, or an empty trajectory.
+# daemon with telemetry armed on a short trace, scrape /healthz, /metrics
+# (histogram families and HELP lines included) and /statusz while it
+# serves, render the emitted event log with stcexplain — the search story
+# and the -timeline span tree — and fail on any non-200 response, empty
+# metrics, missing family, or an empty trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,6 +49,29 @@ grep -q '^daemon_consumed_accesses [1-9]' "$tmp/metrics.txt" \
 grep -q '^daemon_windows_total [1-9]' "$tmp/metrics.txt" \
     || { echo "metrics lack a non-zero daemon_windows_total"; exit 1; }
 
+# Latency histograms: the search-duration family must expose buckets, sum
+# and count, under a HELP line — wall-clock lives only here, never in the
+# event log.
+grep -q '^# HELP daemon_search_seconds ' "$tmp/metrics.txt" \
+    || { echo "metrics lack the daemon_search_seconds HELP line"; exit 1; }
+grep -q '^# TYPE daemon_search_seconds histogram' "$tmp/metrics.txt" \
+    || { echo "daemon_search_seconds is not exposed as a histogram"; exit 1; }
+grep -q '^daemon_search_seconds_bucket{le="+Inf"} [1-9]' "$tmp/metrics.txt" \
+    || { echo "daemon_search_seconds has no observations"; exit 1; }
+grep -q '^daemon_search_seconds_count [1-9]' "$tmp/metrics.txt" \
+    || { echo "daemon_search_seconds_count missing"; exit 1; }
+grep -q '^daemon_persist_seconds_bucket' "$tmp/metrics.txt" \
+    || { echo "daemon_persist_seconds histogram missing"; exit 1; }
+
+# /statusz: the live JSON snapshot must report consumed progress and the
+# current configuration.
+code="$(curl -s -o "$tmp/statusz.json" -w '%{http_code}' "http://$addr/statusz")"
+[ "$code" = 200 ] || { echo "/statusz returned $code"; exit 1; }
+grep -q '"consumed_accesses": [1-9]' "$tmp/statusz.json" \
+    || { echo "statusz lacks consumed progress:"; cat "$tmp/statusz.json"; exit 1; }
+grep -q '"config":' "$tmp/statusz.json" \
+    || { echo "statusz lacks the current config:"; cat "$tmp/statusz.json"; exit 1; }
+
 kill -INT "$pid"
 wait "$pid" || true
 
@@ -54,5 +79,14 @@ wait "$pid" || true
 # structural bound of 8 examined configurations per session (it exits
 # non-zero on an empty trajectory or a bound violation).
 "$tmp/stcexplain" -max-examined 8 "$tmp/events.jsonl"
+
+# The span timeline must render the search and checkpoint spans with
+# work-unit bars, and never mention wall-clock; its golden shape is the
+# deterministic begin/end pairs in the event log.
+"$tmp/stcexplain" -timeline "$tmp/events.jsonl" >"$tmp/timeline.txt"
+grep -q '^span timeline' "$tmp/timeline.txt" || { echo "timeline header missing"; exit 1; }
+grep -q 'tuner.search' "$tmp/timeline.txt" || { echo "timeline lacks tuner.search spans"; cat "$tmp/timeline.txt"; exit 1; }
+grep -q 'configs' "$tmp/timeline.txt" || { echo "timeline lacks work units"; exit 1; }
+! grep -q 'seconds' "$tmp/timeline.txt" || { echo "timeline leaked wall-clock:"; cat "$tmp/timeline.txt"; exit 1; }
 
 echo "obs smoke: OK"
