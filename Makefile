@@ -19,9 +19,9 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$'
 
 # Fast-kernel vs reference throughput on the standard sweep shapes,
-# recorded machine-readably (see cmd/stcbench; BENCH_5.json is committed).
+# recorded machine-readably (see cmd/stcbench; BENCH_10.json is committed).
 bench-json:
-	$(GO) run ./cmd/stcbench -json BENCH_5.json
+	$(GO) run ./cmd/stcbench -json BENCH_10.json
 
 # End-to-end observability smoke: daemon up with telemetry, endpoints
 # scraped, event log explained (see scripts/obs_smoke.sh).
@@ -46,6 +46,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzStreamDecoder -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -run='^$$' -fuzz=FuzzFastSimVsReference -fuzztime=$(FUZZTIME) ./internal/fastsim/
+	$(GO) test -run='^$$' -fuzz=FuzzFusedVsReference -fuzztime=$(FUZZTIME) ./internal/fastsim/
 	$(GO) test -run='^$$' -fuzz=FuzzIngest -fuzztime=$(FUZZTIME) ./internal/fleet/
 	$(GO) test -run='^$$' -fuzz=FuzzChaosnetFraming -fuzztime=$(FUZZTIME) ./internal/fleet/
 

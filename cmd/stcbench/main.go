@@ -1,10 +1,13 @@
 // Command stcbench benchmarks the fast replay kernels against the reference
 // simulators on the repository's standard experiment shapes — the four-bank
-// 27-configuration sweep and the Figure 2 direct-mapped size sweep — and
-// writes a machine-readable report (BENCH_5.json) plus a human table.
+// 27-configuration sweep (per-config and fused single-pass, with
+// multi-worker scaling rows) and the Figure 2 direct-mapped size sweep —
+// and writes a machine-readable report (BENCH_10.json) plus a human table.
 //
 // Every timed pair is also a differential check: the run fails if the fast
-// kernel's sweep results differ from the reference kernel's in any bit.
+// or fused kernel's sweep results differ from the reference kernel's in any
+// bit. -min-fused gates the fused-vs-per-config speedup (CI's regression
+// fence).
 package main
 
 import (
@@ -30,7 +33,8 @@ func run() error {
 	reps := flag.Int("reps", 0, "timing repetitions per measurement, best-of (0 = sizing default)")
 	workers := flag.Int("workers", 1, "sweep workers (the headline measurement is single-threaded replay)")
 	profiles := flag.String("profiles", "", "comma-separated workload profiles for the four-bank sweep (empty = default set)")
-	jsonPath := flag.String("json", "BENCH_5.json", "write the machine-readable report here ('' = don't)")
+	jsonPath := flag.String("json", "BENCH_10.json", "write the machine-readable report here ('' = don't)")
+	minFused := flag.Float64("min-fused", 0, "fail unless the fused-vs-per-config sweep speedup (geomean) is at least this (0 = no gate)")
 	flag.Parse()
 
 	opts := bench.Options{}
@@ -62,6 +66,9 @@ func run() error {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+	if *minFused > 0 && rep.FusedSpeedup < *minFused {
+		return fmt.Errorf("fused sweep speedup %.2fx is below the -min-fused gate %.2fx", rep.FusedSpeedup, *minFused)
 	}
 	return nil
 }

@@ -39,6 +39,9 @@ type Options struct {
 	// Profiles names the workload profiles to replay through the four-bank
 	// sweep. Empty means a representative default set.
 	Profiles []string
+	// ScaleWorkers are the worker counts for the multi-worker scaling rows
+	// (fused vs per-config on the first profile). Empty means {1, 2, 4}.
+	ScaleWorkers []int
 }
 
 // quickDefaults fills unset fields.
@@ -54,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Profiles) == 0 {
 		o.Profiles = []string{"crc", "adpcm", "mpeg2", "ucbqsort"}
+	}
+	if len(o.ScaleWorkers) == 0 {
+		o.ScaleWorkers = []int{1, 2, 4}
 	}
 	return o
 }
@@ -87,9 +93,31 @@ type ClassResult struct {
 	Fast      Timing `json:"fast"`
 	// Speedup is fast accesses/sec over reference accesses/sec.
 	Speedup float64 `json:"speedup"`
+
+	// Fused, present on four-bank rows, is the fused single-pass kernel's
+	// timing for the same sweep, and FusedSpeedup is fused over fast (the
+	// per-config path) — the fused-vs-per-config acceptance ratio.
+	Fused        *Timing `json:"fused,omitempty"`
+	FusedSpeedup float64 `json:"fused_speedup,omitempty"`
 }
 
-// Report is the machine-readable output (BENCH_5.json).
+// ScalingResult is one multi-worker scaling row: the full four-bank sweep
+// at one worker count, per-config fast kernel versus the fused single pass.
+// The fused pass is inherently serial (one lead replays for everyone), so
+// these rows show where worker-parallel per-config replay catches up.
+type ScalingResult struct {
+	Profile   string `json:"profile"`
+	Workers   int    `json:"workers"`
+	Configs   int    `json:"configs"`
+	Accesses  int64  `json:"accesses"`
+	PerConfig Timing `json:"per_config"`
+	Fused     Timing `json:"fused"`
+	// Speedup is fused accesses/sec over per-config accesses/sec at this
+	// worker count.
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the machine-readable output (BENCH_10.json).
 type Report struct {
 	GeneratedAt string `json:"generated_at"`
 	GoVersion   string `json:"go_version"`
@@ -106,12 +134,19 @@ type Report struct {
 
 	Classes []ClassResult `json:"classes"`
 
+	// Scaling holds the multi-worker fused-vs-per-config rows.
+	Scaling []ScalingResult `json:"scaling"`
+
 	// FourBankSpeedup and Figure2Speedup are the per-class geometric means
 	// over profiles. Figure2Speedup is the acceptance number: >= 2.
 	FourBankSpeedup float64 `json:"four_bank_speedup"`
 	Figure2Speedup  float64 `json:"figure2_speedup"`
 	// OverallSpeedup is the geometric mean over every measurement.
 	OverallSpeedup float64 `json:"overall_speedup"`
+	// FusedSpeedup is the geometric mean of the four-bank rows'
+	// fused-vs-per-config ratios at the report's worker count — the fused
+	// acceptance number: >= 5 at workers=1.
+	FusedSpeedup float64 `json:"fused_speedup"`
 }
 
 // Run executes the benchmark and returns the report. It fails (error, not a
@@ -151,13 +186,26 @@ func Run(opts Options) (*Report, error) {
 	}
 	rep.Classes = append(rep.Classes, cr)
 
+	scaleProfile := opts.Profiles[0]
+	prof, _ := workload.ByName(scaleProfile)
+	_, scaleData := trace.Split(trace.NewSliceSource(prof.Generate(opts.N)))
+	for _, workers := range opts.ScaleWorkers {
+		sr, err := measureScaling(scaleProfile, scaleData, p, opts, workers)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scaling = append(rep.Scaling, sr)
+	}
+
 	rep.FourBankSpeedup = geomean(rep.Classes, "four-bank-27")
 	rep.Figure2Speedup = geomean(rep.Classes, "figure2-dm")
 	rep.OverallSpeedup = geomean(rep.Classes, "")
+	rep.FusedSpeedup = fusedGeomean(rep.Classes)
 	return rep, nil
 }
 
-// measureFourBank times the full 27-configuration sweep on both kernels.
+// measureFourBank times the full 27-configuration sweep on all three
+// kernels: reference, per-config fast, and the fused single pass.
 func measureFourBank(profile string, data []trace.Access, p *energy.Params, opts Options) (ClassResult, error) {
 	cfgs := cache.AllConfigs()
 	m := engine.Configurable(p)
@@ -170,7 +218,42 @@ func measureFourBank(profile string, data []trace.Access, p *energy.Params, opts
 	if err := diff(profile, refRes, fastRes); err != nil {
 		return ClassResult{}, err
 	}
-	return classResult("four-bank-27", profile, len(cfgs), len(data), refTime, fastTime), nil
+	fusedTime, fusedRes := timeSweep(opts.Reps, func() []engine.Result[cache.Config] {
+		return engine.New(data, m, engine.WithFusedSweep()).EvaluateAll(cfgs, opts.Workers)
+	})
+	if err := diff(profile, refRes, fusedRes); err != nil {
+		return ClassResult{}, err
+	}
+	cr := classResult("four-bank-27", profile, len(cfgs), len(data), refTime, fastTime)
+	fused := mkTiming(fusedTime, cr.Accesses)
+	cr.Fused = &fused
+	cr.FusedSpeedup = fused.AccessesPerSec / cr.Fast.AccessesPerSec
+	return cr, nil
+}
+
+// measureScaling times one profile's four-bank sweep at a given worker
+// count, per-config fast kernel versus the fused pass, with the same
+// embedded differential check.
+func measureScaling(profile string, data []trace.Access, p *energy.Params, opts Options, workers int) (ScalingResult, error) {
+	cfgs := cache.AllConfigs()
+	m := engine.Configurable(p)
+	fastTime, fastRes := timeSweep(opts.Reps, func() []engine.Result[cache.Config] {
+		return engine.New(data, m, engine.WithFastSim()).EvaluateAll(cfgs, workers)
+	})
+	fusedTime, fusedRes := timeSweep(opts.Reps, func() []engine.Result[cache.Config] {
+		return engine.New(data, m, engine.WithFusedSweep()).EvaluateAll(cfgs, workers)
+	})
+	if err := diff(fmt.Sprintf("%s workers=%d", profile, workers), fastRes, fusedRes); err != nil {
+		return ScalingResult{}, err
+	}
+	accesses := int64(len(cfgs)) * int64(len(data))
+	perCfg, fused := mkTiming(fastTime, accesses), mkTiming(fusedTime, accesses)
+	return ScalingResult{
+		Profile: profile, Workers: workers,
+		Configs: len(cfgs), Accesses: accesses,
+		PerConfig: perCfg, Fused: fused,
+		Speedup: fused.AccessesPerSec / perCfg.AccessesPerSec,
+	}, nil
 }
 
 // measureFigure2 times the 1 KB–1 MB direct-mapped sweep on both kernels.
@@ -223,16 +306,17 @@ func diff[C comparable](profile string, ref, fast []engine.Result[C]) error {
 	return nil
 }
 
+func mkTiming(sec float64, accesses int64) Timing {
+	return Timing{
+		Seconds:        sec,
+		NsPerAccess:    sec * 1e9 / float64(accesses),
+		AccessesPerSec: float64(accesses) / sec,
+	}
+}
+
 func classResult(class, profile string, configs, streamLen int, refSec, fastSec float64) ClassResult {
 	accesses := int64(configs) * int64(streamLen)
-	mk := func(sec float64) Timing {
-		return Timing{
-			Seconds:        sec,
-			NsPerAccess:    sec * 1e9 / float64(accesses),
-			AccessesPerSec: float64(accesses) / sec,
-		}
-	}
-	ref, fast := mk(refSec), mk(fastSec)
+	ref, fast := mkTiming(refSec, accesses), mkTiming(fastSec, accesses)
 	return ClassResult{
 		Class: class, Profile: profile,
 		Configs: configs, Accesses: accesses,
@@ -250,10 +334,29 @@ func kernelAllocs() map[string]float64 {
 	}
 	fb := fastsim.Must(cache.BaseConfig())
 	gk := fastsim.MustGeneric(cache.GenericConfig{SizeBytes: 16 << 10, Ways: 1, LineBytes: 32})
+	fk := fastsim.NewFused()
+	cols := trace.NewColumns(accs)
 	return map[string]float64{
 		"four-bank": testing.AllocsPerRun(10, func() { fb.ReplayBatch(accs) }),
 		"generic":   testing.AllocsPerRun(10, func() { gk.ReplayBatch(accs) }),
+		"fused":     testing.AllocsPerRun(10, func() { fk.ReplayColumns(cols) }),
 	}
+}
+
+// fusedGeomean is the geometric mean of the four-bank rows'
+// fused-vs-per-config ratios.
+func fusedGeomean(classes []ClassResult) float64 {
+	prod, n := 1.0, 0
+	for _, c := range classes {
+		if c.Fused != nil && c.FusedSpeedup > 0 {
+			prod *= c.FusedSpeedup
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
 }
 
 // geomean is the geometric-mean speedup of one class's measurements; an
@@ -274,20 +377,36 @@ func geomean(classes []ClassResult, class string) float64 {
 
 // Table renders the human-readable view.
 func (r *Report) Table() string {
-	t := report.NewTable("class", "profile", "configs", "ref ns/acc", "fast ns/acc", "ref Macc/s", "fast Macc/s", "speedup")
+	t := report.NewTable("class", "profile", "configs", "ref ns/acc", "fast ns/acc", "fused ns/acc", "speedup", "fused/fast")
 	for _, c := range r.Classes {
+		fusedNs, fusedX := "-", "-"
+		if c.Fused != nil {
+			fusedNs = fmt.Sprintf("%.2f", c.Fused.NsPerAccess)
+			fusedX = fmt.Sprintf("%.2fx", c.FusedSpeedup)
+		}
 		t.Addf(c.Class, c.Profile, c.Configs,
 			fmt.Sprintf("%.1f", c.Reference.NsPerAccess),
 			fmt.Sprintf("%.1f", c.Fast.NsPerAccess),
-			fmt.Sprintf("%.2f", c.Reference.AccessesPerSec/1e6),
-			fmt.Sprintf("%.2f", c.Fast.AccessesPerSec/1e6),
-			fmt.Sprintf("%.2fx", c.Speedup))
+			fusedNs,
+			fmt.Sprintf("%.2fx", c.Speedup),
+			fusedX)
 	}
 	s := t.String()
+	if len(r.Scaling) > 0 {
+		st := report.NewTable("scaling profile", "workers", "per-config Macc/s", "fused Macc/s", "fused/per-config")
+		for _, sc := range r.Scaling {
+			st.Addf(sc.Profile, sc.Workers,
+				fmt.Sprintf("%.2f", sc.PerConfig.AccessesPerSec/1e6),
+				fmt.Sprintf("%.2f", sc.Fused.AccessesPerSec/1e6),
+				fmt.Sprintf("%.2fx", sc.Speedup))
+		}
+		s += "\n" + st.String()
+	}
 	s += fmt.Sprintf("\nfour-bank sweep speedup (geomean): %.2fx\n", r.FourBankSpeedup)
 	s += fmt.Sprintf("figure 2 sweep speedup:            %.2fx\n", r.Figure2Speedup)
 	s += fmt.Sprintf("overall speedup (geomean):         %.2fx\n", r.OverallSpeedup)
-	s += fmt.Sprintf("kernel allocs/op: four-bank=%.0f generic=%.0f\n",
-		r.KernelAllocsPerOp["four-bank"], r.KernelAllocsPerOp["generic"])
+	s += fmt.Sprintf("fused sweep speedup over per-config (geomean): %.2fx\n", r.FusedSpeedup)
+	s += fmt.Sprintf("kernel allocs/op: four-bank=%.0f generic=%.0f fused=%.0f\n",
+		r.KernelAllocsPerOp["four-bank"], r.KernelAllocsPerOp["generic"], r.KernelAllocsPerOp["fused"])
 	return s
 }

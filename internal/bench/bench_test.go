@@ -6,9 +6,9 @@ import "testing"
 // both config classes, positive timings, and — the embedded differential
 // oracle and zero-alloc pin — identical kernel results and no inner-loop
 // allocations. Speedup values are hardware-dependent and deliberately not
-// asserted here; BENCH_5.json records them.
+// asserted here; BENCH_10.json records them.
 func TestRunSmoke(t *testing.T) {
-	rep, err := Run(Options{N: 5_000, Reps: 1, Workers: 1, Profiles: []string{"crc"}})
+	rep, err := Run(Options{N: 5_000, Reps: 1, Workers: 1, Profiles: []string{"crc"}, ScaleWorkers: []int{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,13 +24,32 @@ func TestRunSmoke(t *testing.T) {
 		if c.Accesses <= 0 || c.Accesses%int64(c.Configs) != 0 {
 			t.Errorf("%s/%s: accesses %d not a multiple of %d configs", c.Class, c.Profile, c.Accesses, c.Configs)
 		}
+		// Four-bank rows carry the fused measurement; Figure 2 rows don't.
+		if c.Class == "four-bank-27" {
+			if c.Fused == nil || c.Fused.Seconds <= 0 || c.FusedSpeedup <= 0 {
+				t.Errorf("%s/%s: missing or degenerate fused timing %+v", c.Class, c.Profile, c)
+			}
+		} else if c.Fused != nil {
+			t.Errorf("%s/%s: unexpected fused timing on a non-four-bank row", c.Class, c.Profile)
+		}
+	}
+	if len(rep.Scaling) != 2 {
+		t.Fatalf("got %d scaling rows, want 2 (workers 1 and 2)", len(rep.Scaling))
+	}
+	for i, sc := range rep.Scaling {
+		if sc.Workers != []int{1, 2}[i] || sc.PerConfig.Seconds <= 0 || sc.Fused.Seconds <= 0 || sc.Speedup <= 0 {
+			t.Errorf("scaling row %d degenerate: %+v", i, sc)
+		}
 	}
 	for kernel, allocs := range rep.KernelAllocsPerOp {
 		if allocs != 0 {
-			t.Errorf("%s kernel allocates %.0f/op in ReplayBatch, want 0", kernel, allocs)
+			t.Errorf("%s kernel allocates %.0f/op in its replay loop, want 0", kernel, allocs)
 		}
 	}
-	if rep.OverallSpeedup <= 0 || rep.Figure2Speedup <= 0 || rep.FourBankSpeedup <= 0 {
+	if _, ok := rep.KernelAllocsPerOp["fused"]; !ok {
+		t.Error("fused kernel missing from the allocs pin")
+	}
+	if rep.OverallSpeedup <= 0 || rep.Figure2Speedup <= 0 || rep.FourBankSpeedup <= 0 || rep.FusedSpeedup <= 0 {
 		t.Error("summary speedups missing")
 	}
 }

@@ -55,6 +55,17 @@ type Model[C comparable] struct {
 	// WithFastSim/WithReferenceSim constructor option), and the kernel
 	// identity is part of the memo key.
 	FastBuild Factory[C]
+	// FusedBuild, when non-nil, constructs a fused multi-configuration
+	// kernel: one trace pass that measures every configuration in its
+	// Configs set at once (fastsim.FusedKernel for the four-bank space).
+	// Like FastBuild it must be bit-identical to Build per configuration —
+	// the fused tier of the differential oracle enforces this. The fused
+	// path is opt-in (SetFusedSweep / WithFusedSweep) and only serves
+	// configurations in the kernel's coverage set; everything else falls
+	// back to the per-configuration factories. Fault wrappers clear this
+	// field: injection is per (configuration, reading) and a fused pass
+	// cannot realise it, so a fault-armed model must never fuse.
+	FusedBuild func() FusedReplayer[C]
 	// Price applies Equation 1 to the interval's counters.
 	Price func(C, cache.Stats) energy.Breakdown
 	// NoDrain skips the end-of-interval dirty-line drain. The tuner's
@@ -109,7 +120,29 @@ const (
 	KernelReference = "reference"
 	// KernelFast tags replays through the fastsim kernels (Model.FastBuild).
 	KernelFast = "fast"
+	// KernelFused tags replays served by a fused multi-configuration pass
+	// (Model.FusedBuild). Fused results occupy their own memo slots: a
+	// process that mixes fused, fast and reference replays can never serve
+	// a result measured by one kernel to a request for another.
+	KernelFused = "fused"
 )
+
+// FusedReplayer is the fused-sweep contract: a kernel that replays one
+// columnar stream through a fixed set of configurations simultaneously and
+// reconstructs each configuration's interval counters and drain count
+// afterwards. fastsim.FusedKernel implements it for the 27-point four-bank
+// space.
+type FusedReplayer[C comparable] interface {
+	// Configs lists the configurations one pass covers.
+	Configs() []C
+	// ReplayColumns advances every configuration through a block of
+	// accesses; the engine feeds ctxCheckInterval-sized blocks.
+	ReplayColumns(trace.Columns)
+	// StatsOf reconstructs one covered configuration's counters.
+	StatsOf(C) cache.Stats
+	// DirtyLinesOf reports one covered configuration's drain count.
+	DirtyLinesOf(C) int
+}
 
 // fastSim is the package-level feature flag: when set (the default), engines
 // whose model carries a FastBuild factory replay through the fast kernel.
@@ -125,6 +158,21 @@ func SetFastSim(on bool) { fastSim.Store(on) }
 
 // FastSimEnabled reports the package-level fast-kernel flag.
 func FastSimEnabled() bool { return fastSim.Load() }
+
+// fusedSweep is the package-level fused-sweep flag: when set, engines whose
+// model carries a FusedBuild factory serve covered configurations from one
+// fused multi-configuration pass instead of per-configuration replays.
+// Off by default — the fused path is an opt-in (the CLIs' -fused flag),
+// unlike fastsim.
+var fusedSweep atomic.Bool
+
+// SetFusedSweep flips the package-level fused-sweep flag (the CLIs' -fused
+// flag). It only affects engines whose model provides FusedBuild and which
+// were not constructed with an explicit kernel option.
+func SetFusedSweep(on bool) { fusedSweep.Store(on) }
+
+// FusedSweepEnabled reports the package-level fused-sweep flag.
+func FusedSweepEnabled() bool { return fusedSweep.Load() }
 
 // Option configures an Engine at construction.
 type Option func(*engineOptions)
@@ -146,6 +194,15 @@ func WithFastSim() Option {
 // side.
 func WithReferenceSim() Option {
 	return func(o *engineOptions) { o.kernel = KernelReference }
+}
+
+// WithFusedSweep forces the engine onto the fused multi-configuration pass
+// (Model.FusedBuild) for covered configurations, ignoring the package flags.
+// Configurations outside the fused kernel's coverage — and every replay of a
+// model without FusedBuild — fall back to the package FastSim flag's choice
+// of per-configuration kernel.
+func WithFusedSweep() Option {
+	return func(o *engineOptions) { o.kernel = KernelFused }
 }
 
 // simKey identifies one memoised replay: the configuration plus the kernel
@@ -185,8 +242,19 @@ type Engine[C comparable] struct {
 	hist *obs.Histogram
 
 	// forced pins the kernel chosen at construction (WithFastSim /
-	// WithReferenceSim); empty means follow the package flag per call.
+	// WithReferenceSim / WithFusedSweep); empty means follow the package
+	// flags per call.
 	forced string
+
+	// cols is the columnar transposition of accs, built once on the first
+	// fused replay and shared (read-only) by every subsequent pass.
+	colsOnce sync.Once
+	cols     trace.Columns
+
+	// fusedCfgs is the fused kernel's coverage set, resolved once from a
+	// throwaway FusedBuild instance on first use.
+	fusedOnce sync.Once
+	fusedCfgs map[C]struct{}
 
 	mu       sync.Mutex
 	memo     map[simKey[C]]Result[C]
@@ -254,9 +322,13 @@ func New[C comparable](accs []trace.Access, m Model[C], opts ...Option) *Engine[
 	}
 }
 
-// Kernel reports which kernel the engine would use for an evaluation started
-// now: KernelFast when the model provides a fast factory and either the
-// engine or the package flag selects it, else KernelReference.
+// Kernel reports which per-configuration kernel the engine would use for an
+// evaluation started now: KernelFast when the model provides a fast factory
+// and either the engine or the package flag selects it, else
+// KernelReference. When the fused sweep is active, configurations inside the
+// fused kernel's coverage use KernelFused instead (resolved per
+// configuration by kernelFor); Kernel reports the fallback the remaining
+// configurations get.
 func (e *Engine[C]) Kernel() string {
 	if e.model.FastBuild == nil {
 		return KernelReference
@@ -271,6 +343,47 @@ func (e *Engine[C]) Kernel() string {
 		return KernelFast
 	}
 	return KernelReference
+}
+
+// fusedWanted reports whether the engine is currently selecting the fused
+// pass: the model must carry a fused factory, and either the engine was
+// pinned with WithFusedSweep or it follows the package flag. WithFastSim /
+// WithReferenceSim pin away from the fused path entirely.
+func (e *Engine[C]) fusedWanted() bool {
+	if e.model.FusedBuild == nil {
+		return false
+	}
+	switch e.forced {
+	case KernelFused:
+		return true
+	case "":
+		return FusedSweepEnabled()
+	}
+	return false
+}
+
+// fusedCovers reports whether the fused kernel's configuration set includes
+// cfg. The set is resolved once per engine.
+func (e *Engine[C]) fusedCovers(cfg C) bool {
+	e.fusedOnce.Do(func() {
+		set := map[C]struct{}{}
+		for _, c := range e.model.FusedBuild().Configs() {
+			set[c] = struct{}{}
+		}
+		e.fusedCfgs = set
+	})
+	_, ok := e.fusedCfgs[cfg]
+	return ok
+}
+
+// kernelFor resolves the kernel for one configuration's evaluation: the
+// fused pass when it is selected and covers cfg, else the per-configuration
+// kernel from Kernel().
+func (e *Engine[C]) kernelFor(cfg C) string {
+	if e.fusedWanted() && e.fusedCovers(cfg) {
+		return KernelFused
+	}
+	return e.Kernel()
 }
 
 // build constructs the simulator for one memo key's replay.
@@ -300,7 +413,7 @@ func (e *Engine[C]) Evaluate(cfg C) Result[C] {
 func (e *Engine[C]) EvaluateCtx(ctx context.Context, cfg C) (Result[C], error) {
 	// The kernel is resolved once per evaluation, so a package-flag flip
 	// mid-call cannot split the key from the simulator actually built.
-	key := simKey[C]{cfg: cfg, kernel: e.Kernel()}
+	key := simKey[C]{cfg: cfg, kernel: e.kernelFor(cfg)}
 	for {
 		if err := ctx.Err(); err != nil {
 			return Result[C]{Cfg: cfg}, err
@@ -312,16 +425,39 @@ func (e *Engine[C]) EvaluateCtx(ctx context.Context, cfg C) (Result[C], error) {
 			return r, nil
 		}
 		wg, running := e.inflight[key]
-		if !running {
-			wg = new(sync.WaitGroup)
-			wg.Add(1)
-			e.inflight[key] = wg
-		}
-		e.mu.Unlock()
 		if running {
+			e.mu.Unlock()
 			wg.Wait()
 			continue
 		}
+		wg = new(sync.WaitGroup)
+		wg.Add(1)
+		e.inflight[key] = wg
+		if key.kernel == KernelFused {
+			// One fused lead serves the whole coverage set: register the
+			// same in-flight entry for every covered configuration that is
+			// neither memoised nor already being replayed, in this same
+			// critical section, so concurrent evaluations of sibling
+			// configurations join this pass instead of leading their own.
+			keys := []simKey[C]{key}
+			for c := range e.fusedCfgs {
+				k := simKey[C]{cfg: c, kernel: KernelFused}
+				if k == key {
+					continue
+				}
+				if _, ok := e.memo[k]; ok {
+					continue
+				}
+				if _, ok := e.inflight[k]; ok {
+					continue
+				}
+				e.inflight[k] = wg
+				keys = append(keys, k)
+			}
+			e.mu.Unlock()
+			return e.leadFused(ctx, keys, wg)
+		}
+		e.mu.Unlock()
 		return e.lead(ctx, key, wg)
 	}
 }
@@ -333,7 +469,7 @@ func (e *Engine[C]) EvaluateCtx(ctx context.Context, cfg C) (Result[C], error) {
 // fault can clear on the second reading.
 func (e *Engine[C]) Reevaluate(cfg C) Result[C] {
 	e.mu.Lock()
-	delete(e.memo, simKey[C]{cfg: cfg, kernel: e.Kernel()})
+	delete(e.memo, simKey[C]{cfg: cfg, kernel: e.kernelFor(cfg)})
 	e.mu.Unlock()
 	return e.Evaluate(cfg)
 }
@@ -372,6 +508,124 @@ func (e *Engine[C]) lead(ctx context.Context, key simKey[C], wg *sync.WaitGroup)
 	e.memo[key] = r
 	e.mu.Unlock()
 	return r, nil
+}
+
+// leadFused runs one fused pass on behalf of every configuration in keys
+// (keys[0] is the caller's own) and publishes every result. It counts as ONE
+// memo miss — the caller's Evaluate led one replay; the sibling results it
+// deposits are served to later calls as memo hits, preserving
+// hits+misses == completed-calls at any worker count.
+func (e *Engine[C]) leadFused(ctx context.Context, keys []simKey[C], wg *sync.WaitGroup) (Result[C], error) {
+	defer func() {
+		e.mu.Lock()
+		for _, k := range keys {
+			delete(e.inflight, k)
+		}
+		e.mu.Unlock()
+		wg.Done()
+	}()
+	e.met.MemoMisses.Add(1)
+	if rec := e.rec(); rec.Enabled() {
+		rec.Record(obs.Event{Name: "engine.replay.start", Config: KernelFused,
+			Fields: []slog.Attr{slog.Int("accesses", len(e.accs)), slog.Int("configs", len(keys))}})
+	}
+	t0 := time.Now()
+	results, err := e.fusedReplay(ctx, keys)
+	if err != nil {
+		// Cancelled mid-pass: nothing is memoised; waiters loop and observe
+		// their own context, and a later call can complete the pass.
+		return Result[C]{Cfg: keys[0].cfg}, err
+	}
+	e.hist.ObserveSince(t0)
+	if rec := e.rec(); rec.Enabled() {
+		fields := []slog.Attr{slog.Int("configs", len(keys)),
+			slog.Float64("energy", results[0].Energy), slog.Float64("miss_rate", results[0].Stats.MissRate())}
+		if results[0].Err != nil {
+			fields = append(fields, slog.String("err", results[0].Err.Error()))
+		}
+		rec.Record(obs.Event{Name: "engine.replay.finish", Config: KernelFused, Fields: fields})
+	}
+	e.mu.Lock()
+	for i, k := range keys {
+		e.memo[k] = results[i]
+	}
+	e.mu.Unlock()
+	return results[0], nil
+}
+
+// fusedReplay runs one fused pass under the retry policy, mirroring replay:
+// the returned error is reserved for context cancellation; a pass that
+// panicked on every attempt fails every covered configuration with the same
+// deterministic error.
+func (e *Engine[C]) fusedReplay(ctx context.Context, keys []simKey[C]) ([]Result[C], error) {
+	backoff := e.Retry.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= e.Retry.attempts(); attempt++ {
+		if attempt > 1 {
+			e.met.Retries.Add(1)
+			if rec := e.rec(); rec.Enabled() {
+				rec.Record(obs.Event{Name: "engine.retry", Config: KernelFused,
+					Fields: []slog.Attr{slog.Int("attempt", attempt), slog.String("cause", lastErr.Error())}})
+			}
+			if backoff > 0 {
+				if err := sleepCtx(ctx, backoff); err != nil {
+					return nil, err
+				}
+				backoff *= 2
+			}
+		}
+		rs, err := e.fusedReplayOnce(ctx, keys)
+		if err == nil {
+			return rs, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		lastErr = err
+	}
+	out := make([]Result[C], len(keys))
+	for i, k := range keys {
+		out[i] = Result[C]{Cfg: k.cfg, Err: lastErr}
+	}
+	return out, nil
+}
+
+// fusedReplayOnce is the fused replay loop: one cold fused kernel, the whole
+// columnar stream in ctxCheckInterval blocks, then per-configuration drain
+// and pricing — the same accounting replayOnce applies per configuration,
+// reconstructed from the single pass. A panic is recovered into an error.
+func (e *Engine[C]) fusedReplayOnce(ctx context.Context, keys []simKey[C]) (rs []Result[C], err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.met.Panics.Add(1)
+			err = fmt.Errorf("engine: fused replay panicked: %v", p)
+		}
+	}()
+	e.colsOnce.Do(func() { e.cols = trace.NewColumns(e.accs) })
+	k := e.model.FusedBuild()
+	n := e.cols.Len()
+	for start := 0; start < n; start += ctxCheckInterval {
+		if start > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+		}
+		end := start + ctxCheckInterval
+		if end > n {
+			end = n
+		}
+		k.ReplayColumns(e.cols.Slice(start, end))
+	}
+	rs = make([]Result[C], len(keys))
+	for i, key := range keys {
+		st := k.StatsOf(key.cfg)
+		if !e.model.NoDrain {
+			st.Writebacks += uint64(k.DirtyLinesOf(key.cfg))
+		}
+		b := e.model.Price(key.cfg, st)
+		rs[i] = Result[C]{Cfg: key.cfg, Energy: b.Total(), Breakdown: b, Stats: st}
+	}
+	return rs, nil
 }
 
 // replay runs replayOnce under the retry policy. The returned error is

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"selftune/internal/cache"
+	"selftune/internal/energy"
+)
+
+// skewedFused wraps the fused kernel and inflates every configuration's
+// reported misses, standing in for a fused pass whose results differ from
+// the per-configuration kernels — the contamination the kernel-tagged memo
+// key must keep out of the fast and reference slots.
+type skewedFused struct{ FusedReplayer[cache.Config] }
+
+func (s skewedFused) StatsOf(cfg cache.Config) cache.Stats {
+	st := s.FusedReplayer.StatsOf(cfg)
+	st.Misses += 1_000_000
+	return st
+}
+
+// TestMemoKeySeparatesFusedKernel pins the memo-key property for the third
+// kernel tag: results measured by the fused pass live under their own memo
+// entries, so fused results never satisfy fast or reference evaluations (and
+// vice versa) — flipping the flags between evaluations replays instead of
+// serving another kernel's (here: deliberately different) result.
+func TestMemoKeySeparatesFusedKernel(t *testing.T) {
+	p := energy.DefaultParams()
+	data := dataStream(t, "crc", 10_000)
+	cfg := cache.BaseConfig()
+
+	m := Configurable(p)
+	inner := m.FusedBuild
+	m.FusedBuild = func() FusedReplayer[cache.Config] { return skewedFused{inner()} }
+
+	e := New(data, m)
+	SetFastSim(true)
+	SetFusedSweep(true)
+	t.Cleanup(func() { SetFastSim(true); SetFusedSweep(false) })
+
+	fused1 := e.Evaluate(cfg)
+	SetFusedSweep(false)
+	fast1 := e.Evaluate(cfg)
+	SetFastSim(false)
+	ref1 := e.Evaluate(cfg)
+	if fused1.Stats.Misses == fast1.Stats.Misses || fused1.Stats.Misses == ref1.Stats.Misses {
+		t.Fatal("test harness broken: skewed fused kernel matched a per-config kernel")
+	}
+	if fast1.Stats != ref1.Stats {
+		t.Fatalf("fast and reference kernels diverged:\n fast %+v\n ref  %+v", fast1.Stats, ref1.Stats)
+	}
+	if got := e.Counters().MemoMisses.Load(); got != 3 {
+		t.Errorf("three kernels caused %d replays, want 3 (one per kernel)", got)
+	}
+
+	// Each kernel's re-evaluation must come from its own memo slot.
+	SetFusedSweep(true)
+	SetFastSim(true)
+	fused2 := e.Evaluate(cfg)
+	SetFusedSweep(false)
+	fast2 := e.Evaluate(cfg)
+	SetFastSim(false)
+	ref2 := e.Evaluate(cfg)
+	if fused2 != fused1 || fast2 != fast1 || ref2 != ref1 {
+		t.Error("re-evaluations did not serve the matching kernel's memo entry")
+	}
+	if got := e.Counters().MemoMisses.Load(); got != 3 {
+		t.Errorf("memoised re-evaluations replayed: %d misses, want still 3", got)
+	}
+
+	// WithFusedSweep pins the fused pass regardless of the package flags;
+	// WithFastSim/WithReferenceSim pin away from it even with the flag set.
+	forced := New(data, m, WithFusedSweep())
+	if got := forced.Evaluate(cfg).Stats.Misses; got != fused1.Stats.Misses {
+		t.Errorf("WithFusedSweep engine measured %d misses, want the fused kernel's %d", got, fused1.Stats.Misses)
+	}
+	SetFusedSweep(true)
+	SetFastSim(true)
+	pinnedFast := New(data, m, WithFastSim())
+	if got := pinnedFast.Evaluate(cfg).Stats; got != fast1.Stats {
+		t.Errorf("WithFastSim engine under fused flag measured %+v, want the fast kernel's %+v", got, fast1.Stats)
+	}
+}
+
+// TestFusedSweepWorkersBitIdentical pins the house invariant on the fused
+// path: a full 27-configuration sweep returns bit-identical results at
+// workers 1, 2 and 4, and exactly ONE fused pass leads it at any worker
+// count (MemoMisses == 1, MemoHits == 26), so hits+misses still equals
+// completed evaluations.
+func TestFusedSweepWorkersBitIdentical(t *testing.T) {
+	p := energy.DefaultParams()
+	data := dataStream(t, "crc", 20_000)
+	cfgs := cache.AllConfigs()
+	var base []Result[cache.Config]
+	for _, workers := range []int{1, 2, 4} {
+		e := New(data, Configurable(p), WithFusedSweep())
+		rs := e.EvaluateAll(cfgs, workers)
+		if base == nil {
+			base = rs
+		} else if !reflect.DeepEqual(base, rs) {
+			t.Fatalf("workers=%d: fused sweep results diverged from workers=1", workers)
+		}
+		hits, misses := e.Counters().MemoHits.Load(), e.Counters().MemoMisses.Load()
+		if misses != 1 {
+			t.Errorf("workers=%d: %d fused passes led the sweep, want 1", workers, misses)
+		}
+		if hits+misses != uint64(len(cfgs)) {
+			t.Errorf("workers=%d: hits %d + misses %d != %d evaluations", workers, hits, misses, len(cfgs))
+		}
+	}
+}
+
+// TestConcurrentSweepSharedEngine closes a coverage gap: many concurrent
+// full sweeps sharing ONE memoised engine on the batch replay path (the
+// fast kernels implement BatchReplayer) and on the fused path. Run under
+// -race this is the data-race probe for the memo/in-flight tables feeding
+// batched replays; the assertions pin result identity across callers and
+// the exactly-one-increment-per-evaluation counter invariant.
+func TestConcurrentSweepSharedEngine(t *testing.T) {
+	p := energy.DefaultParams()
+	data := dataStream(t, "crc", 20_000)
+	cfgs := cache.AllConfigs()
+	for _, tc := range []struct {
+		name       string
+		opt        Option
+		wantMisses uint64
+	}{
+		{"batch", WithFastSim(), uint64(len(cfgs))},
+		{"fused", WithFusedSweep(), 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(data, Configurable(p), tc.opt)
+			const callers = 8
+			results := make([][]Result[cache.Config], callers)
+			var wg sync.WaitGroup
+			for i := 0; i < callers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i] = e.EvaluateAll(cfgs, 4)
+				}(i)
+			}
+			wg.Wait()
+			for i := 1; i < callers; i++ {
+				if !reflect.DeepEqual(results[0], results[i]) {
+					t.Fatalf("caller %d saw different sweep results", i)
+				}
+			}
+			hits, misses := e.Counters().MemoHits.Load(), e.Counters().MemoMisses.Load()
+			if want := uint64(callers * len(cfgs)); hits+misses != want {
+				t.Errorf("hits %d + misses %d != %d evaluations", hits, misses, want)
+			}
+			if misses != tc.wantMisses {
+				t.Errorf("%d replays led, want %d", misses, tc.wantMisses)
+			}
+		})
+	}
+}

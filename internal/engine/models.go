@@ -11,11 +11,14 @@ import (
 // methodology (full-benchmark simulation per configuration, drain included).
 // FastBuild carries the fastsim kernel, bit-identical by the differential
 // oracle; the engine picks it per the FastSim flag and constructor options.
+// FusedBuild carries the single-pass 27-configuration kernel, opt-in via
+// the FusedSweep flag / WithFusedSweep and held to the same oracle.
 func Configurable(p *energy.Params) Model[cache.Config] {
 	return Model[cache.Config]{
-		Build:     func(cfg cache.Config) Simulator { return cache.MustConfigurable(cfg) },
-		FastBuild: func(cfg cache.Config) Simulator { return fastsim.Must(cfg) },
-		Price:     p.Evaluate,
+		Build:      func(cfg cache.Config) Simulator { return cache.MustConfigurable(cfg) },
+		FastBuild:  func(cfg cache.Config) Simulator { return fastsim.Must(cfg) },
+		FusedBuild: func() FusedReplayer[cache.Config] { return fastsim.NewFused() },
+		Price:      p.Evaluate,
 	}
 }
 

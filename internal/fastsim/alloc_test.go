@@ -83,3 +83,56 @@ func BenchmarkGenericReferenceDM(b *testing.B) {
 		}
 	}
 }
+
+// TestFusedReplayZeroAllocs pins the fused inner loop to zero heap
+// allocations per replayed block — the columnar path outright, the batch
+// path once its scratch columns have grown to the block size.
+func TestFusedReplayZeroAllocs(t *testing.T) {
+	accs := benchTrace(4096)
+	cols := trace.NewColumns(accs)
+	k := fastsim.NewFused()
+	if n := testing.AllocsPerRun(10, func() { k.ReplayColumns(cols) }); n != 0 {
+		t.Errorf("fused kernel: %.0f allocs/op in ReplayColumns, want 0", n)
+	}
+	kb := fastsim.NewFused()
+	kb.ReplayBatch(accs) // grow the scratch columns once
+	if n := testing.AllocsPerRun(10, func() { kb.ReplayBatch(accs) }); n != 0 {
+		t.Errorf("fused kernel: %.0f allocs/op in ReplayBatch, want 0", n)
+	}
+	for _, cfg := range cache.AllConfigs() {
+		if n := testing.AllocsPerRun(10, func() { _ = k.StatsOf(cfg); _ = k.DirtyLinesOf(cfg) }); n != 0 {
+			t.Errorf("fused kernel %v: %.0f allocs/op in readout, want 0", cfg, n)
+		}
+	}
+}
+
+// BenchmarkFusedSweep measures the fused kernel's full-sweep cost: one pass
+// evaluating all 27 configurations. Bytes/op is accesses replayed, so
+// ns/access here divides by 27 configurations — compare against
+// BenchmarkPerConfigSweep, the same sweep through 27 per-config fast
+// kernels.
+func BenchmarkFusedSweep(b *testing.B) {
+	accs := benchTrace(65536)
+	cols := trace.NewColumns(accs)
+	b.SetBytes(int64(len(accs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := fastsim.NewFused()
+		k.ReplayColumns(cols)
+	}
+}
+
+func BenchmarkPerConfigSweep(b *testing.B) {
+	accs := benchTrace(65536)
+	cfgs := cache.AllConfigs()
+	b.SetBytes(int64(len(accs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			k := fastsim.Must(cfg)
+			k.ReplayBatch(accs)
+		}
+	}
+}

@@ -83,3 +83,55 @@ func FuzzFastSimVsReference(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFusedVsReference replays fuzzer-generated address streams through the
+// fused 27-configuration kernel — both as one columnar pass and as odd-sized
+// batches that split same-block runs — and fails on any divergence from the
+// reference cache in counters or dirty-line accounting for any
+// configuration.
+func FuzzFusedVsReference(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x10, 0x00, 0x00, 0x00})
+	// A same-block run with a write in the middle: the run-folding path.
+	f.Add([]byte{
+		0x00, 0x10, 0x00, 0x00, 0x00,
+		0x04, 0x10, 0x00, 0x00, 0x02,
+		0x08, 0x10, 0x00, 0x00, 0x00,
+		0x00, 0x30, 0x00, 0x00, 0x01,
+	})
+	// High address bits exercise the full tag path.
+	f.Add([]byte{0xfc, 0xff, 0xff, 0xff, 0x01, 0x04, 0x00, 0x00, 0x80, 0x02})
+	configs := cache.AllConfigs()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs := decodeAccesses(data)
+		if len(accs) == 0 {
+			return
+		}
+		whole := fastsim.NewFused()
+		whole.ReplayColumns(trace.NewColumns(accs))
+		batched := fastsim.NewFused()
+		for start := 0; start < len(accs); start += 33 {
+			end := start + 33
+			if end > len(accs) {
+				end = len(accs)
+			}
+			batched.ReplayBatch(accs[start:end])
+		}
+		for _, cfg := range configs {
+			ref := cache.MustConfigurable(cfg)
+			for _, a := range accs {
+				ref.Access(a.Addr, a.IsWrite())
+			}
+			want := ref.Stats()
+			if got := whole.StatsOf(cfg); got != want {
+				t.Fatalf("%v columnar stats: ref %+v fused %+v", cfg, want, got)
+			}
+			if got := batched.StatsOf(cfg); got != want {
+				t.Fatalf("%v batched stats: ref %+v fused %+v", cfg, want, got)
+			}
+			if rd, wd, bd := ref.DirtyLines(), whole.DirtyLinesOf(cfg), batched.DirtyLinesOf(cfg); wd != rd || bd != rd {
+				t.Fatalf("%v dirty: ref %d columnar %d batched %d", cfg, rd, wd, bd)
+			}
+		}
+	})
+}

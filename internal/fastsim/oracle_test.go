@@ -247,3 +247,168 @@ func TestOracleTunerTrajectory(t *testing.T) {
 		}
 	}
 }
+
+// runHeavyTrace is the fused kernel's adversary: streams dominated by
+// same-block runs of random length (with addresses wobbling inside the
+// block), so the run-folding fast path and its batch-boundary splits carry
+// most of the accesses.
+func runHeavyTrace(seed int64, n int) []trace.Access {
+	r := rand.New(rand.NewSource(seed))
+	accs := make([]trace.Access, 0, n)
+	for len(accs) < n {
+		base := uint32(r.Intn(1<<16)) &^ 15
+		runLen := 1 + r.Intn(50)
+		for j := 0; j < runLen && len(accs) < n; j++ {
+			kind := trace.DataRead
+			if r.Intn(100) < 30 {
+				kind = trace.DataWrite
+			}
+			accs = append(accs, trace.Access{Addr: base | uint32(r.Intn(4))<<2, Kind: kind})
+		}
+	}
+	return accs
+}
+
+// fusedOracleTraces is the fused tier's trace set: the shared oracle set
+// plus run-heavy adversaries.
+func fusedOracleTraces(t *testing.T) map[string][]trace.Access {
+	t.Helper()
+	out := oracleTraces(t)
+	n := 30_000
+	seeds := []int64{11, 12, 13}
+	if testing.Short() {
+		seeds = seeds[:1]
+		n = 12_000
+	}
+	for _, s := range seeds {
+		out[string(rune('a'+s))+"-runs"] = runHeavyTrace(s, n)
+	}
+	return out
+}
+
+// TestOracleFusedPerAccess holds the fused kernel to per-access identity:
+// fed one access at a time, its reconstructed counters must match every
+// reference cache's cumulative stats after every single access, across all
+// 27 configurations at once.
+func TestOracleFusedPerAccess(t *testing.T) {
+	for name, accs := range fusedOracleTraces(t) {
+		cfgs := cache.AllConfigs()
+		refs := make([]*cache.Configurable, len(cfgs))
+		for ci, cfg := range cfgs {
+			refs[ci] = cache.MustConfigurable(cfg)
+		}
+		fused := fastsim.NewFused()
+		for i, a := range accs {
+			fused.ReplayBatch(accs[i : i+1])
+			for ci, cfg := range cfgs {
+				refs[ci].Access(a.Addr, a.IsWrite())
+				if rs, fs := refs[ci].Stats(), fused.StatsOf(cfg); rs != fs {
+					t.Fatalf("%s %v: stats diverged after access %d (%08x %v):\n ref   %+v\n fused %+v",
+						name, cfg, i, a.Addr, a.Kind, rs, fs)
+				}
+			}
+		}
+		for ci, cfg := range cfgs {
+			if rd, fd := refs[ci].DirtyLines(), fused.DirtyLinesOf(cfg); rd != fd {
+				t.Fatalf("%s %v: dirty lines %d vs %d", name, cfg, rd, fd)
+			}
+		}
+	}
+}
+
+// TestOracleFusedStats drives the fused kernel the way the engine does —
+// one whole-trace columnar pass, and separately odd-sized ReplayBatch
+// blocks that split same-block runs at batch boundaries — and requires the
+// final counters and drain of every configuration to match both the
+// reference cache and the per-config fast kernel.
+func TestOracleFusedStats(t *testing.T) {
+	for name, accs := range fusedOracleTraces(t) {
+		cols := trace.NewColumns(accs)
+		whole := fastsim.NewFused()
+		whole.ReplayColumns(cols)
+		batched := fastsim.NewFused()
+		for start := 0; start < len(accs); start += 777 {
+			end := start + 777
+			if end > len(accs) {
+				end = len(accs)
+			}
+			batched.ReplayBatch(accs[start:end])
+		}
+		for _, cfg := range cache.AllConfigs() {
+			ref := cache.MustConfigurable(cfg)
+			for _, a := range accs {
+				ref.Access(a.Addr, a.IsWrite())
+			}
+			fast := fastsim.Must(cfg)
+			fast.ReplayBatch(accs)
+			want := ref.Stats()
+			if got := whole.StatsOf(cfg); got != want {
+				t.Fatalf("%s %v: columnar stats diverged:\n ref   %+v\n fused %+v", name, cfg, want, got)
+			}
+			if got := batched.StatsOf(cfg); got != want {
+				t.Fatalf("%s %v: batched stats diverged:\n ref   %+v\n fused %+v", name, cfg, want, got)
+			}
+			if got := fast.Stats(); got != want {
+				t.Fatalf("%s %v: fast kernel diverged from reference:\n ref  %+v\n fast %+v", name, cfg, want, got)
+			}
+			if rd, wd, bd := ref.DirtyLines(), whole.DirtyLinesOf(cfg), batched.DirtyLinesOf(cfg); wd != rd || bd != rd {
+				t.Fatalf("%s %v: dirty lines ref %d, columnar %d, batched %d", name, cfg, rd, wd, bd)
+			}
+		}
+	}
+}
+
+// TestOracleFusedEngineResults compares full engine results — energy,
+// breakdown, drained stats — between a fused-sweep engine and the reference
+// and per-config fast engines over all 27 configurations, for both drain
+// modes. reflect.DeepEqual on the whole Result makes this the
+// engine-observable bit-identity claim for the fused path.
+func TestOracleFusedEngineResults(t *testing.T) {
+	p := energy.DefaultParams()
+	for name, accs := range fusedOracleTraces(t) {
+		for _, noDrain := range []bool{false, true} {
+			m := engine.Configurable(p)
+			m.NoDrain = noDrain
+			ref := engine.New(accs, m, engine.WithReferenceSim()).EvaluateAll(cache.AllConfigs(), 4)
+			fast := engine.New(accs, m, engine.WithFastSim()).EvaluateAll(cache.AllConfigs(), 4)
+			fused := engine.New(accs, m, engine.WithFusedSweep()).EvaluateAll(cache.AllConfigs(), 4)
+			for i := range ref {
+				if !reflect.DeepEqual(ref[i], fused[i]) {
+					t.Fatalf("%s noDrain=%v %v: fused diverged from reference:\n ref   %+v\n fused %+v",
+						name, noDrain, ref[i].Cfg, ref[i], fused[i])
+				}
+				if !reflect.DeepEqual(fast[i], fused[i]) {
+					t.Fatalf("%s noDrain=%v %v: fused diverged from fast:\n fast  %+v\n fused %+v",
+						name, noDrain, fast[i].Cfg, fast[i], fused[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOracleFusedTunerTrajectory pins that the Figure 6 heuristic walks the
+// identical search trajectory on a fused-sweep engine — every step's phase,
+// configuration, energy and keep/stop decision — for both parameter
+// orderings.
+func TestOracleFusedTunerTrajectory(t *testing.T) {
+	p := energy.DefaultParams()
+	for name, accs := range oracleTraces(t) {
+		for _, order := range [][]tuner.Param{tuner.PaperOrder, tuner.AlternativeOrder} {
+			refEv := tuner.EngineEvaluator{Eng: engine.New(accs, engine.Configurable(p), engine.WithReferenceSim())}
+			fusedEv := tuner.EngineEvaluator{Eng: engine.New(accs, engine.Configurable(p), engine.WithFusedSweep())}
+			var refSteps, fusedSteps []tuner.SearchStep
+			refRes := tuner.SearchTraced(refEv, order, tuner.DefaultSpace(),
+				func(s tuner.SearchStep) { refSteps = append(refSteps, s) })
+			fusedRes := tuner.SearchTraced(fusedEv, order, tuner.DefaultSpace(),
+				func(s tuner.SearchStep) { fusedSteps = append(fusedSteps, s) })
+			if !reflect.DeepEqual(refSteps, fusedSteps) {
+				t.Fatalf("%s order %v: search trajectories diverged:\n ref   %+v\n fused %+v",
+					name, order, refSteps, fusedSteps)
+			}
+			if refRes.Best.Cfg != fusedRes.Best.Cfg || refRes.Best.Energy != fusedRes.Best.Energy {
+				t.Fatalf("%s order %v: best diverged: ref %v %.9g, fused %v %.9g",
+					name, order, refRes.Best.Cfg, refRes.Best.Energy, fusedRes.Best.Cfg, fusedRes.Best.Energy)
+			}
+		}
+	}
+}

@@ -91,6 +91,12 @@ func Wrap[C comparable](m engine.Model[C], f *Measurement) engine.Model[C] {
 	if m.FastBuild != nil {
 		m.FastBuild = wrap(m.FastBuild)
 	}
+	// The fused pass measures every configuration from one shared replay, so
+	// it cannot realise per-(configuration, reading) injection. Clearing the
+	// factory forces fault-armed engines onto the wrapped per-configuration
+	// factories — injection can never be bypassed by enabling the fused
+	// sweep.
+	m.FusedBuild = nil
 	return m
 }
 

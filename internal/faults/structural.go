@@ -88,6 +88,10 @@ func (p StructuralPlan) Wrap(m engine.Model[cache.Config], params *energy.Params
 				return innerFast(p.Degrade(cfg))
 			}
 		}
+		// The fused pass keys its lanes by the requested configuration and
+		// cannot substitute the degraded one underneath, so a structurally
+		// degraded model must replay per configuration.
+		m.FusedBuild = nil
 	}
 	if p.StuckOn >= 0 {
 		price := m.Price

@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"selftune/internal/daemon"
+	"selftune/internal/engine"
+)
+
+// TestFleetResumeFusedFlagInert pins that the engine's fused-sweep flag is
+// inert for the fleet: the daemons tune from in-situ window measurements,
+// not engine sweeps, so enabling the fused kernel process-wide must not
+// perturb a single decision, checkpoint byte or consumed count — even
+// across a kill/resume leg. A baseline run with the flag off is compared
+// byte-for-byte against a killed-and-resumed run with the flag on.
+func TestFleetResumeFusedFlagInert(t *testing.T) {
+	accs := genTrace(t, "crc", 120_000)
+	mkOpts := func(dir string) Options {
+		return Options{Shards: 2, Dir: dir, Session: daemon.Options{Window: 1_000}}
+	}
+
+	// Baseline: uninterrupted run, fused flag off (the default).
+	baseDir := t.TempDir()
+	mb, err := New(mkOpts(baseDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Open("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Submit("s", accs); err != nil {
+		t.Fatal(err)
+	}
+	db, err := mb.Session("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	baseConsumed := db.Consumed()
+	baseLog := db.Events()
+	baseSettled := db.Settled()
+	baseCkpt := readCkptDir(t, baseDir)
+
+	// Fused flag on for the whole killed-and-resumed run.
+	engine.SetFusedSweep(true)
+	defer engine.SetFusedSweep(false)
+
+	dir := t.TempDir()
+	m1, err := New(mkOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Open("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Submit("s", accs[:60_000]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil { // the kill
+		t.Fatal(err)
+	}
+
+	m2, err := New(mkOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Open("s"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := m2.Session("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Recovered() {
+		t.Fatal("session did not resume from the fleet store")
+	}
+	if err := m2.Submit("s", accs); err != nil { // re-stream; prefix discarded
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resConsumed := d.Consumed()
+	resLog := d.Events()
+	resSettled := d.Settled()
+
+	if resConsumed != baseConsumed {
+		t.Errorf("consumed %d with fused flag across kill/resume, want %d", resConsumed, baseConsumed)
+	}
+	if !reflect.DeepEqual(resLog, baseLog) {
+		t.Errorf("decision log diverged under the fused flag:\n base    %+v\n resumed %+v", baseLog, resLog)
+	}
+	if !reflect.DeepEqual(resSettled, baseSettled) {
+		t.Errorf("settled outcome diverged under the fused flag:\n base    %+v\n resumed %+v", baseSettled, resSettled)
+	}
+	if got, want := readCkptDir(t, dir), baseCkpt; !reflect.DeepEqual(got, want) {
+		t.Errorf("checkpoint files diverged under the fused flag across kill/resume")
+	}
+}

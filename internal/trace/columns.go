@@ -1,0 +1,44 @@
+package trace
+
+// Columns is a struct-of-arrays view of an access stream: addresses and
+// write flags in separate dense slices. The fused replay kernel consumes
+// this shape — the run-scanning inner loop touches 4-byte addresses and
+// 1-byte flags instead of 8-byte Access structs, and the layout is what a
+// batched (eventually vectorised) decode wants. A Columns is built once per
+// stream (NewColumns) and sliced for free per replay block; the kernels'
+// inner loops never allocate.
+type Columns struct {
+	// Addr holds the byte addresses, one per access.
+	Addr []uint32
+	// Write holds the store flags (Kind == DataWrite), one per access.
+	Write []bool
+}
+
+// NewColumns transposes a recorded stream into columnar form. The result
+// does not alias accs.
+func NewColumns(accs []Access) Columns {
+	c := Columns{
+		Addr:  make([]uint32, len(accs)),
+		Write: make([]bool, len(accs)),
+	}
+	for i := range accs {
+		c.Addr[i] = accs[i].Addr
+		c.Write[i] = accs[i].Kind == DataWrite
+	}
+	return c
+}
+
+// AppendAccess appends one access, growing the columns in step — the
+// incremental form of NewColumns for callers that build streams on the fly.
+func (c *Columns) AppendAccess(a Access) {
+	c.Addr = append(c.Addr, a.Addr)
+	c.Write = append(c.Write, a.Kind == DataWrite)
+}
+
+// Len is the number of accesses.
+func (c Columns) Len() int { return len(c.Addr) }
+
+// Slice returns the sub-stream [i, j) without copying.
+func (c Columns) Slice(i, j int) Columns {
+	return Columns{Addr: c.Addr[i:j], Write: c.Write[i:j]}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import "testing"
+
+func TestColumnsRoundTrip(t *testing.T) {
+	accs := []Access{
+		{Addr: 0x1000, Kind: InstFetch},
+		{Addr: 0x2004, Kind: DataRead},
+		{Addr: 0x2008, Kind: DataWrite},
+		{Addr: 0xFFFFFFFC, Kind: DataWrite},
+	}
+	c := NewColumns(accs)
+	if c.Len() != len(accs) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(accs))
+	}
+	for i, a := range accs {
+		if c.Addr[i] != a.Addr {
+			t.Errorf("Addr[%d] = %#x, want %#x", i, c.Addr[i], a.Addr)
+		}
+		if c.Write[i] != a.IsWrite() {
+			t.Errorf("Write[%d] = %v, want %v", i, c.Write[i], a.IsWrite())
+		}
+	}
+
+	var inc Columns
+	for _, a := range accs {
+		inc.AppendAccess(a)
+	}
+	if inc.Len() != c.Len() {
+		t.Fatalf("AppendAccess built %d entries, want %d", inc.Len(), c.Len())
+	}
+	for i := range accs {
+		if inc.Addr[i] != c.Addr[i] || inc.Write[i] != c.Write[i] {
+			t.Errorf("AppendAccess entry %d = (%#x,%v), want (%#x,%v)",
+				i, inc.Addr[i], inc.Write[i], c.Addr[i], c.Write[i])
+		}
+	}
+}
+
+func TestColumnsSlice(t *testing.T) {
+	accs := make([]Access, 10)
+	for i := range accs {
+		accs[i] = Access{Addr: uint32(i) << 4, Kind: Kind(i % 3)}
+	}
+	c := NewColumns(accs)
+	s := c.Slice(3, 7)
+	if s.Len() != 4 {
+		t.Fatalf("Slice Len = %d, want 4", s.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if s.Addr[i] != c.Addr[3+i] || s.Write[i] != c.Write[3+i] {
+			t.Errorf("Slice entry %d diverged from parent", i)
+		}
+	}
+	if empty := c.Slice(5, 5); empty.Len() != 0 {
+		t.Errorf("empty Slice Len = %d, want 0", empty.Len())
+	}
+}
